@@ -1,0 +1,101 @@
+// Command qoadvisor runs the full QO-Advisor deployment loop on a
+// synthetic recurring SCOPE workload: every simulated day, production
+// executes all jobs under the current hints, and the offline pipeline
+// (Feature Generation → CB Recommendation → Recompilation → Flighting →
+// Validation → Hint Generation) processes the day's telemetry and uploads
+// a fresh hint file to the Stats & Insight Service.
+//
+// Usage:
+//
+//	qoadvisor [-days 10] [-templates 60] [-seed 42] [-hints out.hints]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"qoadvisor/internal/core"
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/flighting"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/stats"
+	"qoadvisor/internal/workload"
+)
+
+func main() {
+	days := flag.Int("days", 10, "number of simulated days")
+	templates := flag.Int("templates", 60, "number of recurring job templates")
+	seed := flag.Int64("seed", 42, "workload and pipeline seed")
+	hintsOut := flag.String("hints", "", "write the final SIS hint file to this path")
+	flag.Parse()
+
+	gen, err := workload.New(workload.Config{Seed: *seed, NumTemplates: *templates, MaxDailyInstances: 2})
+	if err != nil {
+		log.Fatalf("qoadvisor: %v", err)
+	}
+	cat := rules.NewCatalog()
+	cluster := exec.DefaultCluster(*seed)
+	store := sis.NewStore(cat)
+	adv := core.NewAdvisor(cat, store, core.Config{
+		Seed:      *seed,
+		Flighting: flighting.Config{Catalog: cat, Cluster: cluster, Seed: *seed + 5},
+	})
+	prod := core.NewProduction(cat, store, cluster, *seed+9)
+
+	fmt.Printf("QO-Advisor daily loop: %d templates, %d days, seed %d\n\n", *templates, *days, *seed)
+	fmt.Printf("%4s %6s %6s %7s %7s %7s %6s %8s %7s %6s\n",
+		"day", "jobs", "span", "lower", "higher", "fails", "flts", "samples", "valid", "hints")
+
+	var hintedPN, defaultPN []float64
+	for day := 1; day <= *days; day++ {
+		// Off-policy schedule: uniform logging for the first third, the
+		// learned policy afterwards.
+		adv.CB.Uniform = day <= *days/3
+
+		jobs, err := gen.JobsForDay(day)
+		if err != nil {
+			log.Fatalf("qoadvisor: %v", err)
+		}
+		runs, view, err := prod.RunDay(day, jobs)
+		if err != nil {
+			log.Fatalf("qoadvisor: %v", err)
+		}
+		for _, r := range runs {
+			if r.Hinted {
+				hintedPN = append(hintedPN, r.Metrics.PNHours)
+			} else {
+				defaultPN = append(defaultPN, r.Metrics.PNHours)
+			}
+		}
+		rep, err := adv.RunDay(day, jobs, view)
+		if err != nil {
+			log.Fatalf("qoadvisor: %v", err)
+		}
+		fmt.Printf("%4d %6d %6d %7d %7d %7d %6d %8d %7d %6d\n",
+			day, rep.JobsInView, rep.JobsWithSpan, rep.LowerCost, rep.HigherCost,
+			rep.CompileFails, rep.FlightsRequested, rep.ValidationSamples,
+			rep.Validated, rep.HintsUploaded)
+	}
+
+	fmt.Printf("\nfinal state: %d active hints, SIS version %d\n", store.Size(), store.Version())
+	fmt.Printf("hinted executions: %d (total PNhours %.2f), default executions: %d (total PNhours %.2f)\n",
+		len(hintedPN), stats.Sum(hintedPN), len(defaultPN), stats.Sum(defaultPN))
+
+	if *hintsOut != "" {
+		f, err := os.Create(*hintsOut)
+		if err != nil {
+			log.Fatalf("qoadvisor: %v", err)
+		}
+		defer f.Close()
+		hist := store.History()
+		if len(hist) > 0 {
+			if err := sis.Serialize(f, hist[len(hist)-1]); err != nil {
+				log.Fatalf("qoadvisor: %v", err)
+			}
+		}
+		fmt.Printf("hint file written to %s\n", *hintsOut)
+	}
+}

@@ -1,0 +1,126 @@
+// Command scopesim compiles, optimizes and (optionally) executes a single
+// SCOPE script on the simulator, printing the logical DAG, the physical
+// plan, the rule signature and the job span — the developer's view into
+// the steering surface QO-Advisor operates on.
+//
+// Usage:
+//
+//	scopesim [-run] [-span] [-flip +R123|-R045] [-tokens N] script.scope
+//	scopesim -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/scope"
+	spanpkg "qoadvisor/internal/span"
+)
+
+const demoScript = `// Demo: click analysis joined with a user dimension.
+logs  = EXTRACT uid:long, page:string, dur:int, score:double FROM "store/logs_20211103.tsv";
+users = EXTRACT uid:long, region:string FROM "store/users.tsv";
+clicks = SELECT uid, page, dur FROM logs WHERE dur > 100 AND score >= 0.5;
+joined = SELECT l.uid, l.dur, u.region
+         FROM clicks AS l JOIN users AS u ON l.uid == u.uid;
+agg = SELECT region, COUNT(*) AS cnt, SUM(dur) AS total
+      FROM joined GROUP BY region HAVING COUNT(*) > 10
+      ORDER BY total DESC TOP 100;
+OUTPUT agg TO "out/agg.tsv";
+`
+
+func main() {
+	runIt := flag.Bool("run", false, "execute the plan on the cluster simulator")
+	showSpan := flag.Bool("span", false, "compute and print the job span")
+	flipStr := flag.String("flip", "", "apply a single rule flip, e.g. +R123 or -R045")
+	tokens := flag.Int("tokens", 0, "parallelism budget (0 = default)")
+	demo := flag.Bool("demo", false, "use the built-in demo script")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *demo:
+		src = demoScript
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatalf("scopesim: %v", err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: scopesim [-run] [-span] [-flip +R123] <script.scope> | -demo")
+		os.Exit(2)
+	}
+
+	graph, err := scope.CompileScript(src)
+	if err != nil {
+		log.Fatalf("scopesim: %v", err)
+	}
+	fmt.Println("=== logical DAG ===")
+	fmt.Print(graph)
+	fmt.Printf("template hash: %016x\n\n", graph.TemplateHash())
+
+	cat := rules.NewCatalog()
+	cfg := cat.DefaultConfig()
+	if *flipStr != "" {
+		flip, err := rules.ParseFlip(*flipStr)
+		if err != nil {
+			log.Fatalf("scopesim: %v", err)
+		}
+		r := cat.Rule(flip.RuleID)
+		fmt.Printf("applying flip %s (%s, %s)\n\n", flip, r.Name, r.Category)
+		cfg = cfg.WithFlip(flip)
+	}
+
+	// Demo statistics: every table defaults to 1M rows unless known.
+	stats := optimizer.MapStats{
+		"store/logs_20211103.tsv": {Rows: 5e6, NDV: map[string]float64{"uid": 1e5, "page": 5000, "dur": 2000}},
+		"store/users.tsv":         {Rows: 1e5, NDV: map[string]float64{"uid": 1e5, "region": 50}},
+	}
+	opts := optimizer.Options{Catalog: cat, Stats: stats, Tokens: *tokens}
+
+	res, err := optimizer.Optimize(graph, cfg, opts)
+	if err != nil {
+		log.Fatalf("scopesim: %v", err)
+	}
+	fmt.Println("=== physical plan ===")
+	fmt.Print(res.Plan)
+	fmt.Printf("estimated cost: %.4g, estimated vertices: %d\n", res.EstCost, res.Plan.EstVertices)
+
+	fired := res.Signature.Bits()
+	fmt.Printf("\n=== rule signature (%d rules fired) ===\n", len(fired))
+	for _, id := range fired {
+		r := cat.Rule(id)
+		fmt.Printf("  R%03d %-32s %s\n", r.ID, r.Name, r.Category)
+	}
+
+	if *showSpan {
+		sp, err := spanpkg.Compute(graph, cat, spanpkg.Options{Optimizer: opts})
+		if err != nil {
+			log.Fatalf("scopesim: span: %v", err)
+		}
+		bits := sp.Span.Bits()
+		fmt.Printf("\n=== job span (%d plan-affecting rules, %d iterations) ===\n", len(bits), sp.Iterations)
+		for _, id := range bits {
+			r := cat.Rule(id)
+			fmt.Printf("  R%03d %-32s %s\n", r.ID, r.Name, r.Category)
+		}
+	}
+
+	if *runIt {
+		truth := &exec.Truth{JitterSeed: 7}
+		m := exec.Run(res.Plan, truth, stats, exec.DefaultCluster(1), 1)
+		fmt.Println("\n=== simulated execution ===")
+		fmt.Printf("latency:      %.1f s\n", m.LatencySec)
+		fmt.Printf("PNhours:      %.4f\n", m.PNHours)
+		fmt.Printf("vertices:     %d\n", m.Vertices)
+		fmt.Printf("data read:    %.1f MB\n", m.DataRead/1e6)
+		fmt.Printf("data written: %.1f MB\n", m.DataWritten/1e6)
+		fmt.Printf("max memory:   %.1f MB\n", m.MaxMemory/1e6)
+	}
+}

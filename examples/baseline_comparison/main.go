@@ -1,0 +1,104 @@
+// Baseline comparison: contextual-bandit recommendation versus the
+// uniform-random baseline of §5.6. The CB is trained off-policy on
+// uniform-at-random logged data, then both policies pick one flip per job
+// on a fresh day and are scored on recompiled estimated cost — the
+// protocol behind the paper's Table 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qoadvisor/internal/core"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/span"
+	"qoadvisor/internal/workload"
+)
+
+func main() {
+	const trainDays = 14
+	gen, err := workload.New(workload.Config{Seed: 5, NumTemplates: 30, MaxDailyInstances: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := rules.NewCatalog()
+	spanCache := make(map[uint64]rules.Bitset)
+
+	featurize := func(day int) []*core.JobFeatures {
+		jobs, err := gen.JobsForDay(day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out []*core.JobFeatures
+		for _, job := range jobs {
+			opts := optimizer.Options{Catalog: cat, Stats: job.Stats, Tokens: job.Tokens}
+			sp, ok := spanCache[job.Template.Hash]
+			if !ok {
+				res, err := span.Compute(job.Graph, cat, span.Options{Optimizer: opts})
+				if err != nil {
+					spanCache[job.Template.Hash] = rules.Bitset{}
+					continue
+				}
+				sp = res.Span
+				spanCache[job.Template.Hash] = sp
+			}
+			if sp.IsEmpty() {
+				continue
+			}
+			base, err := optimizer.Optimize(job.Graph, cat.DefaultConfig(), opts)
+			if err != nil {
+				continue
+			}
+			out = append(out, &core.JobFeatures{
+				Job: job, EstCost: base.EstCost, Span: sp,
+				RowCount: base.Plan.Roots[0].EstRows,
+			})
+		}
+		return out
+	}
+
+	// Train the bandit off-policy: uniform-at-random logging.
+	cb := core.NewCBRecommender(cat, 11)
+	cb.Uniform = true
+	fmt.Printf("training contextual bandit off-policy for %d days", trainDays)
+	for day := 1; day <= trainDays; day++ {
+		core.Recommend(cb, cat, featurize(day))
+		cb.Train()
+		fmt.Print(".")
+	}
+	fmt.Println(" done")
+
+	// Evaluate both policies on a fresh day.
+	feats := featurize(trainDays + 1)
+	cb.Uniform = false
+	cbRecs := core.Recommend(cb, cat, feats)
+	rnd := core.NewRandomRecommender(cat, 13)
+	rndRecs := core.Recommend(rnd, cat, feats)
+
+	show := func(label string, recs []*core.Recommendation) {
+		lower, equal, higher, fails, noops := 0, 0, 0, 0, 0
+		for _, r := range recs {
+			switch {
+			case r.NoOp:
+				noops++
+			case r.CompileFailed:
+				fails++
+			case r.CostDelta < 0:
+				lower++
+			case r.CostDelta == 0:
+				equal++
+			default:
+				higher++
+			}
+		}
+		fmt.Printf("%-18s lower=%-3d equal=%-3d higher=%-3d failures=%-3d noop=%-3d\n",
+			label, lower, equal, higher, fails, noops)
+	}
+	fmt.Printf("\nevaluation on day %d (%d steerable jobs):\n", trainDays+1, len(feats))
+	show("uniform random", rndRecs)
+	show("contextual bandit", cbRecs)
+	fmt.Println("\nWith enough logged data the learned policy finds more cost-lowering")
+	fmt.Println("flips and avoids failures and cost-raising ones (the paper's Table 3);")
+	fmt.Println("short training runs mostly teach it to avoid harm.")
+}

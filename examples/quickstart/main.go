@@ -1,0 +1,91 @@
+// Quickstart: compile one SCOPE script, steer it with a single rule flip,
+// and compare the default and steered plans — the smallest end-to-end
+// demonstration of the steering surface QO-Advisor operates on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/scope"
+	"qoadvisor/internal/span"
+)
+
+const script = `
+orders = EXTRACT oid:long, customer:long, amount:double, day:int FROM "store/orders.tsv";
+big = SELECT oid, customer, amount FROM orders WHERE amount > 1000 AND day >= 20;
+byCustomer = SELECT customer, SUM(amount) AS total, COUNT(*) AS cnt
+             FROM big GROUP BY customer
+             ORDER BY total DESC TOP 50;
+OUTPUT byCustomer TO "out/top_customers.tsv";
+`
+
+func main() {
+	// 1. Compile the script into a logical operator DAG.
+	graph, err := scope.CompileScript(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Logical plan:")
+	fmt.Print(graph)
+
+	// 2. Optimize under the default 256-rule configuration.
+	cat := rules.NewCatalog()
+	stats := optimizer.MapStats{
+		"store/orders.tsv": {Rows: 2e6, NDV: map[string]float64{
+			"oid": 2e6, "customer": 5e4, "amount": 1e4, "day": 30,
+		}},
+	}
+	opts := optimizer.Options{Catalog: cat, Stats: stats}
+	base, err := optimizer.Optimize(graph, cat.DefaultConfig(), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDefault plan estimated cost: %.4g (%d rules fired)\n",
+		base.EstCost, base.Signature.Count())
+
+	// 3. Compute the job span: the rules that can steer this plan.
+	sp, err := span.Compute(graph, cat, span.Options{Optimizer: opts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Job span: %d plan-affecting rules\n", sp.Span.Count())
+
+	// 4. Try every single-rule flip in the span and keep the best.
+	truth := &exec.Truth{
+		Rows:       map[string]float64{"store/orders.tsv": 2.6e6},
+		Sel:        map[string]float64{"filter:(amount > 1000)": 0.08, "filter:(day >= 20)": 0.35, "agg:customer": 0.02},
+		JitterSeed: 1,
+	}
+	cluster := exec.DefaultCluster(7)
+	baseMetrics := exec.Run(base.Plan, truth, stats, cluster, 1)
+
+	var bestFlip rules.Flip
+	var bestPN = baseMetrics.PNHours
+	for _, id := range sp.Span.Bits() {
+		flip := cat.FlipFor(id)
+		res, err := optimizer.Optimize(graph, cat.DefaultConfig().WithFlip(flip), opts)
+		if err != nil {
+			continue // some flips legitimately fail to compile
+		}
+		m := exec.Run(res.Plan, truth, stats, cluster, 2)
+		if m.PNHours < bestPN {
+			bestPN = m.PNHours
+			bestFlip = flip
+		}
+	}
+
+	fmt.Printf("\nDefault execution:  PNhours %.4f, latency %.1fs, vertices %d\n",
+		baseMetrics.PNHours, baseMetrics.LatencySec, baseMetrics.Vertices)
+	if bestPN < baseMetrics.PNHours {
+		r := cat.Rule(bestFlip.RuleID)
+		fmt.Printf("Best single flip:   %s (%s, %s)\n", bestFlip, r.Name, r.Category)
+		fmt.Printf("Steered PNhours:    %.4f (%.1f%% change)\n",
+			bestPN, 100*(bestPN/baseMetrics.PNHours-1))
+	} else {
+		fmt.Println("No single flip improved this job — the default plan wins here.")
+	}
+}

@@ -1,0 +1,74 @@
+// Steering pipeline: the full production loop over a multi-day recurring
+// workload. Each simulated day, production runs every job under the
+// currently installed hints, then the offline QO-Advisor pipeline
+// processes the day's telemetry and uploads new validated hints to the
+// Stats & Insight Service — the Figure 1 loop of the paper, end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qoadvisor/internal/core"
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/flighting"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/workload"
+)
+
+func main() {
+	const days = 8
+	gen, err := workload.New(workload.Config{Seed: 7, NumTemplates: 30, MaxDailyInstances: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat := rules.NewCatalog()
+	cluster := exec.DefaultCluster(7)
+	store := sis.NewStore(cat)
+	adv := core.NewAdvisor(cat, store, core.Config{
+		Seed:      7,
+		Flighting: flighting.Config{Catalog: cat, Cluster: cluster, Seed: 12},
+	})
+	prod := core.NewProduction(cat, store, cluster, 19)
+
+	fmt.Printf("%-4s %-8s %-10s %-9s %-8s %-6s\n", "day", "jobs", "steerable", "flighted", "valid", "hints")
+	for day := 1; day <= days; day++ {
+		adv.CB.Uniform = day <= 2 // uniform logging first, learned policy after
+
+		jobs, err := gen.JobsForDay(day)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs, view, err := prod.RunDay(day, jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := adv.RunDay(day, jobs, view)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hinted := 0
+		for _, r := range runs {
+			if r.Hinted {
+				hinted++
+			}
+		}
+		fmt.Printf("%-4d %-8d %-10d %-9d %-8d %-6d   (%d jobs ran hinted)\n",
+			day, rep.JobsInView, rep.JobsWithSpan, rep.FlightsRequested,
+			rep.Validated, rep.HintsUploaded, hinted)
+	}
+
+	// Show the final hint file the way SIS stores it.
+	hist := store.History()
+	if len(hist) == 0 || len(hist[len(hist)-1].Hints) == 0 {
+		fmt.Println("\nNo hints survived validation in this short run — try more days.")
+		return
+	}
+	fmt.Println("\nActive hints (template -> single rule flip):")
+	for _, h := range hist[len(hist)-1].Hints {
+		r := cat.Rule(h.Flip.RuleID)
+		fmt.Printf("  %s (%016x): %s  [%s, %s] installed day %d\n",
+			h.TemplateID, h.TemplateHash, h.Flip, r.Name, r.Category, h.Day)
+	}
+}

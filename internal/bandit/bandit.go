@@ -1,0 +1,330 @@
+// Package bandit implements the contextual-bandit learner behind
+// QO-Advisor's Recommendation task, modelled on the Azure Personalizer
+// service the paper integrates with (§4.2): a rank/reward API over a
+// linear model with hashed context×action features, epsilon-greedy
+// exploration, an event log with recorded propensities enabling
+// counterfactual evaluation, and inverse-propensity-scored off-policy
+// updates.
+package bandit
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Action is one candidate decision, described by categorical feature
+// tokens (e.g. rule ID and rule category for a rule flip).
+type Action struct {
+	ID       string
+	Features []string
+}
+
+// Context carries the decision context as categorical feature tokens
+// (e.g. job-span bit positions and their co-occurrence pairs).
+type Context struct {
+	Features []string
+}
+
+// Ranked is the outcome of one Rank call.
+type Ranked struct {
+	EventID string
+	// Chosen is the index of the selected action in the submitted slice.
+	Chosen int
+	// Prob is the propensity with which the chosen action was selected,
+	// logged for counterfactual evaluation and IPS training.
+	Prob float64
+	// Scores are the model scores of all actions (diagnostic).
+	Scores []float64
+}
+
+// Event is one logged rank decision with its eventual reward.
+type Event struct {
+	EventID  string
+	Context  Context
+	Actions  []Action
+	Chosen   int
+	Prob     float64
+	Reward   float64
+	Rewarded bool
+	Trained  bool
+}
+
+// Config parameterizes the service.
+type Config struct {
+	// Dim is the hashed weight dimension (power of two recommended).
+	Dim int
+	// Epsilon is the exploration rate of the learned policy.
+	Epsilon float64
+	// LearningRate for SGD updates.
+	LearningRate float64
+	// MaxIPSWeight clips importance weights.
+	MaxIPSWeight float64
+	// TrainEpochs is the number of SGD passes over new events per Train
+	// call.
+	TrainEpochs int
+	// Seed drives exploration randomness.
+	Seed int64
+}
+
+// DefaultConfig returns sensible defaults.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Dim:          1 << 18,
+		Epsilon:      0.1,
+		LearningRate: 0.05,
+		MaxIPSWeight: 50,
+		Seed:         seed,
+	}
+}
+
+// Service is the in-process Personalizer stand-in.
+type Service struct {
+	cfg    Config
+	w      []float64
+	rng    *rand.Rand
+	events map[string]*Event
+	log    []*Event
+	seq    int
+}
+
+// New creates a Service.
+func New(cfg Config) *Service {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 1 << 18
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.1
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.05
+	}
+	if cfg.MaxIPSWeight <= 0 {
+		cfg.MaxIPSWeight = 50
+	}
+	if cfg.TrainEpochs <= 0 {
+		cfg.TrainEpochs = 4
+	}
+	return &Service{
+		cfg:    cfg,
+		w:      make([]float64, cfg.Dim),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		events: make(map[string]*Event),
+	}
+}
+
+// featureIndexes hashes the cross product of context and action tokens
+// into weight indexes. A bias token on each side guarantees every pair
+// contributes at least one feature.
+func (s *Service) featureIndexes(ctx Context, a Action) []int {
+	ctxTokens := append([]string{"_cbias"}, ctx.Features...)
+	actTokens := append([]string{"_abias"}, a.Features...)
+	idx := make([]int, 0, len(ctxTokens)*len(actTokens))
+	for _, c := range ctxTokens {
+		for _, t := range actTokens {
+			h := fnv.New64a()
+			h.Write([]byte(c))
+			h.Write([]byte{'|'})
+			h.Write([]byte(t))
+			idx = append(idx, int(h.Sum64()%uint64(s.cfg.Dim)))
+		}
+	}
+	return idx
+}
+
+// Score returns the model's value estimate for an action in context.
+func (s *Service) Score(ctx Context, a Action) float64 {
+	sum := 0.0
+	for _, i := range s.featureIndexes(ctx, a) {
+		sum += s.w[i]
+	}
+	return sum
+}
+
+func (s *Service) newEventID() string {
+	s.seq++
+	return fmt.Sprintf("ev%08d", s.seq)
+}
+
+// Rank selects an action with the learned epsilon-greedy policy and logs
+// the decision. The returned event ID must later receive a Reward call
+// (or the event is treated as unrewarded and skipped by Train).
+func (s *Service) Rank(ctx Context, actions []Action) (Ranked, error) {
+	return s.rank(ctx, actions, false)
+}
+
+// RankUniform selects uniformly at random, the paper's off-policy data
+// collection mode: "we gather reward information using the
+// uniform-at-random policy, but for the subsequent steps we act using the
+// learned contextual bandit policy".
+func (s *Service) RankUniform(ctx Context, actions []Action) (Ranked, error) {
+	return s.rank(ctx, actions, true)
+}
+
+func (s *Service) rank(ctx Context, actions []Action, uniform bool) (Ranked, error) {
+	if len(actions) == 0 {
+		return Ranked{}, errors.New("bandit: no actions")
+	}
+	k := len(actions)
+	scores := make([]float64, k)
+	best := 0
+	for i, a := range actions {
+		scores[i] = s.Score(ctx, a)
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	var chosen int
+	var prob float64
+	switch {
+	case uniform:
+		chosen = s.rng.Intn(k)
+		prob = 1 / float64(k)
+	case s.rng.Float64() < s.cfg.Epsilon:
+		chosen = s.rng.Intn(k)
+		if chosen == best {
+			prob = (1 - s.cfg.Epsilon) + s.cfg.Epsilon/float64(k)
+		} else {
+			prob = s.cfg.Epsilon / float64(k)
+		}
+	default:
+		chosen = best
+		prob = (1 - s.cfg.Epsilon) + s.cfg.Epsilon/float64(k)
+	}
+
+	ev := &Event{
+		EventID: s.newEventID(),
+		Context: ctx,
+		Actions: actions,
+		Chosen:  chosen,
+		Prob:    prob,
+	}
+	s.events[ev.EventID] = ev
+	s.log = append(s.log, ev)
+	return Ranked{EventID: ev.EventID, Chosen: chosen, Prob: prob, Scores: scores}, nil
+}
+
+// Reward attaches the observed reward to a rank event.
+func (s *Service) Reward(eventID string, reward float64) error {
+	ev, ok := s.events[eventID]
+	if !ok {
+		return fmt.Errorf("bandit: unknown event %q", eventID)
+	}
+	ev.Reward = reward
+	ev.Rewarded = true
+	return nil
+}
+
+// Train performs TrainEpochs IPS-weighted SGD passes over all rewarded,
+// untrained events and returns how many events were consumed.
+func (s *Service) Train() int {
+	var fresh []*Event
+	for _, ev := range s.log {
+		if !ev.Rewarded || ev.Trained {
+			continue
+		}
+		fresh = append(fresh, ev)
+		ev.Trained = true
+	}
+	for epoch := 0; epoch < s.cfg.TrainEpochs; epoch++ {
+		for _, ev := range fresh {
+			s.update(ev)
+		}
+	}
+	return len(fresh)
+}
+
+// update applies an importance-weighted regression step toward the
+// observed reward for the chosen action.
+func (s *Service) update(ev *Event) {
+	a := ev.Actions[ev.Chosen]
+	idx := s.featureIndexes(ev.Context, a)
+	pred := 0.0
+	for _, i := range idx {
+		pred += s.w[i]
+	}
+	weight := 1 / ev.Prob
+	if weight > s.cfg.MaxIPSWeight {
+		weight = s.cfg.MaxIPSWeight
+	}
+	grad := s.cfg.LearningRate * weight * (ev.Reward - pred) / float64(len(idx))
+	for _, i := range idx {
+		s.w[i] += grad
+	}
+}
+
+// LogSize returns the number of logged rank events.
+func (s *Service) LogSize() int { return len(s.log) }
+
+// Events returns the full event log (shared slice; callers must not
+// modify it). The high-fidelity log is what enables counterfactual
+// policy evaluation.
+func (s *Service) Events() []*Event { return s.log }
+
+// CounterfactualValue estimates the average reward another policy would
+// have obtained on the logged data using inverse propensity scoring:
+// V(π) = mean( r_i * 1{π(x_i) = a_i} / p_i ).
+func (s *Service) CounterfactualValue(policy func(ctx Context, actions []Action) int) (float64, error) {
+	n := 0
+	sum := 0.0
+	for _, ev := range s.log {
+		if !ev.Rewarded {
+			continue
+		}
+		n++
+		if policy(ev.Context, ev.Actions) == ev.Chosen {
+			w := 1 / ev.Prob
+			if w > s.cfg.MaxIPSWeight {
+				w = s.cfg.MaxIPSWeight
+			}
+			sum += ev.Reward * w
+		}
+	}
+	if n == 0 {
+		return 0, errors.New("bandit: no rewarded events")
+	}
+	return sum / float64(n), nil
+}
+
+// GreedyPolicy returns a policy function that picks the best-scoring
+// action under the current model (no exploration), for counterfactual
+// evaluation.
+func (s *Service) GreedyPolicy() func(ctx Context, actions []Action) int {
+	return func(ctx Context, actions []Action) int {
+		best := 0
+		bestScore := s.Score(ctx, actions[0])
+		for i := 1; i < len(actions); i++ {
+			if sc := s.Score(ctx, actions[i]); sc > bestScore {
+				best, bestScore = i, sc
+			}
+		}
+		return best
+	}
+}
+
+// TopWeights returns the n largest-magnitude weight indexes, a debugging
+// aid for explainability ("which rules are really moving the needle").
+func (s *Service) TopWeights(n int) []int {
+	idx := make([]int, 0)
+	for i, w := range s.w {
+		if w != 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		wa, wb := s.w[idx[a]], s.w[idx[b]]
+		if wa < 0 {
+			wa = -wa
+		}
+		if wb < 0 {
+			wb = -wb
+		}
+		return wa > wb
+	})
+	if len(idx) > n {
+		idx = idx[:n]
+	}
+	return idx
+}

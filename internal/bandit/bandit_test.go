@@ -1,0 +1,330 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func twoActions() []Action {
+	return []Action{
+		{ID: "good", Features: []string{"rule:good"}},
+		{ID: "bad", Features: []string{"rule:bad"}},
+	}
+}
+
+func TestRankReturnsValidChoice(t *testing.T) {
+	s := New(DefaultConfig(1))
+	r, err := s.Rank(Context{Features: []string{"f1"}}, twoActions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Chosen < 0 || r.Chosen >= 2 {
+		t.Errorf("chosen = %d", r.Chosen)
+	}
+	if r.Prob <= 0 || r.Prob > 1 {
+		t.Errorf("prob = %v", r.Prob)
+	}
+	if len(r.Scores) != 2 {
+		t.Errorf("scores = %v", r.Scores)
+	}
+	if r.EventID == "" {
+		t.Error("missing event ID")
+	}
+}
+
+func TestRankEmptyActionsFails(t *testing.T) {
+	s := New(DefaultConfig(1))
+	if _, err := s.Rank(Context{}, nil); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestRewardUnknownEventFails(t *testing.T) {
+	s := New(DefaultConfig(1))
+	if err := s.Reward("nope", 1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestLearnsGoodAction(t *testing.T) {
+	// Action "good" always yields reward 1, "bad" yields 0. After
+	// training on uniform exploration data, the greedy policy must
+	// prefer "good".
+	s := New(DefaultConfig(7))
+	ctx := Context{Features: []string{"span:1", "span:2"}}
+	actions := twoActions()
+	for i := 0; i < 300; i++ {
+		r, err := s.RankUniform(ctx, actions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reward := 0.0
+		if actions[r.Chosen].ID == "good" {
+			reward = 1
+		}
+		if err := s.Reward(r.EventID, reward); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Train(); n != 300 {
+		t.Fatalf("trained %d events, want 300", n)
+	}
+	if s.Score(ctx, actions[0]) <= s.Score(ctx, actions[1]) {
+		t.Errorf("good score %v should exceed bad %v",
+			s.Score(ctx, actions[0]), s.Score(ctx, actions[1]))
+	}
+	pol := s.GreedyPolicy()
+	if pol(ctx, actions) != 0 {
+		t.Error("greedy policy should pick the good action")
+	}
+}
+
+func TestContextDependentLearning(t *testing.T) {
+	// The best action depends on the context: in ctxA action 0 wins, in
+	// ctxB action 1 wins. A linear model over ctx×action crosses must
+	// separate them.
+	s := New(DefaultConfig(3))
+	ctxA := Context{Features: []string{"kind:A"}}
+	ctxB := Context{Features: []string{"kind:B"}}
+	actions := twoActions()
+	for i := 0; i < 600; i++ {
+		ctx, winner := ctxA, 0
+		if i%2 == 1 {
+			ctx, winner = ctxB, 1
+		}
+		r, _ := s.RankUniform(ctx, actions)
+		reward := 0.0
+		if r.Chosen == winner {
+			reward = 1
+		}
+		s.Reward(r.EventID, reward)
+	}
+	s.Train()
+	pol := s.GreedyPolicy()
+	if pol(ctxA, actions) != 0 {
+		t.Error("ctxA should prefer action 0")
+	}
+	if pol(ctxB, actions) != 1 {
+		t.Error("ctxB should prefer action 1")
+	}
+}
+
+func TestEpsilonGreedyExploresSometimes(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Epsilon = 0.5
+	s := New(cfg)
+	ctx := Context{Features: []string{"x"}}
+	actions := twoActions()
+	// Bias the model hard toward action 0.
+	for i := 0; i < 100; i++ {
+		r, _ := s.RankUniform(ctx, actions)
+		reward := 0.0
+		if r.Chosen == 0 {
+			reward = 1
+		}
+		s.Reward(r.EventID, reward)
+	}
+	s.Train()
+	counts := map[int]int{}
+	for i := 0; i < 200; i++ {
+		r, _ := s.Rank(ctx, actions)
+		counts[r.Chosen]++
+	}
+	if counts[1] == 0 {
+		t.Error("epsilon-greedy should still explore the worse action")
+	}
+	if counts[0] <= counts[1] {
+		t.Error("learned policy should mostly exploit the better action")
+	}
+}
+
+func TestPropensitiesAreConsistent(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Epsilon = 0.2
+	s := New(cfg)
+	ctx := Context{Features: []string{"x"}}
+	actions := twoActions()
+	for i := 0; i < 50; i++ {
+		r, _ := s.Rank(ctx, actions)
+		// With k=2, eps=0.2: probs are either 0.9 (greedy) or 0.1.
+		if math.Abs(r.Prob-0.9) > 1e-9 && math.Abs(r.Prob-0.1) > 1e-9 {
+			t.Fatalf("unexpected propensity %v", r.Prob)
+		}
+	}
+	r, _ := s.RankUniform(ctx, actions)
+	if math.Abs(r.Prob-0.5) > 1e-9 {
+		t.Errorf("uniform propensity = %v, want 0.5", r.Prob)
+	}
+}
+
+func TestTrainSkipsUnrewardedAndRetrained(t *testing.T) {
+	s := New(DefaultConfig(1))
+	ctx := Context{Features: []string{"x"}}
+	r1, _ := s.Rank(ctx, twoActions())
+	s.Rank(ctx, twoActions()) // never rewarded
+	s.Reward(r1.EventID, 1)
+	if n := s.Train(); n != 1 {
+		t.Errorf("first train = %d, want 1", n)
+	}
+	if n := s.Train(); n != 0 {
+		t.Errorf("second train = %d, want 0 (already trained)", n)
+	}
+}
+
+func TestCounterfactualValue(t *testing.T) {
+	s := New(DefaultConfig(13))
+	ctx := Context{Features: []string{"x"}}
+	actions := twoActions()
+	for i := 0; i < 400; i++ {
+		r, _ := s.RankUniform(ctx, actions)
+		reward := 0.0
+		if r.Chosen == 0 {
+			reward = 1
+		}
+		s.Reward(r.EventID, reward)
+	}
+	alwaysGood := func(Context, []Action) int { return 0 }
+	alwaysBad := func(Context, []Action) int { return 1 }
+	vGood, err := s.CounterfactualValue(alwaysGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBad, _ := s.CounterfactualValue(alwaysBad)
+	// True values are 1.0 and 0.0; IPS is unbiased, so estimates should
+	// be near those.
+	if math.Abs(vGood-1) > 0.25 {
+		t.Errorf("V(good) = %v, want ~1", vGood)
+	}
+	if math.Abs(vBad) > 0.25 {
+		t.Errorf("V(bad) = %v, want ~0", vBad)
+	}
+	empty := New(DefaultConfig(1))
+	if _, err := empty.CounterfactualValue(alwaysGood); err == nil {
+		t.Error("empty log should error")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() []int {
+		s := New(DefaultConfig(42))
+		var picks []int
+		for i := 0; i < 30; i++ {
+			ctx := Context{Features: []string{fmt.Sprintf("c%d", i%3)}}
+			r, _ := s.Rank(ctx, twoActions())
+			s.Reward(r.EventID, float64(r.Chosen))
+			if i%10 == 9 {
+				s.Train()
+			}
+			picks = append(picks, r.Chosen)
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at step %d", i)
+		}
+	}
+}
+
+func TestLogGrowth(t *testing.T) {
+	s := New(DefaultConfig(1))
+	for i := 0; i < 5; i++ {
+		s.Rank(Context{}, twoActions())
+	}
+	if s.LogSize() != 5 {
+		t.Errorf("log size = %d", s.LogSize())
+	}
+	if len(s.Events()) != 5 {
+		t.Errorf("events = %d", len(s.Events()))
+	}
+}
+
+func TestTopWeights(t *testing.T) {
+	s := New(DefaultConfig(2))
+	ctx := Context{Features: []string{"x"}}
+	actions := twoActions()
+	for i := 0; i < 50; i++ {
+		r, _ := s.RankUniform(ctx, actions)
+		s.Reward(r.EventID, float64(1-r.Chosen))
+	}
+	s.Train()
+	top := s.TopWeights(5)
+	if len(top) == 0 {
+		t.Error("expected nonzero weights after training")
+	}
+	if len(top) > 5 {
+		t.Errorf("top weights = %d, want <= 5", len(top))
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	s := New(Config{})
+	if s.cfg.Dim <= 0 || s.cfg.Epsilon <= 0 || s.cfg.LearningRate <= 0 || s.cfg.MaxIPSWeight <= 0 {
+		t.Errorf("defaults not applied: %+v", s.cfg)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New(DefaultConfig(3))
+	ctx := Context{Features: []string{"span:1", "span:9"}}
+	actions := twoActions()
+	for i := 0; i < 150; i++ {
+		r, _ := s.RankUniform(ctx, actions)
+		reward := 0.0
+		if r.Chosen == 0 {
+			reward = 1
+		}
+		s.Reward(r.EventID, reward)
+	}
+	s.Train()
+
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(strings.NewReader(buf.String()), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scores must be bit-identical after a round trip.
+	for _, a := range actions {
+		if got, want := restored.Score(ctx, a), s.Score(ctx, a); got != want {
+			t.Errorf("score(%s) = %v, want %v", a.ID, got, want)
+		}
+	}
+	// The restored model ranks like the original.
+	pol := restored.GreedyPolicy()
+	if pol(ctx, actions) != s.GreedyPolicy()(ctx, actions) {
+		t.Error("restored policy disagrees with the original")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage\n",
+		"qoadvisor-bandit v1 dim=8 epsilon=0.1 lr=0.1 clip=10\nbadline\n",
+		"qoadvisor-bandit v1 dim=8 epsilon=0.1 lr=0.1 clip=10\n99 1.5\n", // index out of range
+		"qoadvisor-bandit v1 dim=8 epsilon=0.1 lr=0.1 clip=10\n1 xyz\n",
+	}
+	for _, src := range cases {
+		if _, err := Load(strings.NewReader(src), 1); err == nil {
+			t.Errorf("Load(%q) should fail", src)
+		}
+	}
+}
+
+func TestSaveSkipsZeroWeights(t *testing.T) {
+	s := New(Config{Dim: 1 << 16, Seed: 1})
+	var buf strings.Builder
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 1 { // header only
+		t.Errorf("untrained model should save only the header, got %d lines", lines)
+	}
+}

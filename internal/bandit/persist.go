@@ -1,0 +1,71 @@
+package bandit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Save serializes the service's learned state (configuration and non-zero
+// weights) in a line-oriented text format. The event log is not saved:
+// models move between pipeline runs, telemetry stays where it was logged —
+// the "maintaining the state over pipeline runs in a reliable way is
+// non-trivial" lesson of §6 that pushed the paper onto a managed service.
+func (s *Service) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "qoadvisor-bandit v1 dim=%d epsilon=%g lr=%g clip=%g\n",
+		s.cfg.Dim, s.cfg.Epsilon, s.cfg.LearningRate, s.cfg.MaxIPSWeight); err != nil {
+		return err
+	}
+	for i, wgt := range s.w {
+		if wgt == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%d %v\n", i, wgt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores a service saved with Save. The seed drives the restored
+// service's exploration randomness (exploration state is not part of the
+// model).
+func Load(r io.Reader, seed int64) (*Service, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("bandit: empty model file")
+	}
+	header := sc.Text()
+	var dim int
+	var eps, lr, clip float64
+	if _, err := fmt.Sscanf(header, "qoadvisor-bandit v1 dim=%d epsilon=%g lr=%g clip=%g",
+		&dim, &eps, &lr, &clip); err != nil {
+		return nil, fmt.Errorf("bandit: bad model header %q", header)
+	}
+	svc := New(Config{Dim: dim, Epsilon: eps, LearningRate: lr, MaxIPSWeight: clip, Seed: seed})
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		parts := strings.Fields(text)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bandit: line %d: want 'index weight'", line)
+		}
+		idx, err := strconv.Atoi(parts[0])
+		if err != nil || idx < 0 || idx >= dim {
+			return nil, fmt.Errorf("bandit: line %d: bad index %q", line, parts[0])
+		}
+		wgt, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bandit: line %d: bad weight %q", line, parts[1])
+		}
+		svc.w[idx] = wgt
+	}
+	return svc, sc.Err()
+}

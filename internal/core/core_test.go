@@ -1,0 +1,553 @@
+package core
+
+import (
+	"testing"
+
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/flighting"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/workload"
+)
+
+func testWorkload(t *testing.T, n int) *workload.Generator {
+	t.Helper()
+	gen, err := workload.New(workload.Config{Seed: 11, NumTemplates: n, MaxDailyInstances: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// runProductionDay compiles and runs one day's jobs and returns jobs+view.
+func runProductionDay(t *testing.T, gen *workload.Generator, store *sis.Store, cat *rules.Catalog, date int) ([]*workload.Job, []workload.ViewRow) {
+	t.Helper()
+	jobs, err := gen.JobsForDay(date)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := NewProduction(cat, store, exec.DefaultCluster(1), 5)
+	_, view, err := prod.RunDay(date, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs, view
+}
+
+func TestAggregate(t *testing.T) {
+	rows := []workload.ViewRow{
+		{JobID: "j", NormalizedJobName: "n", Latency: 10, EstimatedCost: 100, Vertices: 5,
+			EstimatedCard: 1000, BytesRead: 1e6, RowCount: 500, AvgRowLength: 20,
+			MaxMemory: 1e9, AvgMemory: 5e8, PNHours: 2},
+		{JobID: "j", NormalizedJobName: "n", Latency: 10, EstimatedCost: 100, Vertices: 5,
+			EstimatedCard: 2000, BytesRead: 2e6, RowCount: 700, AvgRowLength: 40,
+			MaxMemory: 1e9, AvgMemory: 5e8, PNHours: 2},
+	}
+	f, err := Aggregate(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job-level features: min.
+	if f.Latency != 10 || f.EstCost != 100 || f.Vertices != 5 || f.PNHours != 2 {
+		t.Errorf("job-level aggregation wrong: %+v", f)
+	}
+	// Query-level: sum.
+	if f.EstCardinality != 3000 || f.BytesRead != 3e6 || f.RowCount != 1200 {
+		t.Errorf("sum aggregation wrong: %+v", f)
+	}
+	// Avg row length: avg.
+	if f.AvgRowLength != 30 {
+		t.Errorf("avg aggregation wrong: %v", f.AvgRowLength)
+	}
+}
+
+func TestAggregateEmptyFails(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestFeatureGenProducesSpans(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 12)
+	store := sis.NewStore(cat)
+	jobs, view := runProductionDay(t, gen, store, cat, 1)
+
+	fg := NewFeatureGen(cat)
+	feats, err := fg.Run(jobs, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) == 0 {
+		t.Fatal("no features produced")
+	}
+	for _, f := range feats {
+		if f.Span.IsEmpty() {
+			t.Error("empty-span jobs must be dropped")
+		}
+		if f.EstCost <= 0 {
+			t.Errorf("bad est cost for %s", f.Job.ID)
+		}
+		// Spans contain no required rules.
+		for _, id := range f.Span.Bits() {
+			if cat.Rule(id).Category == rules.Required {
+				t.Errorf("required rule %d in span", id)
+			}
+		}
+	}
+}
+
+func TestSpanCacheSharedAcrossInstances(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 6)
+	store := sis.NewStore(cat)
+	jobs, view := runProductionDay(t, gen, store, cat, 1)
+	fg := NewFeatureGen(cat)
+	if _, err := fg.Run(jobs, view); err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.spanCache) > len(gen.Templates()) {
+		t.Errorf("span cache has %d entries for %d templates", len(fg.spanCache), len(gen.Templates()))
+	}
+}
+
+func TestContextFeaturesIncludeCoOccurrence(t *testing.T) {
+	var f JobFeatures
+	f.Span.Set(3)
+	f.Span.Set(7)
+	f.Span.Set(9)
+	f.RowCount = 1e6
+	ctx := ContextFeatures(&f)
+	want := map[string]bool{
+		"span:3": false, "span:7": false, "span:9": false,
+		"span2:3,7": false, "span2:3,9": false, "span2:7,9": false,
+		"span3:3,7,9": false, "rows:6": false,
+	}
+	for _, feat := range ctx.Features {
+		if _, ok := want[feat]; ok {
+			want[feat] = true
+		}
+	}
+	for k, found := range want {
+		if !found {
+			t.Errorf("missing context feature %q in %v", k, ctx.Features)
+		}
+	}
+}
+
+func TestActionsForIncludesNoopAndAllSpanFlips(t *testing.T) {
+	cat := rules.NewCatalog()
+	var f JobFeatures
+	f.Span.Set(20)
+	f.Span.Set(100)
+	actions, flips := ActionsFor(cat, &f)
+	if len(actions) != 3 || len(flips) != 3 {
+		t.Fatalf("actions = %d, want 3 (noop + 2 flips)", len(actions))
+	}
+	if actions[0].ID != "noop" {
+		t.Error("first action must be noop")
+	}
+	// Flip direction: off-by-default rules turn on, others turn off.
+	for i, flip := range flips[1:] {
+		r := cat.Rule(flip.RuleID)
+		wantEnable := r.Category == rules.OffByDefault
+		if flip.Enable != wantEnable {
+			t.Errorf("flip %d: enable=%v for category %v", i, flip.Enable, r.Category)
+		}
+	}
+}
+
+func TestRecommendAndLearn(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 10)
+	store := sis.NewStore(cat)
+	jobs, view := runProductionDay(t, gen, store, cat, 1)
+	fg := NewFeatureGen(cat)
+	feats, err := fg.Run(jobs, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := NewCBRecommender(cat, 3)
+	recs := Recommend(cb, cat, feats)
+	if len(recs) != len(feats) {
+		t.Fatalf("recs = %d, want %d", len(recs), len(feats))
+	}
+	for _, r := range recs {
+		if r.NoOp {
+			if r.Reward != 1 {
+				t.Errorf("noop reward = %v, want 1", r.Reward)
+			}
+			continue
+		}
+		if r.CompileFailed {
+			if r.Reward != 0 {
+				t.Errorf("failed recompile reward = %v, want 0", r.Reward)
+			}
+			continue
+		}
+		if r.Reward <= 0 || r.Reward > RewardClip {
+			t.Errorf("reward out of range: %v", r.Reward)
+		}
+	}
+	if n := cb.Train(); n == 0 {
+		t.Error("training should consume rewarded events")
+	}
+}
+
+func TestRandomRecommenderPicksFromSpan(t *testing.T) {
+	cat := rules.NewCatalog()
+	rr := NewRandomRecommender(cat, 1)
+	var f JobFeatures
+	f.Span.Set(30)
+	f.Span.Set(31)
+	for i := 0; i < 20; i++ {
+		flip, noop, _ := rr.Recommend(&f)
+		if noop {
+			t.Fatal("random recommender should always flip")
+		}
+		if flip.RuleID != 30 && flip.RuleID != 31 {
+			t.Fatalf("flip outside span: %v", flip)
+		}
+	}
+	// Empty span: noop.
+	var empty JobFeatures
+	if _, noop, _ := rr.Recommend(&empty); !noop {
+		t.Error("empty span must be noop")
+	}
+}
+
+func TestImprovedFilters(t *testing.T) {
+	recs := []*Recommendation{
+		{NoOp: true},
+		{CompileFailed: true, CostDelta: 1},
+		{CostDelta: -0.2},
+		{CostDelta: 0.3},
+		{CostDelta: 0},
+	}
+	got := Improved(recs)
+	if len(got) != 1 || got[0].CostDelta != -0.2 {
+		t.Errorf("Improved = %+v", got)
+	}
+}
+
+func TestRepresentativePerTemplate(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 5)
+	jobs, err := gen.JobsForDay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []*Recommendation
+	for _, j := range jobs {
+		f := &JobFeatures{Job: j}
+		recs = append(recs, &Recommendation{Features: f, CostDelta: -0.1})
+	}
+	reps := RepresentativePerTemplate(recs, 7)
+	seen := make(map[uint64]bool)
+	for _, r := range reps {
+		h := r.Features.Job.Template.Hash
+		if seen[h] {
+			t.Error("duplicate template among representatives")
+		}
+		seen[h] = true
+	}
+	// Deterministic for a fixed seed.
+	reps2 := RepresentativePerTemplate(recs, 7)
+	for i := range reps {
+		if reps[i] != reps2[i] {
+			t.Error("representative selection not deterministic")
+		}
+	}
+	_ = cat
+}
+
+func TestValidatorLifecycle(t *testing.T) {
+	v := NewValidator()
+	if v.Ready() {
+		t.Fatal("untrained validator should not be ready")
+	}
+	if err := v.Train(); err == nil {
+		t.Fatal("training on empty dataset should fail")
+	}
+	// Synthetic relationship: the future PN delta tracks the observed
+	// one, stabilized by the I/O deltas.
+	for day := 0; day < 14; day++ {
+		for i := 0; i < 5; i++ {
+			read := float64(i-2) * 0.1
+			written := float64(day%5-2) * 0.1
+			pnObs := 0.5*read + 0.3*written
+			v.Observe(day, pnObs, read, written, 0.5*pnObs+0.3*read+0.2*written)
+		}
+	}
+	if v.SampleCount() != 70 {
+		t.Fatalf("samples = %d", v.SampleCount())
+	}
+	if err := v.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Ready() {
+		t.Fatal("trained validator should be ready")
+	}
+	// Strongly negative observations must be accepted, positive rejected.
+	if !v.Accept(-0.4, -0.5, -0.5) {
+		t.Error("big observed reduction should pass validation")
+	}
+	if v.Accept(0.3, 0.3, 0.3) {
+		t.Error("observed increase should fail validation")
+	}
+	// Temporal split training.
+	if err := v.TrainBefore(7); err != nil {
+		t.Fatal(err)
+	}
+	if v.Model() == nil {
+		t.Error("model should be exposed")
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	base := exec.Metrics{DataRead: 100, DataWritten: 50, PNHours: 10}
+	treat := exec.Metrics{DataRead: 80, DataWritten: 60, PNHours: 9}
+	r, w, p := Deltas(base, treat)
+	if r < -0.2001 || r > -0.1999 {
+		t.Errorf("read delta = %v", r)
+	}
+	if w < 0.1999 || w > 0.2001 {
+		t.Errorf("written delta = %v", w)
+	}
+	if p < -0.1001 || p > -0.0999 {
+		t.Errorf("pn delta = %v", p)
+	}
+}
+
+func TestProductionAppliesHints(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 5)
+	store := sis.NewStore(cat)
+	jobs, err := gen.JobsForDay(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := jobs[0].Template
+	// Install a hint for the first template, picking a rule whose flip
+	// actually compiles (flips can hit deterministic "unsupported
+	// combination" rejections).
+	var onRule rules.Rule
+	found := false
+	for _, cand := range cat.Rules(rules.OnByDefault) {
+		cfg := cat.DefaultConfig().WithFlip(rules.Flip{RuleID: cand.ID, Enable: false})
+		if _, err := optimizer.Optimize(jobs[0].Graph, cfg, optimizer.Options{Catalog: cat, Stats: jobs[0].Stats}); err == nil {
+			onRule = cand
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no compilable flip for this template")
+	}
+	err = store.Upload(sis.File{Day: 1, Hints: []sis.Hint{{
+		TemplateHash: tpl.Hash, TemplateID: tpl.ID,
+		Flip: rules.Flip{RuleID: onRule.ID, Enable: false}, Day: 1,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := NewProduction(cat, store, exec.DefaultCluster(1), 9)
+	runs, view, err := prod.RunDay(2, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view) == 0 {
+		t.Fatal("no view rows")
+	}
+	hinted := 0
+	for _, r := range runs {
+		if r.Job.Template == tpl && r.Hinted {
+			hinted++
+			if r.Flip.RuleID != onRule.ID {
+				t.Errorf("wrong flip applied: %v", r.Flip)
+			}
+		}
+		if r.Job.Template != tpl && r.Hinted {
+			t.Error("hint leaked to other template")
+		}
+	}
+	if hinted == 0 {
+		t.Error("hint was not applied to the target template")
+	}
+}
+
+func TestAdvisorEndToEnd(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 15)
+	store := sis.NewStore(cat)
+	adv := NewAdvisor(cat, store, Config{
+		Seed:                 1,
+		MinValidationSamples: 5,
+		Flighting:            flighting.Config{Catalog: cat, Seed: 2},
+		UniformLogging:       true,
+	})
+
+	prod := NewProduction(cat, store, exec.DefaultCluster(1), 3)
+	var lastReport *DayReport
+	for day := 1; day <= 4; day++ {
+		jobs, err := gen.JobsForDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, view, err := prod.RunDay(day, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := adv.RunDay(day, jobs, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastReport = rep
+		if rep.JobsInView == 0 {
+			t.Fatal("no jobs in view")
+		}
+		if rep.Recommendations != rep.JobsWithSpan {
+			t.Errorf("day %d: recommendations %d != jobs with span %d",
+				day, rep.Recommendations, rep.JobsWithSpan)
+		}
+		total := rep.NoOps + rep.LowerCost + rep.EqualCost + rep.HigherCost + rep.CompileFails
+		if total != rep.Recommendations {
+			t.Errorf("day %d: outcome counts %d != recommendations %d", day, total, rep.Recommendations)
+		}
+	}
+	if lastReport.ValidationSamples == 0 {
+		t.Error("validator gathered no samples over 4 days")
+	}
+	if store.Version() != 4 {
+		t.Errorf("SIS versions = %d, want 4 (one per day)", store.Version())
+	}
+}
+
+func TestAdvisorHintsSurviveAcrossDays(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 12)
+	store := sis.NewStore(cat)
+	adv := NewAdvisor(cat, store, Config{
+		Seed:                 7,
+		MinValidationSamples: 3,
+		Flighting:            flighting.Config{Catalog: cat, Seed: 2},
+	})
+	prod := NewProduction(cat, store, exec.DefaultCluster(2), 3)
+	maxHints := 0
+	for day := 1; day <= 6; day++ {
+		jobs, err := gen.JobsForDay(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, view, err := prod.RunDay(day, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := adv.RunDay(day, jobs, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.HintsUploaded < maxHints {
+			// Hints merge with previous versions, so the count cannot
+			// shrink in this setup.
+			t.Errorf("day %d: hints shrank from %d to %d", day, maxHints, rep.HintsUploaded)
+		}
+		if rep.HintsUploaded > maxHints {
+			maxHints = rep.HintsUploaded
+		}
+	}
+}
+
+func TestGreedyMultiFlip(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 8)
+	jobs, err := gen.JobsForDay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := NewFeatureGen(cat)
+	improvedAny := false
+	for _, job := range jobs[:minInt(len(jobs), 6)] {
+		sp, err := fg.spanFor(job)
+		if err != nil || sp.Span.IsEmpty() {
+			continue
+		}
+		one, err := GreedyMultiFlip(cat, job, sp.Span, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		two, err := GreedyMultiFlip(cat, job, sp.Span, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(one.Flips) > 1 {
+			t.Errorf("maxFlips=1 returned %d flips", len(one.Flips))
+		}
+		if two.Result.EstCost > one.Result.EstCost {
+			t.Error("two greedy flips can never cost more than one")
+		}
+		if two.CostDelta() > 0 {
+			t.Error("greedy search must never regress the estimated cost")
+		}
+		if len(two.Flips) > 0 {
+			improvedAny = true
+		}
+		if two.Recompilations <= len(sp.Span.Bits()) && len(two.Flips) > 1 {
+			t.Error("recompilation count should reflect the extra rounds")
+		}
+	}
+	if !improvedAny {
+		t.Skip("no improving flips among sampled jobs (seed-dependent)")
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestAdvisorSkipHinted(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 8)
+	store := sis.NewStore(cat)
+	// Pre-install hints for every template: a stateful advisor then has
+	// nothing left to explore.
+	var hints []sis.Hint
+	for i, tpl := range gen.Templates() {
+		off := cat.Rules(rules.OffByDefault)[i%3]
+		hints = append(hints, sis.Hint{
+			TemplateHash: tpl.Hash, TemplateID: tpl.ID,
+			Flip: rules.Flip{RuleID: off.ID, Enable: true}, Day: 0,
+		})
+	}
+	if err := store.Upload(sis.File{Day: 0, Hints: hints}); err != nil {
+		t.Fatal(err)
+	}
+	adv := NewAdvisor(cat, store, Config{
+		Seed:       3,
+		SkipHinted: true,
+		Flighting:  flighting.Config{Catalog: cat, Seed: 4},
+	})
+	jobs, err := gen.JobsForDay(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := NewProduction(cat, store, exec.DefaultCluster(1), 5)
+	_, view, err := prod.RunDay(1, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := adv.RunDay(1, jobs, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JobsWithSpan != 0 {
+		t.Errorf("stateful advisor should skip all hinted templates, got %d", rep.JobsWithSpan)
+	}
+	if rep.HintsUploaded != len(hints) {
+		t.Errorf("existing hints must survive: %d vs %d", rep.HintsUploaded, len(hints))
+	}
+}

@@ -1,0 +1,161 @@
+// Package core implements the QO-Advisor pipeline itself: the five daily
+// tasks of Figure 1 — Feature Generation, rule Recommendation (contextual
+// bandit), Recompilation, Validation and Hint Generation — plus the
+// production loop that applies installed hints at compile time. The
+// pipeline runs offline over the previous day's denormalized workload
+// view and emits (job template, rule hint) pairs to the Stats & Insight
+// Service.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/span"
+	"qoadvisor/internal/workload"
+)
+
+// JobFeatures is the per-job feature vector produced by the Feature
+// Generation task: the Table 1 features aggregated from per-query view
+// rows to job level (the "super root" aggregation of §4.1), plus the job
+// span.
+type JobFeatures struct {
+	Job *workload.Job
+
+	NormalizedJobName string
+	RuleSignature     rules.Signature
+
+	// Job-level features (aggregated with min — identical across a
+	// job's query rows).
+	Latency   float64
+	EstCost   float64
+	Vertices  int
+	MaxMemory float64
+	AvgMemory float64
+	PNHours   float64
+
+	// Query-level features aggregated by their semantics.
+	EstCardinality float64 // sum
+	BytesRead      float64 // sum
+	RowCount       float64 // sum
+	AvgRowLength   float64 // avg
+
+	// Span is the set of plan-affecting rules (empty-span jobs are
+	// dropped before recommendation).
+	Span rules.Bitset
+	// SpanFailedCompile records that span computation hit a compile
+	// failure (a legitimate fix-point exit).
+	SpanFailedCompile bool
+}
+
+// FeatureGen is the Feature Generation task.
+type FeatureGen struct {
+	Catalog *rules.Catalog
+	// SpanIterations bounds the span fix point (0 = default).
+	SpanIterations int
+	// spanCache memoizes span computation per template hash: instances
+	// of a template share plan shape and hence span.
+	spanCache map[uint64]*span.Result
+}
+
+// NewFeatureGen creates the task.
+func NewFeatureGen(cat *rules.Catalog) *FeatureGen {
+	if cat == nil {
+		cat = rules.NewCatalog()
+	}
+	return &FeatureGen{Catalog: cat, spanCache: make(map[uint64]*span.Result)}
+}
+
+// Aggregate turns the per-query view rows of one job into job-level
+// features using the Table 1 aggregation functions: min for job-level
+// features, sum for cardinalities/bytes/rows, avg for row length.
+func Aggregate(rows []workload.ViewRow) (JobFeatures, error) {
+	if len(rows) == 0 {
+		return JobFeatures{}, fmt.Errorf("core: no view rows to aggregate")
+	}
+	f := JobFeatures{
+		NormalizedJobName: rows[0].NormalizedJobName,
+		RuleSignature:     rows[0].RuleSignature,
+		Latency:           math.Inf(1),
+		EstCost:           math.Inf(1),
+		MaxMemory:         math.Inf(1),
+		AvgMemory:         math.Inf(1),
+		PNHours:           math.Inf(1),
+	}
+	vertices := math.Inf(1)
+	widthSum := 0.0
+	for _, r := range rows {
+		// Job-level: min (all rows carry the same value).
+		f.Latency = math.Min(f.Latency, r.Latency)
+		f.EstCost = math.Min(f.EstCost, r.EstimatedCost)
+		f.MaxMemory = math.Min(f.MaxMemory, r.MaxMemory)
+		f.AvgMemory = math.Min(f.AvgMemory, r.AvgMemory)
+		f.PNHours = math.Min(f.PNHours, r.PNHours)
+		vertices = math.Min(vertices, float64(r.Vertices))
+		// Query-level: semantic aggregation.
+		f.EstCardinality += r.EstimatedCard
+		f.BytesRead += r.BytesRead
+		f.RowCount += r.RowCount
+		widthSum += r.AvgRowLength
+	}
+	f.Vertices = int(vertices)
+	f.AvgRowLength = widthSum / float64(len(rows))
+	return f, nil
+}
+
+// Run executes Feature Generation for one day: it aggregates each job's
+// view rows and computes job spans, dropping jobs with empty spans.
+// The returned slice is sorted by job ID for determinism.
+func (fg *FeatureGen) Run(jobs []*workload.Job, view []workload.ViewRow) ([]*JobFeatures, error) {
+	byJob := make(map[string][]workload.ViewRow)
+	for _, r := range view {
+		byJob[r.JobID] = append(byJob[r.JobID], r)
+	}
+	var out []*JobFeatures
+	for _, job := range jobs {
+		rows, ok := byJob[job.ID]
+		if !ok {
+			continue // job missing from the view (e.g. failed upstream)
+		}
+		f, err := Aggregate(rows)
+		if err != nil {
+			return nil, err
+		}
+		f.Job = job
+
+		sp, err := fg.spanFor(job)
+		if err != nil {
+			// Span computation requires a default compile; a job that
+			// cannot compile is dropped.
+			continue
+		}
+		f.Span = sp.Span
+		f.SpanFailedCompile = sp.FailedCompile
+		if f.Span.IsEmpty() {
+			continue // "all jobs that have an empty span are not further considered"
+		}
+		ff := f
+		out = append(out, &ff)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job.ID < out[j].Job.ID })
+	return out, nil
+}
+
+// spanFor computes (or serves from cache) the span of a job's template.
+func (fg *FeatureGen) spanFor(job *workload.Job) (*span.Result, error) {
+	key := job.Template.Hash
+	if sp, ok := fg.spanCache[key]; ok {
+		return sp, nil
+	}
+	sp, err := span.Compute(job.Graph, fg.Catalog, span.Options{
+		Optimizer:     optimizerOptions(fg.Catalog, job),
+		MaxIterations: fg.SpanIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fg.spanCache[key] = sp
+	return sp, nil
+}

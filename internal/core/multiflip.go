@@ -1,0 +1,74 @@
+package core
+
+import (
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/workload"
+)
+
+// MultiFlipResult is the outcome of a greedy multi-flip search.
+type MultiFlipResult struct {
+	Flips  []rules.Flip
+	Config rules.Config
+	Result *optimizer.Result
+	// BaseCost is the default configuration's estimated cost.
+	BaseCost float64
+	// Recompilations counts the optimizer invocations spent, the cost
+	// the paper's single-flip design keeps low.
+	Recompilations int
+}
+
+// CostDelta returns the relative estimated-cost change achieved.
+func (m *MultiFlipResult) CostDelta() float64 {
+	if m.Result == nil || m.BaseCost == 0 {
+		return 0
+	}
+	return m.Result.EstCost/m.BaseCost - 1
+}
+
+// GreedyMultiFlip searches for up to maxFlips rule flips from the job's
+// span, greedily stacking the best single improvement at each round —
+// the §8 future-work extension ("in future work we will propose multiple
+// rule flips"). Each round costs one recompilation per remaining span
+// rule, which is exactly the maintainability pressure that made the
+// production system start with single flips.
+func GreedyMultiFlip(cat *rules.Catalog, job *workload.Job, span rules.Bitset, maxFlips int) (*MultiFlipResult, error) {
+	opts := optimizerOptions(cat, job)
+	base, err := optimizer.Optimize(job.Graph, cat.DefaultConfig(), opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &MultiFlipResult{
+		Config:         cat.DefaultConfig(),
+		Result:         base,
+		BaseCost:       base.EstCost,
+		Recompilations: 1,
+	}
+	remaining := span.Bits()
+	for round := 0; round < maxFlips && len(remaining) > 0; round++ {
+		bestIdx := -1
+		var bestRes *optimizer.Result
+		var bestFlip rules.Flip
+		for i, id := range remaining {
+			flip := cat.FlipFor(id)
+			// Stacked flips re-flip relative to the current config.
+			cfg := out.Config.WithFlip(flip)
+			out.Recompilations++
+			res, err := optimizer.Optimize(job.Graph, cfg, opts)
+			if err != nil {
+				continue
+			}
+			if res.EstCost < out.Result.EstCost && (bestRes == nil || res.EstCost < bestRes.EstCost) {
+				bestIdx, bestRes, bestFlip = i, res, flip
+			}
+		}
+		if bestIdx < 0 {
+			break // no remaining flip improves: greedy fix point
+		}
+		out.Flips = append(out.Flips, bestFlip)
+		out.Config = out.Config.WithFlip(bestFlip)
+		out.Result = bestRes
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/workload"
+)
+
+// JobRun is one production execution of a job.
+type JobRun struct {
+	Job     *workload.Job
+	Result  *optimizer.Result
+	Metrics exec.Metrics
+	// Hinted reports whether a SIS hint steered this compilation.
+	Hinted bool
+	Flip   rules.Flip
+}
+
+// Production simulates the online side of the loop: every submitted job
+// is compiled with the optimizer, consulting the SIS hint store for its
+// template, then executed on the cluster; the resulting telemetry becomes
+// the next day's denormalized workload view.
+type Production struct {
+	Catalog *rules.Catalog
+	Store   *sis.Store
+	Cluster *exec.Cluster
+	Seed    int64
+}
+
+// NewProduction wires the production loop.
+func NewProduction(cat *rules.Catalog, store *sis.Store, cluster *exec.Cluster, seed int64) *Production {
+	if cat == nil {
+		cat = rules.NewCatalog()
+	}
+	if store == nil {
+		store = sis.NewStore(cat)
+	}
+	if cluster == nil {
+		cluster = exec.DefaultCluster(seed)
+	}
+	return &Production{Catalog: cat, Store: store, Cluster: cluster, Seed: seed}
+}
+
+// RunJob compiles and executes a single job under the current hints. If a
+// hinted compilation fails, production falls back to the default
+// configuration (hints must never break jobs).
+func (p *Production) RunJob(job *workload.Job, runSeed int64) (JobRun, error) {
+	def := p.Catalog.DefaultConfig()
+	cfg := p.Store.ConfigFor(job.Template.Hash, def)
+	hinted := !cfg.Equal(def.Bitset)
+
+	opts := optimizer.Options{Catalog: p.Catalog, Stats: job.Stats, Tokens: job.Tokens}
+	res, err := optimizer.Optimize(job.Graph, cfg, opts)
+	if err != nil && hinted {
+		res, err = optimizer.Optimize(job.Graph, def, opts)
+		hinted = false
+	}
+	if err != nil {
+		return JobRun{}, err
+	}
+	run := JobRun{Job: job, Result: res, Hinted: hinted}
+	if hinted {
+		if h, ok := p.Store.Lookup(job.Template.Hash); ok {
+			run.Flip = h.Flip
+		}
+	}
+	run.Metrics = exec.Run(res.Plan, job.Truth, job.Stats, p.Cluster, runSeed)
+	return run, nil
+}
+
+// RunDay executes all of a day's jobs and assembles the denormalized
+// workload view from their telemetry.
+func (p *Production) RunDay(date int, jobs []*workload.Job) ([]JobRun, []workload.ViewRow, error) {
+	var runs []JobRun
+	var view []workload.ViewRow
+	for i, job := range jobs {
+		run, err := p.RunJob(job, p.Seed+int64(date)*100003+int64(i)*7)
+		if err != nil {
+			// A job that cannot compile even under the default config is
+			// dropped from the day's view.
+			continue
+		}
+		runs = append(runs, run)
+		view = append(view, workload.BuildViewRows(job, run.Result, run.Metrics)...)
+	}
+	return runs, view, nil
+}

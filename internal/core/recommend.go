@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/workload"
+)
+
+// RewardClip caps the estimated-cost-ratio reward: "we clip any plan that
+// is more than 2x the baseline" (§4.2).
+const RewardClip = 2.0
+
+// Recommendation is the output of the Recommendation + Recompilation
+// tasks for one job.
+type Recommendation struct {
+	Features *JobFeatures
+	// Flip is the selected action; NoOp is true when the model chose to
+	// change nothing.
+	Flip rules.Flip
+	NoOp bool
+	// Recompiled is the treatment compilation result (nil on NoOp or
+	// compile failure).
+	Recompiled *optimizer.Result
+	// CompileFailed marks flips that failed recompilation.
+	CompileFailed bool
+	// CostDelta is newCost/oldCost - 1 (negative is an improvement).
+	CostDelta float64
+	// Reward is the clipped cost-ratio reward fed back to the learner.
+	Reward float64
+}
+
+// Recommender proposes at most one rule flip per job. Implementations:
+// the contextual-bandit recommender and the uniform-random baseline.
+type Recommender interface {
+	// Recommend picks an action for the job.
+	Recommend(f *JobFeatures) (flip rules.Flip, noop bool, eventID string)
+	// Learn feeds back the observed reward for a previous Recommend.
+	Learn(eventID string, reward float64)
+	// Name identifies the recommender in reports.
+	Name() string
+}
+
+// --- Featurization (§4.2 and §6: span co-occurrence features) ---
+
+// ContextFeatures builds the bandit context for a job: the complete job
+// span as bit-position indicators with second and third order
+// co-occurrence crosses ("the surprising effectiveness of span features"),
+// plus coarse input-size information.
+func ContextFeatures(f *JobFeatures) bandit.Context {
+	bits := f.Span.Bits()
+	feats := make([]string, 0, len(bits)*3)
+	for _, b := range bits {
+		feats = append(feats, fmt.Sprintf("span:%d", b))
+	}
+	// Second and third order co-occurrence indicators, capped so long-tail
+	// spans do not dilute per-feature credit.
+	const maxPairs, maxTriples = 60, 40
+	n := 0
+	for i := 0; i < len(bits) && n < maxPairs; i++ {
+		for j := i + 1; j < len(bits) && n < maxPairs; j++ {
+			feats = append(feats, fmt.Sprintf("span2:%d,%d", bits[i], bits[j]))
+			n++
+		}
+	}
+	n = 0
+	for i := 0; i < len(bits) && n < maxTriples; i++ {
+		for j := i + 1; j < len(bits) && n < maxTriples; j++ {
+			for k := j + 1; k < len(bits) && n < maxTriples; k++ {
+				feats = append(feats, fmt.Sprintf("span3:%d,%d,%d", bits[i], bits[j], bits[k]))
+				n++
+			}
+		}
+	}
+	// The complete span as one identity token: "the complete set of bit
+	// positions in the job span provides valuable and concise information"
+	// (§6) — this is the highest-order co-occurrence indicator.
+	h := fnv.New64a()
+	for _, b := range bits {
+		fmt.Fprintf(h, "%d,", b)
+	}
+	feats = append(feats, fmt.Sprintf("spanall:%x", h.Sum64()))
+	// Input stream properties: log-bucketed row count and bytes read
+	// ("representing some properties of the input data streams provided
+	// marginal improvement").
+	feats = append(feats,
+		fmt.Sprintf("rows:%d", logBucket(f.RowCount)),
+		fmt.Sprintf("bytes:%d", logBucket(f.BytesRead)),
+	)
+	return bandit.Context{Features: feats}
+}
+
+// BasicContextFeatures builds a context without any span information:
+// only the coarse input-stream properties. The paper found such plan-level
+// featurizations "mostly ineffective" compared to span co-occurrence
+// features (§6).
+func BasicContextFeatures(f *JobFeatures) bandit.Context {
+	return bandit.Context{Features: []string{
+		fmt.Sprintf("rows:%d", logBucket(f.RowCount)),
+		fmt.Sprintf("bytes:%d", logBucket(f.BytesRead)),
+		fmt.Sprintf("vertices:%d", logBucket(float64(f.Vertices))),
+	}}
+}
+
+func logBucket(x float64) int {
+	if x <= 1 {
+		return 0
+	}
+	return int(math.Log10(x))
+}
+
+// ActionsFor builds the bandit action set for a job: no-op plus one flip
+// per span rule, "corresponding to either changing nothing (1) or
+// flipping a single bit in the span (S)". Actions are featurized by rule
+// ID and rule category.
+func ActionsFor(cat *rules.Catalog, f *JobFeatures) ([]bandit.Action, []rules.Flip) {
+	bits := f.Span.Bits()
+	actions := make([]bandit.Action, 0, len(bits)+1)
+	flips := make([]rules.Flip, 0, len(bits)+1)
+	actions = append(actions, bandit.Action{ID: "noop", Features: []string{"act:noop"}})
+	flips = append(flips, rules.Flip{})
+	for _, b := range bits {
+		r := cat.Rule(b)
+		flip := cat.FlipFor(b)
+		actions = append(actions, bandit.Action{
+			ID: flip.String(),
+			Features: []string{
+				fmt.Sprintf("rule:%d", r.ID),
+				fmt.Sprintf("kind:%s", r.Kind),
+				fmt.Sprintf("cat:%s", r.Category),
+				// Kind crossed with flip direction: the decisive signal
+				// ("disabling compression helps", "enabling it hurts").
+				fmt.Sprintf("kinddir:%s:%v", r.Kind, flip.Enable),
+			},
+		})
+		flips = append(flips, flip)
+	}
+	return actions, flips
+}
+
+// --- Contextual-bandit recommender ---
+
+// CBRecommender selects flips with the bandit service (Azure
+// Personalizer stand-in).
+type CBRecommender struct {
+	Catalog *rules.Catalog
+	Service *bandit.Service
+	// Uniform switches to the uniform-at-random logging policy used for
+	// off-policy data collection.
+	Uniform bool
+	// BasicContext drops the span co-occurrence features and keeps only
+	// coarse input-size context — the ablation for §6's "surprising
+	// effectiveness of span features".
+	BasicContext bool
+}
+
+// NewCBRecommender builds a CB recommender with its own bandit service.
+func NewCBRecommender(cat *rules.Catalog, seed int64) *CBRecommender {
+	return &CBRecommender{Catalog: cat, Service: bandit.New(bandit.DefaultConfig(seed))}
+}
+
+// Name implements Recommender.
+func (c *CBRecommender) Name() string { return "contextual-bandit" }
+
+// Recommend implements Recommender.
+func (c *CBRecommender) Recommend(f *JobFeatures) (rules.Flip, bool, string) {
+	ctx := ContextFeatures(f)
+	if c.BasicContext {
+		ctx = BasicContextFeatures(f)
+	}
+	actions, flips := ActionsFor(c.Catalog, f)
+	var ranked bandit.Ranked
+	var err error
+	if c.Uniform {
+		ranked, err = c.Service.RankUniform(ctx, actions)
+	} else {
+		ranked, err = c.Service.Rank(ctx, actions)
+	}
+	if err != nil {
+		return rules.Flip{}, true, ""
+	}
+	flip := flips[ranked.Chosen]
+	return flip, ranked.Chosen == 0, ranked.EventID
+}
+
+// Learn implements Recommender.
+func (c *CBRecommender) Learn(eventID string, reward float64) {
+	if eventID == "" {
+		return
+	}
+	_ = c.Service.Reward(eventID, reward)
+}
+
+// Train triggers an off-policy training pass over rewarded events.
+func (c *CBRecommender) Train() int { return c.Service.Train() }
+
+// --- Uniform-random baseline (Table 3's comparator) ---
+
+// RandomRecommender flips one rule chosen uniformly at random from the
+// span — the baseline of §5.6.
+type RandomRecommender struct {
+	Catalog *rules.Catalog
+	rng     *rand.Rand
+}
+
+// NewRandomRecommender builds the baseline recommender.
+func NewRandomRecommender(cat *rules.Catalog, seed int64) *RandomRecommender {
+	return &RandomRecommender{Catalog: cat, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Recommender.
+func (r *RandomRecommender) Name() string { return "uniform-random" }
+
+// Recommend implements Recommender.
+func (r *RandomRecommender) Recommend(f *JobFeatures) (rules.Flip, bool, string) {
+	bits := f.Span.Bits()
+	if len(bits) == 0 {
+		return rules.Flip{}, true, ""
+	}
+	id := bits[r.rng.Intn(len(bits))]
+	return r.Catalog.FlipFor(id), false, ""
+}
+
+// Learn implements Recommender (the baseline does not learn).
+func (r *RandomRecommender) Learn(string, float64) {}
+
+// --- Recommendation + Recompilation tasks ---
+
+// Recommend runs the Recommendation and Recompilation tasks for a set of
+// featurized jobs: pick an action per job, recompile under the flip,
+// compute the clipped cost-ratio reward, and feed it back to the learner.
+// Jobs whose flip does not improve the estimated cost are kept in the
+// output (with their deltas) so callers can prune and count them.
+func Recommend(rec Recommender, cat *rules.Catalog, feats []*JobFeatures) []*Recommendation {
+	out := make([]*Recommendation, 0, len(feats))
+	for _, f := range feats {
+		r := &Recommendation{Features: f}
+		flip, noop, eventID := rec.Recommend(f)
+		r.Flip = flip
+		r.NoOp = noop
+		if noop {
+			r.Reward = 1 // "the reward of reject is known (relative change is 0)"
+			r.CostDelta = 0
+			rec.Learn(eventID, r.Reward)
+			out = append(out, r)
+			continue
+		}
+		cfg := cat.DefaultConfig().WithFlip(flip)
+		res, err := optimizer.Optimize(f.Job.Graph, cfg, optimizerOptions(cat, f.Job))
+		if err != nil {
+			// A failed recompilation produces no cost estimate and hence
+			// no reward; the rank event stays unrewarded and is skipped
+			// by training (which is why the learned policy only slightly
+			// reduces failures relative to random, as in Table 3).
+			r.CompileFailed = true
+			r.Reward = 0
+			r.CostDelta = math.Inf(1)
+			out = append(out, r)
+			continue
+		}
+		r.Recompiled = res
+		r.CostDelta = res.EstCost/f.EstCost - 1
+		// Reward: ratio of default estimated cost over the recompiled
+		// cost, clipped so outliers do not skew the model.
+		ratio := f.EstCost / res.EstCost
+		if ratio > RewardClip {
+			ratio = RewardClip
+		}
+		r.Reward = ratio
+		rec.Learn(eventID, r.Reward)
+		out = append(out, r)
+	}
+	return out
+}
+
+// optimizerOptions bundles per-job compilation options.
+func optimizerOptions(cat *rules.Catalog, job *workload.Job) optimizer.Options {
+	return optimizer.Options{Catalog: cat, Stats: job.Stats, Tokens: job.Tokens}
+}
+
+// Improved filters recommendations down to real flips with an estimated
+// cost improvement, the short-circuit before flighting.
+func Improved(recs []*Recommendation) []*Recommendation {
+	var out []*Recommendation
+	for _, r := range recs {
+		if !r.NoOp && !r.CompileFailed && r.CostDelta < 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RepresentativePerTemplate keeps one recommendation per job template,
+// picked deterministically from the seed: "we flight one representative
+// job per template (picked randomly)".
+func RepresentativePerTemplate(recs []*Recommendation, seed int64) []*Recommendation {
+	byTemplate := make(map[uint64][]*Recommendation)
+	var order []uint64
+	for _, r := range recs {
+		key := r.Features.Job.Template.Hash
+		if _, ok := byTemplate[key]; !ok {
+			order = append(order, key)
+		}
+		byTemplate[key] = append(byTemplate[key], r)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Recommendation, 0, len(order))
+	for _, key := range order {
+		group := byTemplate[key]
+		out = append(out, group[rng.Intn(len(group))])
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+// Package exec simulates distributed execution of physical plans on a
+// SCOPE-like cluster. It produces the runtime metrics the paper's
+// experiments are built on — latency, PNhours (total CPU + I/O time over
+// all vertices), vertices count, DataRead and DataWritten — and models the
+// cloud variability that makes latency a poor optimization target:
+// stragglers and queueing noise hit the latency critical path hard, while
+// PNhours stays comparatively stable because data volumes are
+// deterministic (§5.1 of the paper).
+package exec
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"qoadvisor/internal/optimizer"
+)
+
+// Metrics are the runtime statistics logged for one job execution.
+type Metrics struct {
+	LatencySec  float64
+	PNHours     float64
+	Vertices    int
+	DataRead    float64 // bytes
+	DataWritten float64 // bytes
+	MaxMemory   float64 // bytes, max per-vertex working set
+	AvgMemory   float64 // bytes, mean per-vertex working set
+	TotalCPUSec float64
+	TotalIOSec  float64
+}
+
+// Truth is the ground-truth cardinality environment: the real base-table
+// sizes and the real per-site selectivities of a job instance. It
+// implements optimizer.Environment, so the optimizer's own cardinality
+// engine can be re-run under truth (the simulator's "actual" data flow).
+type Truth struct {
+	// Rows maps table path to true row count.
+	Rows map[string]float64
+	// Sel maps operator site keys to true selectivities/fractions.
+	Sel map[string]float64
+	// JitterSeed derives deterministic selectivity jitter for sites not
+	// present in Sel (predicates synthesized by rewrites).
+	JitterSeed int64
+}
+
+// BaseRows implements optimizer.Environment.
+func (t *Truth) BaseRows(path string) float64 {
+	if r, ok := t.Rows[path]; ok {
+		return r
+	}
+	return 1e6
+}
+
+// Selectivity implements optimizer.Environment: known sites return their
+// true value; unknown sites get the heuristic distorted by a deterministic
+// per-site jitter, so even synthesized predicates behave consistently
+// across recompilations.
+func (t *Truth) Selectivity(site string, heuristic float64) float64 {
+	if s, ok := t.Sel[site]; ok {
+		return s
+	}
+	h := fnv.New64a()
+	h.Write([]byte(site))
+	seed := int64(h.Sum64()) ^ t.JitterSeed
+	rng := rand.New(rand.NewSource(seed))
+	// Log-uniform distortion in [1/4, 4): true selectivities routinely
+	// differ from estimates by multiples.
+	factor := math.Exp((rng.Float64()*2 - 1) * math.Ln2 * 2)
+	s := heuristic * factor
+	if s > 1 {
+		s = 1
+	}
+	if s < 1e-5 {
+		s = 1e-5
+	}
+	return s
+}
+
+// Cluster models the execution environment and its variability.
+type Cluster struct {
+	// Seed is the cluster's base randomness seed; combined with the
+	// per-run seed so A/A runs differ.
+	Seed int64
+	// StragglerSigma controls the lognormal per-stage straggler tail
+	// multiplying stage latency.
+	StragglerSigma float64
+	// QueueSigma controls the global lognormal queueing/scheduling noise
+	// on job latency.
+	QueueSigma float64
+	// CPUNoiseSigma controls the small lognormal noise on total CPU time
+	// (and hence PNhours).
+	CPUNoiseSigma float64
+	// IONoiseSigma controls the bounded lognormal noise on total I/O
+	// time: data volumes are constant across A/A runs, but disk and
+	// network service times still vary a little.
+	IONoiseSigma float64
+	// HiccupProb is the probability that a run hits a cluster hiccup
+	// multiplying latency by HiccupFactor (the >100% variance tail).
+	HiccupProb   float64
+	HiccupFactor float64
+}
+
+// DefaultCluster returns a cluster with variability calibrated to the
+// paper's A/A observations: most jobs above 5% latency variance, fewer
+// than half above 5% PNhours variance.
+func DefaultCluster(seed int64) *Cluster {
+	return &Cluster{
+		Seed:           seed,
+		StragglerSigma: 0.18,
+		QueueSigma:     0.16,
+		CPUNoiseSigma:  0.12,
+		IONoiseSigma:   0.04,
+		HiccupProb:     0.04,
+		HiccupFactor:   2.5,
+	}
+}
+
+// Simulated hardware constants (microseconds per row, bytes per second).
+const (
+	diskBytesPerSec = 110e6
+	netBytesPerSec  = 16e6
+	vertexStartupMs = 180.0
+	perVertexCPUSec = 0.05 // scheduling + container overhead per vertex
+)
+
+// cpuMicrosPerRow returns the per-row CPU cost of a physical operator in
+// microseconds. These "true" constants deliberately differ from the cost
+// model's weights: the gap is the cost-model error the paper measures.
+func cpuMicros(n *optimizer.PhysNode, inRows []float64, outRows float64) float64 {
+	total := 0.0
+	for _, r := range inRows {
+		total += r
+	}
+	switch n.Op {
+	case optimizer.PhysRowScan:
+		return outRows * 0.18
+	case optimizer.PhysColumnScan:
+		return outRows * 0.28
+	case optimizer.PhysIndexSeek:
+		return outRows * 0.4
+	case optimizer.PhysFilter:
+		return total * 0.06
+	case optimizer.PhysProject:
+		return total * 0.05
+	case optimizer.PhysHashJoin:
+		build := 0.0
+		if len(inRows) == 2 {
+			build = inRows[1] * 0.5
+		}
+		return total*0.3 + build + outRows*0.2
+	case optimizer.PhysMergeJoin:
+		return total*0.45 + outRows*0.2
+	case optimizer.PhysBroadcastJoin:
+		build := 0.0
+		if len(inRows) == 2 {
+			// The build side is replicated into every partition.
+			build = inRows[1] * 0.5 * float64(maxInt(n.Partitions, 1))
+		}
+		return inRows[0]*0.3 + build + outRows*0.2
+	case optimizer.PhysNestedLoopJoin:
+		if len(inRows) == 2 {
+			return inRows[0] * inRows[1] * 0.002
+		}
+		return total * 0.3
+	case optimizer.PhysHashAgg:
+		return total*0.45 + outRows*0.2
+	case optimizer.PhysStreamAgg:
+		return total*(0.12+0.014*math.Log2(math.Max(total, 2))) + outRows*0.1
+	case optimizer.PhysSort, optimizer.PhysTopNSort:
+		c := total * 0.08 * math.Log2(math.Max(total, 2))
+		if n.PackFactor > 0 && n.PackFactor != 1 {
+			c *= n.PackFactor
+		}
+		return c
+	case optimizer.PhysTopNHeap:
+		return total * 0.12
+	case optimizer.PhysConcatUnion:
+		return total * 0.01
+	case optimizer.PhysSortedUnion:
+		return total * 0.2
+	case optimizer.PhysExchange:
+		c := total * 0.05
+		if n.Compress {
+			c = total * 0.22 // compression costs CPU
+		}
+		return c
+	case optimizer.PhysReduce:
+		return total * 1.2 // user-defined reducers are CPU heavy
+	case optimizer.PhysProcess:
+		return total * 0.6
+	case optimizer.PhysOutput:
+		return total * 0.05
+	default:
+		return total * 0.1
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ioBytes returns (read, written) bytes for a physical node given true
+// cardinalities.
+func ioBytes(n *optimizer.PhysNode, rows map[*optimizer.PhysNode]float64, truth *Truth) (read, written float64) {
+	out := rows[n]
+	width := float64(n.RowWidth)
+	switch n.Op {
+	case optimizer.PhysRowScan:
+		base := truth.BaseRows(scanPath(n))
+		w := float64(n.BaseWidth)
+		if w == 0 {
+			w = width
+		}
+		return base * w, 0
+	case optimizer.PhysColumnScan:
+		base := truth.BaseRows(scanPath(n))
+		return base * width * 1.05, 0
+	case optimizer.PhysIndexSeek:
+		return out*width + 4096*float64(maxInt(n.Partitions, 1)), 0
+	case optimizer.PhysExchange:
+		if n.Fused {
+			return 0, 0
+		}
+		in := 0.0
+		for _, i := range n.Inputs {
+			in += rows[i]
+		}
+		bytes := in * width
+		if n.Exchange == optimizer.ExchangeBroadcast {
+			bytes *= float64(maxInt(n.Partitions, 1))
+		}
+		if n.Compress {
+			bytes *= 0.55
+		}
+		// Shuffled data is written by the producer and read by the
+		// consumer.
+		return bytes, bytes
+	case optimizer.PhysOutput:
+		return 0, out * width
+	case optimizer.PhysSort, optimizer.PhysTopNSort:
+		// External sorts spill a pass to disk.
+		in := 0.0
+		for _, i := range n.Inputs {
+			in += rows[i]
+		}
+		spill := in * width * 0.5
+		return spill, spill
+	default:
+		return 0, 0
+	}
+}
+
+func scanPath(n *optimizer.PhysNode) string {
+	if n.Logical != nil {
+		return n.Logical.TablePath
+	}
+	return ""
+}
+
+// memoryBytes returns the per-vertex working set of an operator.
+func memoryBytes(n *optimizer.PhysNode, rows map[*optimizer.PhysNode]float64) float64 {
+	parts := float64(maxInt(n.Partitions, 1))
+	width := float64(n.RowWidth)
+	switch n.Op {
+	case optimizer.PhysHashJoin:
+		if len(n.Inputs) == 2 {
+			return rows[n.Inputs[1]] * width / parts
+		}
+	case optimizer.PhysBroadcastJoin, optimizer.PhysNestedLoopJoin:
+		if len(n.Inputs) == 2 {
+			return rows[n.Inputs[1]] * width // full build copy per vertex
+		}
+	case optimizer.PhysHashAgg:
+		return rows[n] * width / parts
+	case optimizer.PhysSort, optimizer.PhysTopNSort:
+		in := 0.0
+		for _, i := range n.Inputs {
+			in += rows[i]
+		}
+		return in * width / parts * 0.25
+	}
+	return 64 << 20 // baseline container working set
+}
+
+// Run executes the plan once against the truth environment and returns
+// its metrics. runSeed distinguishes repeated executions: two runs with
+// different seeds model an A/A pair.
+func Run(plan *optimizer.Plan, truth *Truth, stats optimizer.StatsProvider, cluster *Cluster, runSeed int64) Metrics {
+	rows := plan.Recardinalize(truth, stats)
+	rng := rand.New(rand.NewSource(cluster.Seed*1e9 + runSeed))
+
+	var m Metrics
+	stageCPU := make(map[int]float64) // seconds
+	stageIO := make(map[int]float64)  // seconds
+	maxMem := 0.0
+	sumMem := 0.0
+	memCount := 0
+
+	for _, n := range plan.Nodes() {
+		if n.Fused {
+			continue
+		}
+		var inRows []float64
+		for _, in := range n.Inputs {
+			inRows = append(inRows, rows[in])
+		}
+		out := rows[n]
+		cpuSec := cpuMicros(n, inRows, out) / 1e6
+		read, written := ioBytes(n, rows, truth)
+		ioSec := read/diskBytesPerSec + written/netBytesPerSec
+
+		m.DataRead += read
+		m.DataWritten += written
+		m.TotalCPUSec += cpuSec
+		m.TotalIOSec += ioSec
+		stageCPU[n.StageID] += cpuSec
+		stageIO[n.StageID] += ioSec
+
+		mem := memoryBytes(n, rows)
+		if mem > maxMem {
+			maxMem = mem
+		}
+		sumMem += mem
+		memCount++
+	}
+
+	// Vertices: the compiled plan's stage parallelism.
+	for _, s := range plan.Stages {
+		m.Vertices += s.Partitions
+	}
+
+	// PNhours: total CPU + I/O over all vertices plus per-vertex
+	// overhead. CPU gets small multiplicative noise; I/O is bounded
+	// because data read and written stay constant across runs (§4.3).
+	cpuNoise := math.Exp(rng.NormFloat64() * cluster.CPUNoiseSigma)
+	ioNoise := math.Exp(rng.NormFloat64() * cluster.IONoiseSigma)
+	totalSec := m.TotalCPUSec*cpuNoise + m.TotalIOSec*ioNoise + perVertexCPUSec*float64(m.Vertices)
+	m.PNHours = totalSec / 3600
+
+	// Latency: critical path over the stage DAG, with per-stage
+	// straggler noise and global queueing noise.
+	stageLatency := make(map[int]float64)
+	for _, s := range plan.Stages {
+		parts := float64(maxInt(s.Partitions, 1))
+		work := (stageCPU[s.ID] + stageIO[s.ID]) / parts
+		// The slowest of P vertices: lognormal straggler whose tail
+		// grows with the fan-out.
+		straggler := math.Exp(math.Abs(rng.NormFloat64()) * cluster.StragglerSigma * math.Sqrt(math.Log2(parts+1)))
+		stageLatency[s.ID] = work*straggler + vertexStartupMs/1000
+	}
+	// Longest path: stages' InputIDs point upstream.
+	depth := make(map[int]float64)
+	var critical func(id int) float64
+	critical = func(id int) float64 {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		depth[id] = 0 // guard cycles (none expected)
+		best := 0.0
+		var st *optimizer.Stage
+		for _, s := range plan.Stages {
+			if s.ID == id {
+				st = s
+				break
+			}
+		}
+		if st != nil {
+			for _, in := range st.InputIDs {
+				if d := critical(in); d > best {
+					best = d
+				}
+			}
+			best += stageLatency[id]
+		}
+		depth[id] = best
+		return best
+	}
+	longest := 0.0
+	for _, s := range plan.Stages {
+		if d := critical(s.ID); d > longest {
+			longest = d
+		}
+	}
+	queue := math.Exp(rng.NormFloat64() * cluster.QueueSigma)
+	if rng.Float64() < cluster.HiccupProb {
+		queue *= cluster.HiccupFactor
+	}
+	m.LatencySec = longest * queue
+
+	m.MaxMemory = maxMem
+	if memCount > 0 {
+		m.AvgMemory = sumMem / float64(memCount)
+	}
+	return m
+}
+
+// RunN performs n A/A executions with distinct run seeds.
+func RunN(plan *optimizer.Plan, truth *Truth, stats optimizer.StatsProvider, cluster *Cluster, baseSeed int64, n int) []Metrics {
+	out := make([]Metrics, n)
+	for i := 0; i < n; i++ {
+		out[i] = Run(plan, truth, stats, cluster, baseSeed+int64(i)*7919)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated SCOPE substrate. Each experiment is a
+// function returning a structured result that the cmd/experiments binary
+// and the root benchmark suite print in the same form the paper reports:
+// the absolute numbers come from the simulator, but the shapes — which
+// metric is stable, who wins, by roughly what factor — are the
+// reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qoadvisor/internal/core"
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/workload"
+)
+
+// Config sizes an experiment run. The zero value is usable: Defaults are
+// applied by NewLab.
+type Config struct {
+	Seed         int64
+	NumTemplates int
+	// AARuns is the number of A/A repetitions for variance experiments.
+	AARuns int
+}
+
+// Scale presets.
+var (
+	// Quick is sized for benchmarks and tests.
+	Quick = Config{Seed: 42, NumTemplates: 40, AARuns: 10}
+	// Full is sized for the cmd/experiments reproduction run.
+	Full = Config{Seed: 42, NumTemplates: 120, AARuns: 10}
+)
+
+// Lab bundles the shared infrastructure of all experiments: the workload
+// generator, rule catalog, cluster model, and caches of compiled jobs.
+type Lab struct {
+	Cfg     Config
+	Catalog *rules.Catalog
+	Gen     *workload.Generator
+	Cluster *exec.Cluster
+
+	compiled map[string]*optimizer.Result // default-config compilations
+	flights  map[[2]int][]FlightObservation
+}
+
+// NewLab builds the shared experiment infrastructure.
+func NewLab(cfg Config) (*Lab, error) {
+	if cfg.NumTemplates <= 0 {
+		cfg.NumTemplates = 40
+	}
+	if cfg.AARuns <= 0 {
+		cfg.AARuns = 10
+	}
+	gen, err := workload.New(workload.Config{Seed: cfg.Seed, NumTemplates: cfg.NumTemplates, MaxDailyInstances: 2})
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{
+		Cfg:      cfg,
+		Catalog:  rules.NewCatalog(),
+		Gen:      gen,
+		Cluster:  exec.DefaultCluster(cfg.Seed),
+		compiled: make(map[string]*optimizer.Result),
+		flights:  make(map[[2]int][]FlightObservation),
+	}, nil
+}
+
+// opts returns per-job compile options.
+func (l *Lab) opts(job *workload.Job) optimizer.Options {
+	return optimizer.Options{Catalog: l.Catalog, Stats: job.Stats, Tokens: job.Tokens}
+}
+
+// compileDefault compiles a job under the default configuration, cached.
+func (l *Lab) compileDefault(job *workload.Job) (*optimizer.Result, error) {
+	if res, ok := l.compiled[job.ID]; ok {
+		return res, nil
+	}
+	res, err := optimizer.Optimize(job.Graph, l.Catalog.DefaultConfig(), l.opts(job))
+	if err != nil {
+		return nil, err
+	}
+	l.compiled[job.ID] = res
+	return res, nil
+}
+
+// jobsForDay instantiates the day's workload.
+func (l *Lab) jobsForDay(day int) ([]*workload.Job, error) {
+	return l.Gen.JobsForDay(day)
+}
+
+// uniqueJobsForDay returns one instance per template for the day (the
+// variance and stability experiments operate on unique recurring jobs).
+func (l *Lab) uniqueJobsForDay(day int) ([]*workload.Job, error) {
+	var jobs []*workload.Job
+	for _, tpl := range l.Gen.Templates() {
+		j, err := tpl.Instantiate(day, 0)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// costImprovingFlip searches a job's span (in randomized order) for a
+// single rule flip whose recompilation lowers the estimated cost. It
+// returns the flip, the treatment result, and whether one was found —
+// the "rule flips leading to lower estimated costs" the paper flights.
+func (l *Lab) costImprovingFlip(job *workload.Job, spanBits []int, rng *rand.Rand) (rules.Flip, *optimizer.Result, bool) {
+	base, err := l.compileDefault(job)
+	if err != nil {
+		return rules.Flip{}, nil, false
+	}
+	order := rng.Perm(len(spanBits))
+	for _, i := range order {
+		flip := l.Catalog.FlipFor(spanBits[i])
+		cfg := l.Catalog.DefaultConfig().WithFlip(flip)
+		res, err := optimizer.Optimize(job.Graph, cfg, l.opts(job))
+		if err != nil {
+			continue
+		}
+		if res.EstCost < base.EstCost {
+			return flip, res, true
+		}
+	}
+	return rules.Flip{}, nil, false
+}
+
+// bestCostFlip searches the whole span for the flip with the lowest
+// recompiled estimated cost, mirroring the flighting queue's
+// lowest-estimated-cost-first priority.
+func (l *Lab) bestCostFlip(job *workload.Job, spanBits []int) (rules.Flip, *optimizer.Result, bool) {
+	base, err := l.compileDefault(job)
+	if err != nil {
+		return rules.Flip{}, nil, false
+	}
+	var bestFlip rules.Flip
+	var bestRes *optimizer.Result
+	for _, id := range spanBits {
+		flip := l.Catalog.FlipFor(id)
+		res, err := optimizer.Optimize(job.Graph, l.Catalog.DefaultConfig().WithFlip(flip), l.opts(job))
+		if err != nil {
+			continue
+		}
+		if res.EstCost < base.EstCost && (bestRes == nil || res.EstCost < bestRes.EstCost) {
+			bestFlip, bestRes = flip, res
+		}
+	}
+	return bestFlip, bestRes, bestRes != nil
+}
+
+// compileWith compiles a job under an arbitrary configuration.
+func (l *Lab) compileWith(job *workload.Job, cfg rules.Config) (*optimizer.Result, error) {
+	return optimizer.Optimize(job.Graph, cfg, l.opts(job))
+}
+
+// freshStore returns an empty SIS store for pipeline experiments.
+func (l *Lab) freshStore() *sis.Store { return sis.NewStore(l.Catalog) }
+
+// production wires a production loop against a store.
+func (l *Lab) production(store *sis.Store, seed int64) *core.Production {
+	return core.NewProduction(l.Catalog, store, l.Cluster, seed)
+}
+
+// FormatPct renders a fraction as a signed percentage the way the paper's
+// tables do.
+func FormatPct(x float64) string {
+	return fmt.Sprintf("%+.1f%%", x*100)
+}

@@ -1,0 +1,234 @@
+// Package flighting simulates the SCOPE Flighting Service: a
+// pre-production A/B testing environment that re-runs jobs under a
+// treatment rule configuration and compares them with the default. The
+// simulator reproduces the operational surface the paper describes in
+// §4.3: a fixed-size job queue, a per-job timeout, a total time budget,
+// cheapest-estimated-cost-first ordering, and the four outcomes (failure,
+// timeout, filtered, success).
+package flighting
+
+import (
+	"fmt"
+	"sort"
+
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/workload"
+)
+
+// Outcome classifies one flighting attempt.
+type Outcome int
+
+const (
+	// Success: both arms ran and produced metrics.
+	Success Outcome = iota
+	// Failure: the job information or input data expired, or the
+	// treatment configuration failed to compile.
+	Failure
+	// Timeout: the flight exceeded the per-job time limit.
+	Timeout
+	// Filtered: the job belongs to a class the Flighting Service does
+	// not support.
+	Filtered
+	// Skipped: the total flighting budget ran out before this request.
+	Skipped
+)
+
+var outcomeNames = [...]string{"success", "failure", "timeout", "filtered", "skipped"}
+
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Request asks for one A/B flight of a job under a treatment config.
+type Request struct {
+	Job       *workload.Job
+	Treatment rules.Config
+	// EstCost is the treatment's estimated cost, used for
+	// cheapest-first ordering.
+	EstCost float64
+	// Flip is carried through for bookkeeping.
+	Flip rules.Flip
+}
+
+// Result is the outcome of one flighting attempt.
+type Result struct {
+	Request   Request
+	Outcome   Outcome
+	Baseline  exec.Metrics
+	Treat     exec.Metrics
+	HoursUsed float64
+
+	// FutureBaseline/FutureTreat are the metrics of the recurring job's
+	// next occurrence under each arm. In production these arrive with the
+	// following days' telemetry; the simulator computes them eagerly so
+	// the Validation model can be trained on (single flight -> future
+	// outcome) pairs, the exact question of §5.3.
+	FutureBaseline exec.Metrics
+	FutureTreat    exec.Metrics
+	HasFuture      bool
+
+	// Err holds the compile error for Failure outcomes caused by the
+	// treatment configuration.
+	Err error
+}
+
+// Config parameterizes the service.
+type Config struct {
+	Catalog *rules.Catalog
+	Cluster *exec.Cluster
+	// QueueSize is the number of concurrent flighting slots.
+	QueueSize int
+	// PerJobTimeoutHours is the per-flight wall-clock cap (paper: 24h).
+	PerJobTimeoutHours float64
+	// TotalBudgetHours is the total flighting budget per pipeline run.
+	TotalBudgetHours float64
+	// Seed drives the A/B run seeds.
+	Seed int64
+}
+
+// Service runs flights.
+type Service struct {
+	cfg Config
+}
+
+// New creates a flighting service. Zero config fields get defaults
+// mirroring the paper's description.
+func New(cfg Config) *Service {
+	if cfg.Catalog == nil {
+		cfg.Catalog = rules.NewCatalog()
+	}
+	if cfg.Cluster == nil {
+		cfg.Cluster = exec.DefaultCluster(cfg.Seed)
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 8
+	}
+	if cfg.PerJobTimeoutHours <= 0 {
+		cfg.PerJobTimeoutHours = 24
+	}
+	if cfg.TotalBudgetHours <= 0 {
+		cfg.TotalBudgetHours = 200
+	}
+	return &Service{cfg: cfg}
+}
+
+// classify applies the deterministic failure/filter taxonomy: some job
+// classes are unsupported by the Flighting Service, and some inputs have
+// expired by the time the offline pipeline runs (the view is ~3 days
+// delayed).
+func classify(job *workload.Job) Outcome {
+	h := job.Template.Hash
+	switch {
+	case h%17 == 4:
+		return Failure // input data expired
+	case h%11 == 3:
+		return Filtered // unsupported job class
+	default:
+		return Success
+	}
+}
+
+// Run processes requests cheapest-estimated-cost-first under the service
+// budgets and returns one Result per request (in processing order).
+// Requests that do not fit in the budget come back as Skipped, so callers
+// can still learn from a partially completed flighting pass — "we flight
+// jobs with lower estimated costs first, such that if we finish the total
+// time budget, we are still able to provide some suggestion".
+func (s *Service) Run(reqs []Request) []Result {
+	ordered := append([]Request(nil), reqs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].EstCost < ordered[j].EstCost
+	})
+
+	budget := s.cfg.TotalBudgetHours * float64(s.cfg.QueueSize)
+	used := 0.0
+	results := make([]Result, 0, len(ordered))
+	for _, req := range ordered {
+		if used >= budget {
+			results = append(results, Result{Request: req, Outcome: Skipped})
+			continue
+		}
+		res := s.flightOne(req)
+		used += res.HoursUsed
+		results = append(results, res)
+	}
+	return results
+}
+
+// flightOne runs a single A/B comparison.
+func (s *Service) flightOne(req Request) Result {
+	out := Result{Request: req}
+	if o := classify(req.Job); o != Success {
+		out.Outcome = o
+		out.HoursUsed = 0.05 // setup cost of a failed attempt
+		return out
+	}
+	job := req.Job
+	opts := optimizer.Options{Catalog: s.cfg.Catalog, Stats: job.Stats, Tokens: job.Tokens}
+
+	baseRes, err := optimizer.Optimize(job.Graph, s.cfg.Catalog.DefaultConfig(), opts)
+	if err != nil {
+		out.Outcome = Failure
+		out.Err = err
+		return out
+	}
+	treatRes, err := optimizer.Optimize(job.Graph, req.Treatment, opts)
+	if err != nil {
+		out.Outcome = Failure
+		out.Err = err
+		out.HoursUsed = 0.05
+		return out
+	}
+
+	seed := s.cfg.Seed + int64(job.Date)*1000003 + int64(len(job.ID))
+	out.Baseline = exec.Run(baseRes.Plan, job.Truth, job.Stats, s.cfg.Cluster, seed)
+	out.Treat = exec.Run(treatRes.Plan, job.Truth, job.Stats, s.cfg.Cluster, seed+1)
+
+	hours := (out.Baseline.LatencySec + out.Treat.LatencySec) / 3600
+	if out.Baseline.LatencySec/3600 > s.cfg.PerJobTimeoutHours ||
+		out.Treat.LatencySec/3600 > s.cfg.PerJobTimeoutHours {
+		out.Outcome = Timeout
+		out.HoursUsed = s.cfg.PerJobTimeoutHours
+		return out
+	}
+	out.Outcome = Success
+	out.HoursUsed = hours
+
+	// Next occurrence of the recurring template, for validation labels.
+	if future, err := job.Template.Instantiate(job.Date+1, job.Seq); err == nil {
+		fOpts := optimizer.Options{Catalog: s.cfg.Catalog, Stats: future.Stats, Tokens: future.Tokens}
+		fBase, err1 := optimizer.Optimize(future.Graph, s.cfg.Catalog.DefaultConfig(), fOpts)
+		fTreat, err2 := optimizer.Optimize(future.Graph, req.Treatment, fOpts)
+		if err1 == nil && err2 == nil {
+			out.FutureBaseline = exec.Run(fBase.Plan, future.Truth, future.Stats, s.cfg.Cluster, seed+77)
+			out.FutureTreat = exec.Run(fTreat.Plan, future.Truth, future.Stats, s.cfg.Cluster, seed+78)
+			out.HasFuture = true
+		}
+	}
+	return out
+}
+
+// Successes filters results down to successful flights.
+func Successes(results []Result) []Result {
+	var ok []Result
+	for _, r := range results {
+		if r.Outcome == Success {
+			ok = append(ok, r)
+		}
+	}
+	return ok
+}
+
+// CountByOutcome tallies results per outcome.
+func CountByOutcome(results []Result) map[Outcome]int {
+	m := make(map[Outcome]int)
+	for _, r := range results {
+		m[r.Outcome]++
+	}
+	return m
+}

@@ -1,0 +1,160 @@
+package flighting
+
+import (
+	"testing"
+
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/workload"
+)
+
+func testJobs(t *testing.T, n int) []*workload.Job {
+	t.Helper()
+	gen, err := workload.New(workload.Config{Seed: 21, NumTemplates: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := gen.JobsForDay(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func requestsFor(jobs []*workload.Job, cat *rules.Catalog) []Request {
+	def := cat.DefaultConfig()
+	var reqs []Request
+	for i, j := range jobs {
+		// Flip an arbitrary on-by-default rule per job.
+		r := cat.Rules(rules.OnByDefault)[i%10]
+		flip := rules.Flip{RuleID: r.ID, Enable: false}
+		reqs = append(reqs, Request{
+			Job:       j,
+			Treatment: def.WithFlip(flip),
+			EstCost:   float64(i),
+			Flip:      flip,
+		})
+	}
+	return reqs
+}
+
+func TestRunReturnsResultPerRequest(t *testing.T) {
+	cat := rules.NewCatalog()
+	jobs := testJobs(t, 12)
+	svc := New(Config{Catalog: cat, Seed: 1})
+	reqs := requestsFor(jobs, cat)
+	results := svc.Run(reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("results = %d, want %d", len(results), len(reqs))
+	}
+}
+
+func TestOutcomeTaxonomy(t *testing.T) {
+	cat := rules.NewCatalog()
+	jobs := testJobs(t, 40)
+	svc := New(Config{Catalog: cat, Seed: 1})
+	results := svc.Run(requestsFor(jobs, cat))
+	counts := CountByOutcome(results)
+	if counts[Success] == 0 {
+		t.Error("expected some successes")
+	}
+	// The deterministic taxonomy should produce some non-success
+	// outcomes over 40+ templates.
+	if counts[Failure]+counts[Filtered] == 0 {
+		t.Error("expected some failures or filtered jobs")
+	}
+	for _, r := range results {
+		if r.Outcome == Success {
+			if r.Baseline.PNHours <= 0 || r.Treat.PNHours <= 0 {
+				t.Errorf("success without metrics: %+v", r.Outcome)
+			}
+			if r.HoursUsed <= 0 {
+				t.Error("success should consume budget")
+			}
+		}
+	}
+}
+
+func TestBudgetExhaustionSkips(t *testing.T) {
+	cat := rules.NewCatalog()
+	jobs := testJobs(t, 30)
+	svc := New(Config{Catalog: cat, Seed: 1, TotalBudgetHours: 1e-9, QueueSize: 1})
+	results := svc.Run(requestsFor(jobs, cat))
+	counts := CountByOutcome(results)
+	if counts[Skipped] == 0 {
+		t.Error("tiny budget should skip most requests")
+	}
+	if counts[Success] > 1 {
+		t.Errorf("tiny budget ran %d successes", counts[Success])
+	}
+}
+
+func TestCheapestFirstOrdering(t *testing.T) {
+	cat := rules.NewCatalog()
+	jobs := testJobs(t, 10)
+	// Give the LAST request the lowest estimated cost and a budget that
+	// only fits roughly one flight: it must be the one processed.
+	reqs := requestsFor(jobs, cat)
+	for i := range reqs {
+		reqs[i].EstCost = float64(len(reqs) - i)
+	}
+	svc := New(Config{Catalog: cat, Seed: 1, TotalBudgetHours: 1e-9, QueueSize: 1})
+	results := svc.Run(reqs)
+	// First processed result must be the cheapest request.
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	first := results[0]
+	if first.Request.EstCost != 1 {
+		t.Errorf("first processed cost = %v, want 1 (cheapest first)", first.Request.EstCost)
+	}
+}
+
+func TestSuccesses(t *testing.T) {
+	rs := []Result{{Outcome: Success}, {Outcome: Failure}, {Outcome: Success}, {Outcome: Skipped}}
+	if got := len(Successes(rs)); got != 2 {
+		t.Errorf("successes = %d", got)
+	}
+}
+
+func TestTreatmentCompileFailureIsFailure(t *testing.T) {
+	cat := rules.NewCatalog()
+	jobs := testJobs(t, 8)
+	def := cat.DefaultConfig()
+	req := cat.Rules(rules.Required)[0]
+	var reqs []Request
+	for _, j := range jobs {
+		reqs = append(reqs, Request{
+			Job:       j,
+			Treatment: def.WithFlip(rules.Flip{RuleID: req.ID, Enable: false}),
+		})
+	}
+	results := New(Config{Catalog: cat, Seed: 1}).Run(reqs)
+	for _, r := range results {
+		if r.Outcome == Success {
+			t.Error("disabling a required rule can never flight successfully")
+		}
+	}
+}
+
+func TestABRunsShareJobButDifferInSeed(t *testing.T) {
+	cat := rules.NewCatalog()
+	jobs := testJobs(t, 15)
+	svc := New(Config{Catalog: cat, Seed: 5})
+	results := svc.Run(requestsFor(jobs, cat))
+	for _, r := range Successes(results) {
+		if r.Baseline.LatencySec == r.Treat.LatencySec && r.Baseline.DataRead == r.Treat.DataRead {
+			// Identical latency AND identical IO would mean the A/B arms
+			// shared a seed and a plan; at least the noise must differ.
+			t.Error("A and B arms look identical")
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Success.String() != "success" || Skipped.String() != "skipped" {
+		t.Error("outcome names wrong")
+	}
+	if Outcome(99).String() == "" {
+		t.Error("unknown outcome should render")
+	}
+}

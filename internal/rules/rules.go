@@ -1,0 +1,540 @@
+// Package rules defines the optimizer rule catalog that QO-Advisor steers.
+//
+// The SCOPE optimizer described in the paper has 256 rules split into four
+// categories: required (must always be enabled to get valid plans),
+// on-by-default, off-by-default (experimental or very sensitive to
+// estimates), and implementation rules (mapping logical operators into
+// physical ones). A rule configuration is a 256-bit vector of enabled
+// rules; a rule signature is a 256-bit vector of the rules that directly
+// contributed to a plan. This package provides the catalog, the bit-vector
+// types, and the single-rule Flip that is QO-Advisor's steering action.
+package rules
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumRules is the size of the rule catalog, matching the paper's SCOPE
+// optimizer ("There are 256 rules in the SCOPE optimizer").
+const NumRules = 256
+
+// Category classifies a rule the way §2.1 of the paper does.
+type Category int
+
+const (
+	// Required rules must always be enabled to obtain valid plans.
+	Required Category = iota
+	// OnByDefault rules are regular exploration rules enabled by default.
+	OnByDefault
+	// OffByDefault rules are experimental or sensitive to estimates and
+	// disabled by default.
+	OffByDefault
+	// Implementation rules map logical operators into physical ones.
+	Implementation
+)
+
+// String returns the category name used in logs and hint files.
+func (c Category) String() string {
+	switch c {
+	case Required:
+		return "required"
+	case OnByDefault:
+		return "on-by-default"
+	case OffByDefault:
+		return "off-by-default"
+	case Implementation:
+		return "implementation"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// Kind identifies the optimizer behaviour a rule controls. The optimizer
+// package dispatches on Kind; Variant distinguishes sibling rules of the
+// same kind (for example, tuning rules that fire on different plan
+// fingerprints).
+type Kind int
+
+const (
+	// Required / normalization kinds.
+	KindResolveColumns Kind = iota
+	KindNormalizePredicates
+	KindConstantFolding
+	KindEnforceOutput
+	KindEnforceExchange
+	KindAssignStages
+
+	// Logical rewrite kinds.
+	KindPushFilterBelowJoin
+	KindPushFilterBelowProject
+	KindPushFilterBelowUnion
+	KindPushFilterBelowAgg
+	KindPushFilterIntoScan
+	KindMergeFilters
+	KindMergeProjects
+	KindPruneColumns
+	KindJoinCommute
+	KindJoinAssociate
+	KindLocalGlobalAgg
+	KindPartialAggBelowJoin
+	KindPartialAggBelowUnion
+	KindDistinctToAgg
+	KindEliminateDistinctOnKey
+	KindRemoveRedundantSort
+	KindTopNPushdown
+	KindSemiJoinReduction
+	KindFlattenUnion
+	KindProjectPullUp
+	KindSplitComplexFilter
+	KindBroadcastAnnotation
+	KindUnionDedupPushdown
+	KindJoinPredicateInference
+
+	// Implementation kinds.
+	KindImplHashJoin
+	KindImplMergeJoin
+	KindImplBroadcastJoin
+	KindImplNestedLoopJoin
+	KindImplHashAgg
+	KindImplStreamAgg
+	KindImplHashPartition
+	KindImplRangePartition
+	KindImplRoundRobin
+	KindImplConcatUnion
+	KindImplSortedUnion
+	KindImplRowScan
+	KindImplColumnScan
+	KindImplExternalSort
+	KindImplTopNHeap
+	KindImplIndexSeek
+
+	// Tuning kinds: parameterized variants that adjust physical properties
+	// for plan fragments whose fingerprint matches the rule's variant.
+	KindTunePartitionCount
+	KindTuneStageFusion
+	KindTuneVertexPacking
+	KindTuneExchangeCompression
+	KindTuneSortBuffer
+	KindTuneBroadcastThreshold
+
+	numKinds // sentinel, keep last
+)
+
+var kindNames = map[Kind]string{
+	KindResolveColumns:          "ResolveColumns",
+	KindNormalizePredicates:     "NormalizePredicates",
+	KindConstantFolding:         "ConstantFolding",
+	KindEnforceOutput:           "EnforceOutput",
+	KindEnforceExchange:         "EnforceExchange",
+	KindAssignStages:            "AssignStages",
+	KindPushFilterBelowJoin:     "PushFilterBelowJoin",
+	KindPushFilterBelowProject:  "PushFilterBelowProject",
+	KindPushFilterBelowUnion:    "PushFilterBelowUnion",
+	KindPushFilterBelowAgg:      "PushFilterBelowAgg",
+	KindPushFilterIntoScan:      "PushFilterIntoScan",
+	KindMergeFilters:            "MergeFilters",
+	KindMergeProjects:           "MergeProjects",
+	KindPruneColumns:            "PruneColumns",
+	KindJoinCommute:             "JoinCommute",
+	KindJoinAssociate:           "JoinAssociate",
+	KindLocalGlobalAgg:          "LocalGlobalAgg",
+	KindPartialAggBelowJoin:     "PartialAggBelowJoin",
+	KindPartialAggBelowUnion:    "PartialAggBelowUnion",
+	KindDistinctToAgg:           "DistinctToAgg",
+	KindEliminateDistinctOnKey:  "EliminateDistinctOnKey",
+	KindRemoveRedundantSort:     "RemoveRedundantSort",
+	KindTopNPushdown:            "TopNPushdown",
+	KindSemiJoinReduction:       "SemiJoinReduction",
+	KindFlattenUnion:            "FlattenUnion",
+	KindProjectPullUp:           "ProjectPullUp",
+	KindSplitComplexFilter:      "SplitComplexFilter",
+	KindBroadcastAnnotation:     "BroadcastAnnotation",
+	KindUnionDedupPushdown:      "UnionDedupPushdown",
+	KindJoinPredicateInference:  "JoinPredicateInference",
+	KindImplHashJoin:            "ImplHashJoin",
+	KindImplMergeJoin:           "ImplMergeJoin",
+	KindImplBroadcastJoin:       "ImplBroadcastJoin",
+	KindImplNestedLoopJoin:      "ImplNestedLoopJoin",
+	KindImplHashAgg:             "ImplHashAgg",
+	KindImplStreamAgg:           "ImplStreamAgg",
+	KindImplHashPartition:       "ImplHashPartition",
+	KindImplRangePartition:      "ImplRangePartition",
+	KindImplRoundRobin:          "ImplRoundRobin",
+	KindImplConcatUnion:         "ImplConcatUnion",
+	KindImplSortedUnion:         "ImplSortedUnion",
+	KindImplRowScan:             "ImplRowScan",
+	KindImplColumnScan:          "ImplColumnScan",
+	KindImplExternalSort:        "ImplExternalSort",
+	KindImplTopNHeap:            "ImplTopNHeap",
+	KindImplIndexSeek:           "ImplIndexSeek",
+	KindTunePartitionCount:      "TunePartitionCount",
+	KindTuneStageFusion:         "TuneStageFusion",
+	KindTuneVertexPacking:       "TuneVertexPacking",
+	KindTuneExchangeCompression: "TuneExchangeCompression",
+	KindTuneSortBuffer:          "TuneSortBuffer",
+	KindTuneBroadcastThreshold:  "TuneBroadcastThreshold",
+}
+
+// String returns the kind's canonical name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule is a single optimizer rule. ID is its bit position in configurations
+// and signatures.
+type Rule struct {
+	ID       int
+	Name     string
+	Category Category
+	Kind     Kind
+	// Variant distinguishes sibling rules of the same Kind. For tuning
+	// kinds it selects the plan-fragment fingerprint residue the rule
+	// fires on and the magnitude of its adjustment.
+	Variant int
+}
+
+// Flip is QO-Advisor's steering action: turn exactly one rule on or off
+// relative to the default configuration.
+type Flip struct {
+	RuleID int
+	Enable bool // true = turn the rule on, false = turn it off
+}
+
+// String renders the flip the way hint files do, e.g. "+R123" or "-R007".
+func (f Flip) String() string {
+	sign := "-"
+	if f.Enable {
+		sign = "+"
+	}
+	return fmt.Sprintf("%sR%03d", sign, f.RuleID)
+}
+
+// ParseFlip parses the textual form produced by Flip.String.
+func ParseFlip(s string) (Flip, error) {
+	if len(s) < 3 || (s[0] != '+' && s[0] != '-') || s[1] != 'R' {
+		return Flip{}, fmt.Errorf("rules: malformed flip %q", s)
+	}
+	var id int
+	if _, err := fmt.Sscanf(s[2:], "%d", &id); err != nil {
+		return Flip{}, fmt.Errorf("rules: malformed flip %q: %v", s, err)
+	}
+	if id < 0 || id >= NumRules {
+		return Flip{}, fmt.Errorf("rules: flip rule id %d out of range", id)
+	}
+	return Flip{RuleID: id, Enable: s[0] == '+'}, nil
+}
+
+// Catalog is an immutable collection of rules indexed by ID and name.
+type Catalog struct {
+	rules  []Rule
+	byName map[string]int
+}
+
+// NewCatalog builds the canonical 256-rule catalog. The layout is
+// deterministic: required normalization rules first, then logical rewrites
+// (on-by-default), then experimental variants (off-by-default), then
+// implementation rules, then tuning variants filling the remaining IDs.
+func NewCatalog() *Catalog {
+	c := &Catalog{byName: make(map[string]int, NumRules)}
+
+	add := func(name string, cat Category, kind Kind, variant int) {
+		id := len(c.rules)
+		if id >= NumRules {
+			panic("rules: catalog overflow")
+		}
+		c.rules = append(c.rules, Rule{ID: id, Name: name, Category: cat, Kind: kind, Variant: variant})
+		c.byName[name] = id
+	}
+
+	// --- Required normalization rules (IDs 0-11). ---
+	required := []Kind{
+		KindResolveColumns, KindNormalizePredicates, KindConstantFolding,
+		KindEnforceOutput, KindEnforceExchange, KindAssignStages,
+	}
+	for _, k := range required {
+		add(k.String(), Required, k, 0)
+		add(k.String()+"Ex", Required, k, 1)
+	}
+
+	// --- On-by-default logical rewrites. ---
+	onKinds := []Kind{
+		KindPushFilterBelowJoin, KindPushFilterBelowProject,
+		KindPushFilterBelowUnion, KindPushFilterIntoScan,
+		KindMergeFilters, KindMergeProjects, KindPruneColumns,
+		KindJoinCommute, KindLocalGlobalAgg, KindDistinctToAgg,
+		KindRemoveRedundantSort, KindTopNPushdown, KindFlattenUnion,
+		KindSplitComplexFilter,
+	}
+	for _, k := range onKinds {
+		for v := 0; v < 3; v++ {
+			add(fmt.Sprintf("%s_v%d", k, v), OnByDefault, k, v)
+		}
+	}
+
+	// --- Off-by-default experimental rewrites. ---
+	offKinds := []Kind{
+		KindPushFilterBelowAgg, KindJoinAssociate, KindPartialAggBelowJoin,
+		KindPartialAggBelowUnion, KindEliminateDistinctOnKey,
+		KindSemiJoinReduction, KindProjectPullUp, KindBroadcastAnnotation,
+		KindUnionDedupPushdown, KindJoinPredicateInference,
+	}
+	for _, k := range offKinds {
+		for v := 0; v < 3; v++ {
+			add(fmt.Sprintf("%s_x%d", k, v), OffByDefault, k, v)
+		}
+	}
+
+	// --- Implementation rules. ---
+	implKinds := []Kind{
+		KindImplHashJoin, KindImplMergeJoin, KindImplBroadcastJoin,
+		KindImplNestedLoopJoin, KindImplHashAgg, KindImplStreamAgg,
+		KindImplHashPartition, KindImplRangePartition, KindImplRoundRobin,
+		KindImplConcatUnion, KindImplSortedUnion, KindImplRowScan,
+		KindImplColumnScan, KindImplExternalSort, KindImplTopNHeap,
+		KindImplIndexSeek,
+	}
+	for _, k := range implKinds {
+		for v := 0; v < 2; v++ {
+			add(fmt.Sprintf("%s_p%d", k, v), Implementation, k, v)
+		}
+	}
+
+	// --- Tuning variants fill the remaining IDs. ---
+	// Alternate between on-by-default and off-by-default so that both flip
+	// directions occur in job spans, as in the production catalog.
+	tuneKinds := []Kind{
+		KindTunePartitionCount, KindTuneStageFusion, KindTuneVertexPacking,
+		KindTuneExchangeCompression, KindTuneSortBuffer,
+		KindTuneBroadcastThreshold,
+	}
+	variant := 0
+	for len(c.rules) < NumRules {
+		k := tuneKinds[variant%len(tuneKinds)]
+		cat := OnByDefault
+		if variant%3 == 1 {
+			cat = OffByDefault
+		}
+		add(fmt.Sprintf("%s_t%02d", k, variant), cat, k, variant)
+		variant++
+	}
+
+	if len(c.rules) != NumRules {
+		panic("rules: catalog must contain exactly 256 rules")
+	}
+	return c
+}
+
+// Size returns the number of rules in the catalog.
+func (c *Catalog) Size() int { return len(c.rules) }
+
+// Rule returns the rule with the given ID. It panics on out-of-range IDs,
+// which always indicate a programming error.
+func (c *Catalog) Rule(id int) Rule {
+	return c.rules[id]
+}
+
+// ByName looks a rule up by its unique name.
+func (c *Catalog) ByName(name string) (Rule, bool) {
+	id, ok := c.byName[name]
+	if !ok {
+		return Rule{}, false
+	}
+	return c.rules[id], true
+}
+
+// Rules returns all rules in the given category, in ID order.
+func (c *Catalog) Rules(cat Category) []Rule {
+	var out []Rule
+	for _, r := range c.rules {
+		if r.Category == cat {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// All returns every rule in ID order. The returned slice is shared; callers
+// must not modify it.
+func (c *Catalog) All() []Rule { return c.rules }
+
+// DefaultConfig returns the default rule configuration: required,
+// on-by-default and implementation rules enabled; off-by-default disabled.
+func (c *Catalog) DefaultConfig() Config {
+	var cfg Config
+	for _, r := range c.rules {
+		if r.Category != OffByDefault {
+			cfg.Set(r.ID)
+		}
+	}
+	return cfg
+}
+
+// FlipFor returns the single-rule Flip that moves the default configuration
+// toward the opposite setting for rule id: off-by-default rules are turned
+// on, all others are turned off.
+func (c *Catalog) FlipFor(id int) Flip {
+	return Flip{RuleID: id, Enable: c.rules[id].Category == OffByDefault}
+}
+
+// Bitset is a fixed 256-bit vector. The zero value is the empty set. Bitset
+// is a value type: assignment copies it.
+type Bitset struct {
+	w [NumRules / 64]uint64
+}
+
+// Get reports whether bit id is set.
+func (b Bitset) Get(id int) bool {
+	return b.w[id>>6]&(1<<(uint(id)&63)) != 0
+}
+
+// Set sets bit id.
+func (b *Bitset) Set(id int) { b.w[id>>6] |= 1 << (uint(id) & 63) }
+
+// Clear clears bit id.
+func (b *Bitset) Clear(id int) { b.w[id>>6] &^= 1 << (uint(id) & 63) }
+
+// Flip toggles bit id.
+func (b *Bitset) Flip(id int) { b.w[id>>6] ^= 1 << (uint(id) & 63) }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b.w {
+		n += popcount(w)
+	}
+	return n
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// IsEmpty reports whether no bits are set.
+func (b Bitset) IsEmpty() bool {
+	for _, w := range b.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether b and o contain the same bits.
+func (b Bitset) Equal(o Bitset) bool { return b.w == o.w }
+
+// Union returns the set union of b and o.
+func (b Bitset) Union(o Bitset) Bitset {
+	var out Bitset
+	for i := range b.w {
+		out.w[i] = b.w[i] | o.w[i]
+	}
+	return out
+}
+
+// Intersect returns the set intersection of b and o.
+func (b Bitset) Intersect(o Bitset) Bitset {
+	var out Bitset
+	for i := range b.w {
+		out.w[i] = b.w[i] & o.w[i]
+	}
+	return out
+}
+
+// Minus returns the bits set in b but not in o.
+func (b Bitset) Minus(o Bitset) Bitset {
+	var out Bitset
+	for i := range b.w {
+		out.w[i] = b.w[i] &^ o.w[i]
+	}
+	return out
+}
+
+// Bits returns the IDs of all set bits in ascending order.
+func (b Bitset) Bits() []int {
+	out := make([]int, 0, b.Count())
+	for i := 0; i < NumRules; i++ {
+		if b.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the bitset as a 64-hex-digit string, most significant
+// word first, matching the "rule signature" dumps in SCOPE job logs.
+func (b Bitset) String() string {
+	var sb strings.Builder
+	for i := len(b.w) - 1; i >= 0; i-- {
+		fmt.Fprintf(&sb, "%016x", b.w[i])
+	}
+	return sb.String()
+}
+
+// ParseBitset parses the hex form produced by Bitset.String.
+func ParseBitset(s string) (Bitset, error) {
+	var b Bitset
+	if len(s) != NumRules/4 {
+		return b, fmt.Errorf("rules: bitset hex must be %d chars, got %d", NumRules/4, len(s))
+	}
+	for i := range b.w {
+		chunk := s[(len(b.w)-1-i)*16 : (len(b.w)-i)*16]
+		if _, err := fmt.Sscanf(chunk, "%016x", &b.w[i]); err != nil {
+			return Bitset{}, fmt.Errorf("rules: bad bitset hex %q: %v", s, err)
+		}
+	}
+	return b, nil
+}
+
+// Config is a rule configuration: the set of enabled rules handed to the
+// optimizer at compile time. It is a value type.
+type Config struct {
+	Bitset
+}
+
+// Enabled reports whether rule id is enabled.
+func (c Config) Enabled(id int) bool { return c.Get(id) }
+
+// WithFlip returns a copy of c with the given flip applied.
+func (c Config) WithFlip(f Flip) Config {
+	out := c
+	if f.Enable {
+		out.Set(f.RuleID)
+	} else {
+		out.Clear(f.RuleID)
+	}
+	return out
+}
+
+// DiffFrom returns the flips that transform base into c, in rule-ID order.
+func (c Config) DiffFrom(base Config) []Flip {
+	var flips []Flip
+	for i := 0; i < NumRules; i++ {
+		cb, bb := c.Get(i), base.Get(i)
+		if cb != bb {
+			flips = append(flips, Flip{RuleID: i, Enable: cb})
+		}
+	}
+	return flips
+}
+
+// Signature records the rules that directly contributed to a plan, i.e.
+// the rules that fired during optimization ("if only the first and second
+// rule were used, the rule signature will be 1100000000...").
+type Signature struct {
+	Bitset
+}
+
+// Fired reports whether rule id fired.
+func (s Signature) Fired(id int) bool { return s.Get(id) }
+
+// Record marks rule id as fired.
+func (s *Signature) Record(id int) { s.Set(id) }

@@ -1,0 +1,393 @@
+package scope
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColType is the small SCOPE column type system used by the simulator.
+type ColType int
+
+const (
+	TypeInt ColType = iota
+	TypeLong
+	TypeFloat
+	TypeDouble
+	TypeString
+	TypeBool
+	TypeDateTime
+)
+
+var colTypeNames = [...]string{"int", "long", "float", "double", "string", "bool", "datetime"}
+
+func (t ColType) String() string {
+	if int(t) < len(colTypeNames) {
+		return colTypeNames[t]
+	}
+	return fmt.Sprintf("type(%d)", int(t))
+}
+
+// ParseColType maps a type name to a ColType.
+func ParseColType(s string) (ColType, error) {
+	for i, n := range colTypeNames {
+		if n == strings.ToLower(s) {
+			return ColType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("scope: unknown column type %q", s)
+}
+
+// Width returns the synthetic byte width of a value of this type, used for
+// data-volume accounting in the simulator.
+func (t ColType) Width() int64 {
+	switch t {
+	case TypeInt, TypeFloat:
+		return 4
+	case TypeLong, TypeDouble, TypeDateTime:
+		return 8
+	case TypeBool:
+		return 1
+	case TypeString:
+		return 24
+	default:
+		return 8
+	}
+}
+
+// --- Expressions ---
+
+// Expr is an expression tree node. Expressions appear in projections,
+// predicates, join conditions and aggregate arguments.
+type Expr interface {
+	// String renders the expression in canonical source form; it is used
+	// both for error messages and as the stable site key that lets the
+	// execution simulator attach true selectivities to predicates that
+	// survive plan rewrites.
+	String() string
+	// Normalized renders the expression with literals replaced by '?',
+	// producing the template form used for recurring-job identity.
+	Normalized() string
+}
+
+// ColRef references a column, optionally qualified by a rowset alias.
+type ColRef struct {
+	Qualifier string // may be empty
+	Name      string
+}
+
+func (c *ColRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Normalized of a column reference is itself: column identity is part of
+// the template.
+func (c *ColRef) Normalized() string { return c.String() }
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+func (l *IntLit) String() string     { return fmt.Sprintf("%d", l.Value) }
+func (l *IntLit) Normalized() string { return "?" }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+func (l *FloatLit) String() string     { return fmt.Sprintf("%g", l.Value) }
+func (l *FloatLit) Normalized() string { return "?" }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (l *StringLit) String() string     { return fmt.Sprintf("%q", l.Value) }
+func (l *StringLit) Normalized() string { return "?" }
+
+// BoolLit is a boolean literal.
+type BoolLit struct{ Value bool }
+
+func (l *BoolLit) String() string     { return fmt.Sprintf("%t", l.Value) }
+func (l *BoolLit) Normalized() string { return "?" }
+
+// BinaryExpr applies an infix operator: comparison, arithmetic, AND, OR.
+type BinaryExpr struct {
+	Op          string // "==" "!=" "<" "<=" ">" ">=" "+" "-" "*" "/" "%" "AND" "OR"
+	Left, Right Expr
+}
+
+func (b *BinaryExpr) String() string {
+	return "(" + b.Left.String() + " " + b.Op + " " + b.Right.String() + ")"
+}
+
+func (b *BinaryExpr) Normalized() string {
+	return "(" + b.Left.Normalized() + " " + b.Op + " " + b.Right.Normalized() + ")"
+}
+
+// UnaryExpr applies a prefix operator: NOT or unary minus.
+type UnaryExpr struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+func (u *UnaryExpr) String() string     { return u.Op + " " + u.Expr.String() }
+func (u *UnaryExpr) Normalized() string { return u.Op + " " + u.Expr.Normalized() }
+
+// FuncExpr is a function call. Aggregate functions (SUM, COUNT, AVG, MIN,
+// MAX) are distinguished during semantic analysis.
+type FuncExpr struct {
+	Name string // canonical upper case
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+func (f *FuncExpr) String() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (f *FuncExpr) Normalized() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	args := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = a.Normalized()
+	}
+	return f.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// aggregateFuncs is the set of supported aggregate function names.
+var aggregateFuncs = map[string]bool{
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// IsAggregateFunc reports whether name (canonical case) is an aggregate.
+func IsAggregateFunc(name string) bool { return aggregateFuncs[strings.ToUpper(name)] }
+
+// ContainsAggregate reports whether the expression tree contains an
+// aggregate function call.
+func ContainsAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncExpr:
+		if IsAggregateFunc(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if ContainsAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return ContainsAggregate(x.Left) || ContainsAggregate(x.Right)
+	case *UnaryExpr:
+		return ContainsAggregate(x.Expr)
+	}
+	return false
+}
+
+// CollectColRefs appends all column references in e to out and returns it.
+func CollectColRefs(e Expr, out []*ColRef) []*ColRef {
+	switch x := e.(type) {
+	case *ColRef:
+		out = append(out, x)
+	case *BinaryExpr:
+		out = CollectColRefs(x.Left, out)
+		out = CollectColRefs(x.Right, out)
+	case *UnaryExpr:
+		out = CollectColRefs(x.Expr, out)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			out = CollectColRefs(a, out)
+		}
+	}
+	return out
+}
+
+// --- Statements ---
+
+// Statement is a top-level script statement.
+type Statement interface {
+	stmtNode()
+	// Pos returns the source line of the statement for diagnostics.
+	Pos() int
+}
+
+// ColDef declares a column in an EXTRACT schema.
+type ColDef struct {
+	Name string
+	Type ColType
+}
+
+// ExtractStmt reads a rowset from an input file:
+//
+//	name = EXTRACT a:int, b:string FROM "path";
+type ExtractStmt struct {
+	Name   string
+	Schema []ColDef
+	Path   string
+	Line   int
+}
+
+func (*ExtractStmt) stmtNode()  {}
+func (s *ExtractStmt) Pos() int { return s.Line }
+
+// SelectItem is a single projection: expression plus optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // empty means derive from expression
+	Star  bool   // SELECT *
+}
+
+// TableRef names an input rowset with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// AliasOrName returns the alias if present, else the rowset name.
+func (t TableRef) AliasOrName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinType enumerates the supported join flavours.
+type JoinType int
+
+const (
+	JoinInner JoinType = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinSemi
+)
+
+func (j JoinType) String() string {
+	switch j {
+	case JoinInner:
+		return "INNER"
+	case JoinLeft:
+		return "LEFT"
+	case JoinRight:
+		return "RIGHT"
+	case JoinFull:
+		return "FULL"
+	case JoinSemi:
+		return "SEMI"
+	default:
+		return fmt.Sprintf("join(%d)", int(j))
+	}
+}
+
+// JoinClause is one JOIN ... ON ... attached to the FROM clause.
+type JoinClause struct {
+	Type JoinType
+	Ref  TableRef
+	On   Expr
+}
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Col  *ColRef
+	Desc bool
+}
+
+// SelectStmt is the workhorse statement:
+//
+//	name = SELECT [DISTINCT] items FROM ref [JOIN ref ON cond]...
+//	       [WHERE pred] [GROUP BY cols] [HAVING pred]
+//	       [ORDER BY keys] [TOP n];
+type SelectStmt struct {
+	Name     string
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []*ColRef
+	Having   Expr
+	OrderBy  []SortKey
+	Top      int64 // 0 = absent
+	Line     int
+}
+
+func (*SelectStmt) stmtNode()  {}
+func (s *SelectStmt) Pos() int { return s.Line }
+
+// UnionStmt combines rowsets:
+//
+//	name = a UNION [ALL] b [UNION [ALL] c ...];
+type UnionStmt struct {
+	Name   string
+	Inputs []string
+	All    bool
+	Line   int
+}
+
+func (*UnionStmt) stmtNode()  {}
+func (s *UnionStmt) Pos() int { return s.Line }
+
+// ReduceStmt applies a user-defined reducer, SCOPE's extensibility hook:
+//
+//	name = REDUCE input ON col1, col2 USING MyReducer PRODUCE a:int, b:string;
+type ReduceStmt struct {
+	Name    string
+	Input   string
+	On      []*ColRef
+	UserOp  string
+	Produce []ColDef
+	Line    int
+}
+
+func (*ReduceStmt) stmtNode()  {}
+func (s *ReduceStmt) Pos() int { return s.Line }
+
+// ProcessStmt applies a user-defined row processor:
+//
+//	name = PROCESS input USING MyProcessor PRODUCE a:int;
+type ProcessStmt struct {
+	Name    string
+	Input   string
+	UserOp  string
+	Produce []ColDef
+	Line    int
+}
+
+func (*ProcessStmt) stmtNode()  {}
+func (s *ProcessStmt) Pos() int { return s.Line }
+
+// OutputStmt writes a rowset to a file, creating a DAG root:
+//
+//	OUTPUT name TO "path";
+type OutputStmt struct {
+	Input string
+	Path  string
+	Line  int
+}
+
+func (*OutputStmt) stmtNode()  {}
+func (s *OutputStmt) Pos() int { return s.Line }
+
+// Script is a parsed SCOPE script: an ordered list of statements.
+type Script struct {
+	Statements []Statement
+}
+
+// Outputs returns the script's OUTPUT statements in order.
+func (s *Script) Outputs() []*OutputStmt {
+	var outs []*OutputStmt
+	for _, st := range s.Statements {
+		if o, ok := st.(*OutputStmt); ok {
+			outs = append(outs, o)
+		}
+	}
+	return outs
+}

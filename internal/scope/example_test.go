@@ -1,0 +1,62 @@
+package scope_test
+
+import (
+	"fmt"
+
+	"qoadvisor/internal/scope"
+)
+
+// ExampleCompileScript shows the lexer→parser→compiler path from script
+// source to a logical operator DAG.
+func ExampleCompileScript() {
+	src := `
+events = EXTRACT uid:long, kind:string, ms:int FROM "store/events.tsv";
+slow = SELECT uid, ms FROM events WHERE ms > 500;
+byUser = SELECT uid, COUNT(*) AS cnt FROM slow GROUP BY uid;
+OUTPUT byUser TO "out/by_user.tsv";
+`
+	g, err := scope.CompileScript(src)
+	if err != nil {
+		fmt.Println("compile failed:", err)
+		return
+	}
+	for _, n := range g.Nodes() {
+		fmt.Println(n.Label())
+	}
+	// Output:
+	// Scan(store/events.tsv)
+	// Filter((ms > 500))
+	// Project(uid,ms)
+	// Agg(by=uid aggs=COUNT(*))
+	// Project(uid,cnt)
+	// Output(out/by_user.tsv)
+}
+
+// ExampleGraph_TemplateHash demonstrates recurring-job identity: two
+// instances with different constants and dated paths share a template.
+func ExampleGraph_TemplateHash() {
+	day1, _ := scope.CompileScript(`
+t = EXTRACT v:int FROM "data/20211103.tsv";
+x = SELECT v FROM t WHERE v > 100;
+OUTPUT x TO "out/20211103.tsv";`)
+	day2, _ := scope.CompileScript(`
+t = EXTRACT v:int FROM "data/20211104.tsv";
+x = SELECT v FROM t WHERE v > 250;
+OUTPUT x TO "out/20211104.tsv";`)
+	fmt.Println(day1.TemplateHash() == day2.TemplateHash())
+	// Output: true
+}
+
+// ExampleConjuncts shows predicate decomposition, the unit of selectivity
+// bookkeeping throughout the optimizer.
+func ExampleConjuncts() {
+	s, _ := scope.Parse(`x = SELECT a FROM t WHERE a > 1 AND b == 2 AND c < 3; OUTPUT x TO "o";`)
+	pred := s.Statements[0].(*scope.SelectStmt).Where
+	for _, c := range scope.Conjuncts(pred) {
+		fmt.Println(c)
+	}
+	// Output:
+	// (a > 1)
+	// (b == 2)
+	// (c < 3)
+}

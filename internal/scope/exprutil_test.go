@@ -1,0 +1,247 @@
+package scope
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parsePred(t *testing.T, pred string) Expr {
+	t.Helper()
+	src := `x = SELECT a FROM t WHERE ` + pred + `; OUTPUT x TO "o";`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", pred, err)
+	}
+	return s.Statements[0].(*SelectStmt).Where
+}
+
+func TestConjunctsSplitsNestedAnds(t *testing.T) {
+	e := parsePred(t, "a > 1 AND b < 2 AND c == 3")
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(cs))
+	}
+	// ORs are not split.
+	e2 := parsePred(t, "a > 1 OR b < 2")
+	if len(Conjuncts(e2)) != 1 {
+		t.Error("OR must stay a single conjunct")
+	}
+	// Mixed: AND over OR splits at the AND only.
+	e3 := parsePred(t, "(a > 1 OR b < 2) AND c == 3")
+	if len(Conjuncts(e3)) != 2 {
+		t.Error("AND over OR should yield two conjuncts")
+	}
+}
+
+func TestAndAllInvertsConjuncts(t *testing.T) {
+	e := parsePred(t, "a > 1 AND b < 2 AND c == 3")
+	cs := Conjuncts(e)
+	rebuilt := AndAll(cs)
+	if len(Conjuncts(rebuilt)) != len(cs) {
+		t.Error("AndAll/Conjuncts round trip changed arity")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+	single := AndAll(cs[:1])
+	if single.String() != cs[0].String() {
+		t.Error("AndAll of one element should be the element")
+	}
+}
+
+func TestRefNames(t *testing.T) {
+	e := parsePred(t, "a > 1 AND b < c")
+	refs := RefNames(e)
+	for _, want := range []string{"a", "b", "c"} {
+		if !refs[want] {
+			t.Errorf("missing ref %q in %v", want, refs)
+		}
+	}
+	if len(refs) != 3 {
+		t.Errorf("refs = %v", refs)
+	}
+}
+
+func TestRenameRefsDoesNotMutate(t *testing.T) {
+	e := parsePred(t, "a > 1 AND b == 2")
+	before := e.String()
+	renamed := RenameRefs(e, map[string]string{"a": "x"})
+	if e.String() != before {
+		t.Fatal("RenameRefs mutated its input")
+	}
+	if !strings.Contains(renamed.String(), "x") || strings.Contains(renamed.String(), "a >") {
+		t.Errorf("rename failed: %s", renamed)
+	}
+	// Unmapped names survive.
+	if !strings.Contains(renamed.String(), "b") {
+		t.Errorf("unmapped name lost: %s", renamed)
+	}
+}
+
+func TestSubstituteRefsInlinesExpressions(t *testing.T) {
+	e := parsePred(t, "s > 10")
+	inner := parsePred(t, "a + b > 0").(*BinaryExpr).Left // (a + b)
+	out := SubstituteRefs(e, map[string]Expr{"s": inner})
+	if !strings.Contains(out.String(), "a + b") {
+		t.Errorf("substitution failed: %s", out)
+	}
+	// Input untouched.
+	if !strings.Contains(e.String(), "s") {
+		t.Error("SubstituteRefs mutated its input")
+	}
+}
+
+// randomExpr builds a random expression tree for property tests.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Float64() < 0.3 {
+		switch rng.Intn(3) {
+		case 0:
+			return &ColRef{Name: string(rune('a' + rng.Intn(6)))}
+		case 1:
+			return &IntLit{Value: int64(rng.Intn(100))}
+		default:
+			return &FloatLit{Value: rng.Float64() * 10}
+		}
+	}
+	ops := []string{"AND", "OR", "+", "-", "*", "==", "<", ">"}
+	return &BinaryExpr{
+		Op:    ops[rng.Intn(len(ops))],
+		Left:  randomExpr(rng, depth-1),
+		Right: randomExpr(rng, depth-1),
+	}
+}
+
+// Property: AndAll(Conjuncts(e)) preserves the conjunct multiset.
+func TestConjunctsRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		cs := Conjuncts(e)
+		rebuilt := AndAll(cs)
+		cs2 := Conjuncts(rebuilt)
+		if len(cs) != len(cs2) {
+			return false
+		}
+		for i := range cs {
+			if cs[i].String() != cs2[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: renaming with an identity map is a no-op on the rendering.
+func TestRenameIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		identity := make(map[string]string)
+		for name := range RefNames(e) {
+			identity[name] = name
+		}
+		return RenameRefs(e, identity).String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rename then rename-back restores the original rendering when
+// the mapping is a bijection to fresh names.
+func TestRenameInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 4)
+		fwd := make(map[string]string)
+		back := make(map[string]string)
+		i := 0
+		for name := range RefNames(e) {
+			fresh := "fresh" + string(rune('A'+i))
+			fwd[name] = fresh
+			back[fresh] = name
+			i++
+		}
+		return RenameRefs(RenameRefs(e, fwd), back).String() == e.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalized never contains digits from integer literals.
+func TestNormalizedWildcardsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := &BinaryExpr{
+			Op:    ">",
+			Left:  &ColRef{Name: "col"},
+			Right: &IntLit{Value: int64(rng.Intn(100000) + 10)},
+		}
+		return !strings.ContainsAny(e.Normalized(), "0123456789")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Parser robustness: random garbage must error out, never panic.
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "EXTRACT", "OUTPUT", "TO", "JOIN",
+		"ON", "GROUP", "BY", "UNION", "x", "y", "=", ";", ",", "(", ")",
+		"==", ">", "\"s\"", "123", "4.5", "AND", "TOP", ":", "int", ".",
+	}
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(20)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(tokens[rng.Intn(len(tokens))])
+			sb.WriteByte(' ')
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = Parse(sb.String()) // error or success both fine
+		}()
+	}
+}
+
+// Compiler robustness: random garbage that parses must compile or error,
+// never panic.
+func TestCompileNeverPanicsOnRandomScripts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		// Small random-but-plausible scripts.
+		var sb strings.Builder
+		sb.WriteString(`t = EXTRACT a:int, b:long FROM "f";` + "\n")
+		switch rng.Intn(4) {
+		case 0:
+			sb.WriteString(`x = SELECT a FROM t WHERE nosuch > 1;` + "\n")
+		case 1:
+			sb.WriteString(`x = SELECT a, a FROM t;` + "\n")
+		case 2:
+			sb.WriteString(`x = SELECT SUM(a) AS s FROM t GROUP BY nosuch;` + "\n")
+		default:
+			sb.WriteString(`x = SELECT a FROM t;` + "\n")
+		}
+		sb.WriteString(`OUTPUT x TO "o";`)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("compiler panicked on %q: %v", sb.String(), r)
+				}
+			}()
+			_, _ = CompileScript(sb.String())
+		}()
+	}
+}

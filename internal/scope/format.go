@@ -1,0 +1,144 @@
+package scope
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed script back to canonical source form. Parsing
+// the output yields an equivalent script (same statements, same
+// expressions up to canonical spelling), which makes Format useful for
+// normalizing templates and for debugging generated workloads.
+func Format(s *Script) string {
+	var sb strings.Builder
+	for _, st := range s.Statements {
+		sb.WriteString(formatStatement(st))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func formatStatement(st Statement) string {
+	switch s := st.(type) {
+	case *ExtractStmt:
+		return fmt.Sprintf("%s = EXTRACT %s FROM %q;", s.Name, formatColDefs(s.Schema), s.Path)
+	case *SelectStmt:
+		return formatSelect(s)
+	case *UnionStmt:
+		op := " UNION "
+		if s.All {
+			op = " UNION ALL "
+		}
+		return fmt.Sprintf("%s = %s;", s.Name, strings.Join(s.Inputs, op))
+	case *ReduceStmt:
+		keys := make([]string, len(s.On))
+		for i, k := range s.On {
+			keys[i] = k.String()
+		}
+		return fmt.Sprintf("%s = REDUCE %s ON %s USING %s PRODUCE %s;",
+			s.Name, s.Input, strings.Join(keys, ", "), s.UserOp, formatColDefs(s.Produce))
+	case *ProcessStmt:
+		return fmt.Sprintf("%s = PROCESS %s USING %s PRODUCE %s;",
+			s.Name, s.Input, s.UserOp, formatColDefs(s.Produce))
+	case *OutputStmt:
+		return fmt.Sprintf("OUTPUT %s TO %q;", s.Input, s.Path)
+	default:
+		return fmt.Sprintf("// unsupported statement %T", st)
+	}
+}
+
+func formatColDefs(defs []ColDef) string {
+	parts := make([]string, len(defs))
+	for i, d := range defs {
+		parts[i] = fmt.Sprintf("%s:%s", d.Name, d.Type)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func formatSelect(s *SelectStmt) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s = SELECT ", s.Name)
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		switch {
+		case it.Star:
+			items[i] = "*"
+		case it.Alias != "":
+			items[i] = fmt.Sprintf("%s AS %s", formatExpr(it.Expr), it.Alias)
+		default:
+			items[i] = formatExpr(it.Expr)
+		}
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	fmt.Fprintf(&sb, " FROM %s", formatTableRef(s.From))
+	for _, j := range s.Joins {
+		fmt.Fprintf(&sb, " %s %s ON %s", joinKeyword(j.Type), formatTableRef(j.Ref), formatExpr(j.On))
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&sb, " WHERE %s", formatExpr(s.Where))
+	}
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, len(s.GroupBy))
+		for i, k := range s.GroupBy {
+			keys[i] = k.String()
+		}
+		fmt.Fprintf(&sb, " GROUP BY %s", strings.Join(keys, ", "))
+	}
+	if s.Having != nil {
+		fmt.Fprintf(&sb, " HAVING %s", formatExpr(s.Having))
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, k := range s.OrderBy {
+			dir := " ASC"
+			if k.Desc {
+				dir = " DESC"
+			}
+			keys[i] = k.Col.String() + dir
+		}
+		fmt.Fprintf(&sb, " ORDER BY %s", strings.Join(keys, ", "))
+	}
+	if s.Top > 0 {
+		fmt.Fprintf(&sb, " TOP %d", s.Top)
+	}
+	sb.WriteString(";")
+	return sb.String()
+}
+
+func joinKeyword(t JoinType) string {
+	switch t {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinRight:
+		return "RIGHT JOIN"
+	case JoinFull:
+		return "FULL JOIN"
+	case JoinSemi:
+		return "SEMI JOIN"
+	default:
+		return "JOIN"
+	}
+}
+
+func formatTableRef(r TableRef) string {
+	if r.Alias != "" {
+		return r.Name + " AS " + r.Alias
+	}
+	return r.Name
+}
+
+// formatExpr renders an expression without the outermost parentheses that
+// Expr.String adds around binary operations.
+func formatExpr(e Expr) string {
+	s := e.String()
+	if be, ok := e.(*BinaryExpr); ok && len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+		_ = be
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,103 @@
+package scope
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatRoundTripSample(t *testing.T) {
+	s := mustParse(t, sampleScript)
+	formatted := Format(s)
+	s2, err := Parse(formatted)
+	if err != nil {
+		t.Fatalf("formatted script does not parse: %v\n%s", err, formatted)
+	}
+	if len(s2.Statements) != len(s.Statements) {
+		t.Fatalf("statement count changed: %d vs %d", len(s2.Statements), len(s.Statements))
+	}
+	// Idempotence: formatting the reparse gives the same text.
+	if Format(s2) != formatted {
+		t.Error("Format is not idempotent")
+	}
+}
+
+func TestFormatRoundTripPreservesSemantics(t *testing.T) {
+	// Compile both the original and the formatted script: same template
+	// hash means same normalized plan structure.
+	g1, err := CompileScript(sampleScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustParse(t, sampleScript)
+	g2, err := CompileScript(Format(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.TemplateHash() != g2.TemplateHash() {
+		t.Error("formatting changed the compiled template")
+	}
+}
+
+func TestFormatStatements(t *testing.T) {
+	cases := []string{
+		`x = EXTRACT a:int, b:string FROM "f.tsv";`,
+		`u = a UNION ALL b;`,
+		`u = a UNION b;`,
+		`r = REDUCE t ON k1, k2 USING MyReducer PRODUCE a:int, b:string;`,
+		`p = PROCESS t USING Cleaner PRODUCE a:long;`,
+		`OUTPUT x TO "o.tsv";`,
+		`x = SELECT DISTINCT a, b AS bb FROM t AS q LEFT JOIN u AS w ON a == c WHERE a > 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC TOP 7;`,
+	}
+	for _, src := range cases {
+		// Self-contained script for the parser.
+		full := src
+		if !strings.HasPrefix(src, "OUTPUT") {
+			full = src + "\nOUTPUT " + strings.SplitN(src, " ", 2)[0] + ` TO "o";`
+		} else {
+			full = `x = EXTRACT a:int FROM "f";` + "\n" + src
+		}
+		s, err := Parse(full)
+		if err != nil {
+			t.Fatalf("parse %q: %v", full, err)
+		}
+		formatted := Format(s)
+		if _, err := Parse(formatted); err != nil {
+			t.Errorf("formatted output unparseable for %q:\n%s\n%v", src, formatted, err)
+		}
+	}
+}
+
+func TestFormatExprDropsOuterParens(t *testing.T) {
+	s := mustParse(t, `x = SELECT a FROM t WHERE a > 1 AND b < 2; OUTPUT x TO "o";`)
+	out := Format(s)
+	// The top-level AND is unwrapped; only operand-level parens remain.
+	if strings.Contains(out, "WHERE ((") {
+		t.Errorf("outermost parens should be dropped: %s", out)
+	}
+	if !strings.Contains(out, "WHERE (a > 1) AND (b < 2)") {
+		t.Errorf("unexpected predicate rendering: %s", out)
+	}
+}
+
+func TestFormatWorkloadScripts(t *testing.T) {
+	// All generated workload scripts must survive a format round trip.
+	// (Uses the raw sample script family here; the workload package has
+	// its own generator tests.)
+	srcs := []string{
+		sampleScript,
+		`a = EXTRACT x:int FROM "a.tsv";
+b = EXTRACT x:int FROM "b.tsv";
+u = a UNION ALL b;
+t10 = SELECT * FROM u ORDER BY x DESC TOP 10;
+OUTPUT t10 TO "o";`,
+	}
+	for _, src := range srcs {
+		s, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(Format(s)); err != nil {
+			t.Errorf("round trip failed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package scope
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// OpKind enumerates logical operator kinds in the plan DAG.
+type OpKind int
+
+const (
+	OpScan OpKind = iota // EXTRACT from an input file
+	OpFilter
+	OpProject
+	OpJoin
+	OpAgg // group-by aggregation; Partial marks optimizer-introduced local aggs
+	OpDistinct
+	OpUnion
+	OpSort
+	OpTop
+	OpReduce  // user-defined reducer (partitioned by On columns)
+	OpProcess // user-defined row processor
+	OpOutput  // DAG root: write to a file
+)
+
+var opKindNames = [...]string{
+	"Scan", "Filter", "Project", "Join", "Agg", "Distinct", "Union",
+	"Sort", "Top", "Reduce", "Process", "Output",
+}
+
+func (k OpKind) String() string {
+	if int(k) < len(opKindNames) {
+		return opKindNames[k]
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Column describes one output column of a plan node.
+type Column struct {
+	Name string
+	Type ColType
+	// Source identifies the base-table column this column carries, as
+	// "path:column", or "" for computed columns. The cost model uses it
+	// to look up distinct-value counts.
+	Source string
+}
+
+// NamedExpr is a projection item: a computed expression with its output name.
+type NamedExpr struct {
+	Name string
+	E    Expr
+}
+
+// AggSpec is one aggregate computation in an Agg node.
+type AggSpec struct {
+	Func string // SUM, COUNT, AVG, MIN, MAX
+	Arg  Expr   // nil when Star
+	Star bool
+	Name string // output column name
+}
+
+// String renders the aggregate in canonical form.
+func (a AggSpec) String() string {
+	if a.Star {
+		return a.Func + "(*)"
+	}
+	return a.Func + "(" + a.Arg.String() + ")"
+}
+
+// Node is a logical plan operator. Nodes form a DAG: a node may be an
+// input to multiple consumers (SCOPE scripts reuse rowsets), and the
+// graph has one root per OUTPUT statement.
+type Node struct {
+	ID     int
+	Kind   OpKind
+	Inputs []*Node
+	Cols   []Column
+
+	// Operator payloads; which fields are meaningful depends on Kind.
+	TablePath string   // Scan
+	BaseWidth int64    // Scan: full row width before column pruning
+	Pred      Expr     // Filter
+	JoinType  JoinType // Join
+	JoinCond  Expr     // Join
+	Projs     []NamedExpr
+	GroupBy   []Column  // Agg, Reduce partition columns
+	Aggs      []AggSpec // Agg
+	Partial   bool      // Agg: optimizer-introduced local (partial) aggregation
+	SortKeys  []SortKey // Sort, Top
+	TopN      int64     // Top
+	OutPath   string    // Output
+	UserOp    string    // Reduce, Process
+
+	// BroadcastRight is a logical annotation set by the broadcast
+	// annotation rule: broadcast the join's build side instead of
+	// repartitioning both inputs. Implementation rules honour it when
+	// choosing the physical join.
+	BroadcastRight bool
+
+	// BuildLeft marks a join whose build side is the left input (set by
+	// the join-commute rule when the left side is estimated smaller).
+	// By default joins build on the right input.
+	BuildLeft bool
+
+	// RightRenames maps merged output column names back to the right
+	// input's original column names for Join nodes whose right side was
+	// renamed to avoid collisions (merged name -> original name).
+	RightRenames map[string]string
+}
+
+// ColNames returns the node's output column names in order.
+func (n *Node) ColNames() []string {
+	names := make([]string, len(n.Cols))
+	for i, c := range n.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// FindCol returns the column with the given name and whether it exists.
+func (n *Node) FindCol(name string) (Column, bool) {
+	for _, c := range n.Cols {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Column{}, false
+}
+
+// Label renders a one-line description of the operator for plan dumps.
+func (n *Node) Label() string {
+	switch n.Kind {
+	case OpScan:
+		return fmt.Sprintf("Scan(%s)", n.TablePath)
+	case OpFilter:
+		return fmt.Sprintf("Filter(%s)", n.Pred)
+	case OpProject:
+		parts := make([]string, len(n.Projs))
+		for i, p := range n.Projs {
+			parts[i] = p.Name
+		}
+		return fmt.Sprintf("Project(%s)", strings.Join(parts, ","))
+	case OpJoin:
+		return fmt.Sprintf("%sJoin(%s)", n.JoinType, n.JoinCond)
+	case OpAgg:
+		kind := "Agg"
+		if n.Partial {
+			kind = "PartialAgg"
+		}
+		keys := make([]string, len(n.GroupBy))
+		for i, c := range n.GroupBy {
+			keys[i] = c.Name
+		}
+		aggs := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			aggs[i] = a.String()
+		}
+		return fmt.Sprintf("%s(by=%s aggs=%s)", kind, strings.Join(keys, ","), strings.Join(aggs, ","))
+	case OpDistinct:
+		return "Distinct"
+	case OpUnion:
+		return fmt.Sprintf("Union(%d-way)", len(n.Inputs))
+	case OpSort:
+		return fmt.Sprintf("Sort(%s)", sortKeysString(n.SortKeys))
+	case OpTop:
+		return fmt.Sprintf("Top(%d, %s)", n.TopN, sortKeysString(n.SortKeys))
+	case OpReduce:
+		return fmt.Sprintf("Reduce(%s)", n.UserOp)
+	case OpProcess:
+		return fmt.Sprintf("Process(%s)", n.UserOp)
+	case OpOutput:
+		return fmt.Sprintf("Output(%s)", n.OutPath)
+	default:
+		return n.Kind.String()
+	}
+}
+
+func sortKeysString(keys []SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		parts[i] = k.Col.String() + " " + dir
+	}
+	return strings.Join(parts, ",")
+}
+
+// Graph is a logical plan DAG with one root per OUTPUT statement.
+type Graph struct {
+	Roots  []*Node
+	nextID int
+}
+
+// NewNode allocates a node with a fresh ID attached to this graph.
+func (g *Graph) NewNode(kind OpKind, inputs ...*Node) *Node {
+	n := &Node{ID: g.nextID, Kind: kind, Inputs: inputs}
+	g.nextID++
+	return n
+}
+
+// Nodes returns all nodes reachable from the roots in a deterministic
+// topological order (inputs before consumers).
+func (g *Graph) Nodes() []*Node {
+	var order []*Node
+	seen := make(map[*Node]bool)
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.Inputs {
+			visit(in)
+		}
+		order = append(order, n)
+	}
+	for _, r := range g.Roots {
+		visit(r)
+	}
+	return order
+}
+
+// NodeCount returns the number of reachable nodes.
+func (g *Graph) NodeCount() int { return len(g.Nodes()) }
+
+// Clone deep-copies the DAG, preserving node sharing. The clone's node IDs
+// match the originals so that site keys remain comparable.
+func (g *Graph) Clone() *Graph {
+	clone := &Graph{nextID: g.nextID}
+	mapping := make(map[*Node]*Node)
+	var cp func(n *Node) *Node
+	cp = func(n *Node) *Node {
+		if c, ok := mapping[n]; ok {
+			return c
+		}
+		c := &Node{}
+		*c = *n // shallow copy of scalar fields and expression pointers
+		c.Inputs = make([]*Node, len(n.Inputs))
+		c.Cols = append([]Column(nil), n.Cols...)
+		c.Projs = append([]NamedExpr(nil), n.Projs...)
+		c.GroupBy = append([]Column(nil), n.GroupBy...)
+		c.Aggs = append([]AggSpec(nil), n.Aggs...)
+		c.SortKeys = append([]SortKey(nil), n.SortKeys...)
+		if n.RightRenames != nil {
+			c.RightRenames = make(map[string]string, len(n.RightRenames))
+			for k, v := range n.RightRenames {
+				c.RightRenames[k] = v
+			}
+		}
+		mapping[n] = c
+		for i, in := range n.Inputs {
+			c.Inputs[i] = cp(in)
+		}
+		return c
+	}
+	clone.Roots = make([]*Node, len(g.Roots))
+	for i, r := range g.Roots {
+		clone.Roots[i] = cp(r)
+	}
+	return clone
+}
+
+// String renders the DAG as an indented tree per root, with shared nodes
+// marked by reference after their first occurrence.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	printed := make(map[*Node]bool)
+	var dump func(n *Node, depth int)
+	dump = func(n *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		if printed[n] {
+			fmt.Fprintf(&sb, "#%d (shared %s)\n", n.ID, n.Kind)
+			return
+		}
+		printed[n] = true
+		fmt.Fprintf(&sb, "#%d %s\n", n.ID, n.Label())
+		for _, in := range n.Inputs {
+			dump(in, depth+1)
+		}
+	}
+	for i, r := range g.Roots {
+		fmt.Fprintf(&sb, "root %d:\n", i)
+		dump(r, 1)
+	}
+	return sb.String()
+}
+
+// Fingerprint returns a stable hash of the node's operator identity
+// (kind, payload, input fingerprints). Tuning rules use fingerprints to
+// decide which plan fragments they apply to.
+func (n *Node) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var write func(x *Node)
+	seen := make(map[*Node]bool)
+	write = func(x *Node) {
+		if seen[x] {
+			fmt.Fprintf(h, "^")
+			return
+		}
+		seen[x] = true
+		fmt.Fprintf(h, "%s|", x.Kind)
+		switch x.Kind {
+		case OpScan:
+			fmt.Fprintf(h, "%s", x.TablePath)
+		case OpFilter:
+			fmt.Fprintf(h, "%s", x.Pred.Normalized())
+		case OpJoin:
+			fmt.Fprintf(h, "%s:%s", x.JoinType, x.JoinCond.Normalized())
+		case OpAgg:
+			for _, c := range x.GroupBy {
+				fmt.Fprintf(h, "%s,", c.Name)
+			}
+			for _, a := range x.Aggs {
+				fmt.Fprintf(h, "%s,", a.String())
+			}
+		case OpProject:
+			for _, p := range x.Projs {
+				fmt.Fprintf(h, "%s,", p.Name)
+			}
+		case OpSort, OpTop:
+			fmt.Fprintf(h, "%s:%d", sortKeysString(x.SortKeys), x.TopN)
+		case OpOutput:
+			fmt.Fprintf(h, "%s", x.OutPath)
+		case OpReduce, OpProcess:
+			fmt.Fprintf(h, "%s", x.UserOp)
+		}
+		fmt.Fprintf(h, "(")
+		for _, in := range x.Inputs {
+			write(in)
+		}
+		fmt.Fprintf(h, ")")
+	}
+	write(n)
+	return h.Sum64()
+}
+
+// RowWidth returns the synthetic row width in bytes of the node's schema.
+func (n *Node) RowWidth() int64 {
+	var w int64
+	for _, c := range n.Cols {
+		w += c.Type.Width()
+	}
+	if w == 0 {
+		w = 8
+	}
+	return w
+}
+
+// TemplateHash returns a stable hash of the graph's normalized structure:
+// operators and normalized expressions, with literals wildcarded. Two
+// instances of the same recurring job template share a TemplateHash even
+// when their filter constants and input paths' date components differ.
+func (g *Graph) TemplateHash() uint64 {
+	h := fnv.New64a()
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(h, "%s|", n.Kind)
+		switch n.Kind {
+		case OpScan:
+			fmt.Fprintf(h, "%s", normalizePath(n.TablePath))
+		case OpFilter:
+			fmt.Fprintf(h, "%s", n.Pred.Normalized())
+		case OpJoin:
+			fmt.Fprintf(h, "%s:%s", n.JoinType, n.JoinCond.Normalized())
+		case OpAgg:
+			for _, c := range n.GroupBy {
+				fmt.Fprintf(h, "%s,", c.Name)
+			}
+		case OpOutput:
+			fmt.Fprintf(h, "%s", normalizePath(n.OutPath))
+		case OpReduce, OpProcess:
+			fmt.Fprintf(h, "%s", n.UserOp)
+		}
+		fmt.Fprintf(h, ";")
+	}
+	return h.Sum64()
+}
+
+// normalizePath strips digit runs from a path so that date-partitioned
+// inputs ("clicks/2021/11/03.tsv") normalize to the same template.
+func normalizePath(p string) string {
+	var sb strings.Builder
+	inDigits := false
+	for i := 0; i < len(p); i++ {
+		if p[i] >= '0' && p[i] <= '9' {
+			if !inDigits {
+				sb.WriteByte('#')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		sb.WriteByte(p[i])
+	}
+	return sb.String()
+}
+
+// SiteKey returns the stable identity of an operator "site" used to carry
+// true selectivities from the workload generator to the execution
+// simulator. Sites are keyed by the operator's semantic payload, which
+// survives plan rewrites (a pushed-down filter keeps its predicate).
+func (n *Node) SiteKey() string {
+	switch n.Kind {
+	case OpFilter:
+		return "filter:" + n.Pred.String()
+	case OpJoin:
+		return "join:" + n.JoinCond.String()
+	case OpAgg:
+		keys := make([]string, len(n.GroupBy))
+		for i, c := range n.GroupBy {
+			keys[i] = c.Name
+		}
+		sort.Strings(keys)
+		return "agg:" + strings.Join(keys, ",")
+	case OpDistinct:
+		return "distinct:" + strings.Join(n.ColNames(), ",")
+	case OpReduce:
+		return "reduce:" + n.UserOp
+	case OpProcess:
+		return "process:" + n.UserOp
+	case OpScan:
+		return "scan:" + n.TablePath
+	default:
+		return ""
+	}
+}

@@ -1,0 +1,184 @@
+package sis
+
+import (
+	"strings"
+	"testing"
+
+	"qoadvisor/internal/rules"
+)
+
+func sampleFile(cat *rules.Catalog) File {
+	on := cat.Rules(rules.OnByDefault)[0]
+	off := cat.Rules(rules.OffByDefault)[0]
+	return File{
+		Day: 5,
+		Hints: []Hint{
+			{TemplateHash: 0xabc123, TemplateID: "T001", Flip: rules.Flip{RuleID: on.ID, Enable: false}, Day: 5},
+			{TemplateHash: 0xdef456, TemplateID: "T002", Flip: rules.Flip{RuleID: off.ID, Enable: true}, Day: 5},
+		},
+	}
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	cat := rules.NewCatalog()
+	f := sampleFile(cat)
+	var sb strings.Builder
+	if err := Serialize(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Day != f.Day || len(got.Hints) != len(f.Hints) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range f.Hints {
+		if got.Hints[i] != f.Hints[i] {
+			t.Errorf("hint %d: %+v != %+v", i, got.Hints[i], f.Hints[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage header\n",
+		"qoadvisor-hints v1 day=1\nonly,three,fields\n",
+		"qoadvisor-hints v1 day=1\nzzzz,T001,+R001,1\n",  // bad hash (not hex is actually ok for z? no: z invalid)
+		"qoadvisor-hints v1 day=1\n00ab,T001,flip,1\n",   // bad flip
+		"qoadvisor-hints v1 day=1\n00ab,T001,+R001,xx\n", // bad day
+		"qoadvisor-hints v1 day=1\n00ab,T001,+R999,1\n",  // rule out of range
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSkipsBlankLines(t *testing.T) {
+	src := "qoadvisor-hints v1 day=2\n\n00000000000000ab,T001,+R050,2\n\n"
+	f, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Hints) != 1 {
+		t.Fatalf("hints = %d", len(f.Hints))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cat := rules.NewCatalog()
+	good := sampleFile(cat)
+	if err := Validate(good, cat); err != nil {
+		t.Errorf("valid file rejected: %v", err)
+	}
+	dup := good
+	dup.Hints = append(dup.Hints, dup.Hints[0])
+	if err := Validate(dup, cat); err == nil {
+		t.Error("duplicate template should be rejected")
+	}
+	req := cat.Rules(rules.Required)[0]
+	bad := File{Hints: []Hint{{TemplateHash: 1, Flip: rules.Flip{RuleID: req.ID, Enable: false}}}}
+	if err := Validate(bad, cat); err == nil {
+		t.Error("flipping a required rule should be rejected")
+	}
+	oor := File{Hints: []Hint{{TemplateHash: 1, Flip: rules.Flip{RuleID: 300}}}}
+	if err := Validate(oor, cat); err == nil {
+		t.Error("out-of-range rule should be rejected")
+	}
+}
+
+func TestStoreUploadAndLookup(t *testing.T) {
+	cat := rules.NewCatalog()
+	s := NewStore(cat)
+	if s.Version() != 0 || s.Size() != 0 {
+		t.Fatal("new store should be empty")
+	}
+	f := sampleFile(cat)
+	if err := s.Upload(f); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 1 || s.Size() != 2 {
+		t.Errorf("version=%d size=%d", s.Version(), s.Size())
+	}
+	h, ok := s.Lookup(0xabc123)
+	if !ok || h.TemplateID != "T001" {
+		t.Errorf("lookup = %+v ok=%v", h, ok)
+	}
+	if _, ok := s.Lookup(0x999); ok {
+		t.Error("unknown template should miss")
+	}
+}
+
+func TestStoreUploadReplacesVersion(t *testing.T) {
+	cat := rules.NewCatalog()
+	s := NewStore(cat)
+	f1 := sampleFile(cat)
+	if err := s.Upload(f1); err != nil {
+		t.Fatal(err)
+	}
+	f2 := File{Day: 6, Hints: []Hint{f1.Hints[1]}}
+	if err := s.Upload(f2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 2 {
+		t.Errorf("version = %d", s.Version())
+	}
+	if _, ok := s.Lookup(0xabc123); ok {
+		t.Error("old hints should be replaced by the new version")
+	}
+	if _, ok := s.Lookup(0xdef456); !ok {
+		t.Error("new hints should be present")
+	}
+	if len(s.History()) != 2 {
+		t.Errorf("history = %d", len(s.History()))
+	}
+}
+
+func TestStoreRejectsInvalidUpload(t *testing.T) {
+	cat := rules.NewCatalog()
+	s := NewStore(cat)
+	req := cat.Rules(rules.Required)[0]
+	bad := File{Hints: []Hint{{TemplateHash: 1, Flip: rules.Flip{RuleID: req.ID}}}}
+	if err := s.Upload(bad); err == nil {
+		t.Fatal("invalid upload should fail")
+	}
+	if s.Version() != 0 {
+		t.Error("failed upload must not install a version")
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	cat := rules.NewCatalog()
+	s := NewStore(cat)
+	def := cat.DefaultConfig()
+	// No hint: default config unchanged.
+	if got := s.ConfigFor(42, def); !got.Equal(def.Bitset) {
+		t.Error("missing hint should return the default config")
+	}
+	f := sampleFile(cat)
+	if err := s.Upload(f); err != nil {
+		t.Fatal(err)
+	}
+	got := s.ConfigFor(0xabc123, def)
+	flip := f.Hints[0].Flip
+	if got.Enabled(flip.RuleID) != flip.Enable {
+		t.Errorf("hint not applied: rule %d enabled=%v", flip.RuleID, got.Enabled(flip.RuleID))
+	}
+	diff := got.DiffFrom(def)
+	if len(diff) != 1 {
+		t.Errorf("hinted config should differ by exactly one flip, got %v", diff)
+	}
+}
+
+func TestNewStoreNilCatalog(t *testing.T) {
+	s := NewStore(nil)
+	if s == nil {
+		t.Fatal("nil store")
+	}
+	if err := s.Upload(File{Day: 1}); err != nil {
+		t.Fatalf("empty upload should be fine: %v", err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package span implements the job-span computation of §4.1: a fix-point
+// heuristic that discovers all optimizer rules which, if enabled or
+// disabled, can affect a job's final query plan. The span is what limits
+// QO-Advisor's action space — the contextual bandit only considers
+// flipping rules inside the span.
+package span
+
+import (
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/scope"
+)
+
+// DefaultMaxIterations bounds the fix-point loop.
+const DefaultMaxIterations = 8
+
+// Result describes a computed job span.
+type Result struct {
+	// Span is the set of plan-affecting, non-required rules.
+	Span rules.Bitset
+	// Iterations is the number of recompilation passes performed.
+	Iterations int
+	// FailedCompile reports whether the fix point was reached because a
+	// perturbed configuration failed to compile (a legitimate
+	// termination condition per the paper).
+	FailedCompile bool
+	// DefaultSignature is the rule signature under the default config.
+	DefaultSignature rules.Signature
+	// DefaultCost is the estimated cost under the default config.
+	DefaultCost float64
+}
+
+// Options configures span computation.
+type Options struct {
+	Optimizer optimizer.Options
+	// MaxIterations bounds the fix-point loop; 0 means
+	// DefaultMaxIterations.
+	MaxIterations int
+	// Refine performs one extra single-flip recompilation per candidate
+	// rule and drops candidates whose flip leaves both the estimated
+	// cost and the signature unchanged ("skipping the unworthy ones").
+	Refine bool
+}
+
+// Compute runs the span fix-point algorithm for one job.
+//
+// Starting from the default configuration's signature, it enables all
+// off-by-default rules and disables the on-by-default and implementation
+// rules that appeared in the signature, recompiles, and repeats — turning
+// off newly used rules each round — until no new rule is discovered or a
+// recompilation fails.
+func Compute(g *scope.Graph, cat *rules.Catalog, opts Options) (*Result, error) {
+	if cat == nil {
+		cat = rules.NewCatalog()
+	}
+	if opts.Optimizer.Catalog == nil {
+		opts.Optimizer.Catalog = cat
+	}
+	maxIters := opts.MaxIterations
+	if maxIters <= 0 {
+		maxIters = DefaultMaxIterations
+	}
+
+	def := cat.DefaultConfig()
+	base, err := optimizer.Optimize(g, def, opts.Optimizer)
+	if err != nil {
+		return nil, err // the default config must compile
+	}
+	res := &Result{
+		DefaultSignature: base.Signature,
+		DefaultCost:      base.EstCost,
+	}
+
+	// The exploration baseline: everything enabled, including the
+	// off-by-default rules.
+	explore := def
+	for _, r := range cat.Rules(rules.OffByDefault) {
+		explore.Set(r.ID)
+	}
+
+	isSteerable := func(id int) bool {
+		return cat.Rule(id).Category != rules.Required
+	}
+
+	var seen rules.Bitset // steerable rules observed in any signature
+	for _, id := range base.Signature.Bits() {
+		if isSteerable(id) {
+			seen.Set(id)
+		}
+	}
+	turnedOff := seen // value copy: rules to disable next round
+
+	// Exploration degrades through three levels when a perturbed
+	// configuration fails to compile: (0) everything enabled including
+	// off-by-default rules and all signature rules disabled, (1) the same
+	// without the risky off-by-default rules, (2) disabling only the
+	// rewrite (on-by-default) signature rules, keeping implementation
+	// rules available. Level 2 always compiles for plans that compiled
+	// under the default configuration.
+	level := 0
+	for iter := 0; iter < maxIters; iter++ {
+		res.Iterations = iter + 1
+		cfg := explore
+		if level >= 1 {
+			cfg = def
+		}
+		for _, id := range turnedOff.Bits() {
+			if level >= 2 && cat.Rule(id).Category == rules.Implementation {
+				continue
+			}
+			cfg.Clear(id)
+		}
+		r, err := optimizer.Optimize(g, cfg, opts.Optimizer)
+		if err != nil {
+			if optimizer.IsCompileFailure(err) {
+				if level < 2 {
+					level++
+					continue
+				}
+				res.FailedCompile = true
+				break
+			}
+			return nil, err
+		}
+		newFound := false
+		for _, id := range r.Signature.Bits() {
+			if isSteerable(id) && !seen.Get(id) {
+				seen.Set(id)
+				turnedOff.Set(id)
+				newFound = true
+			}
+		}
+		if !newFound {
+			break
+		}
+	}
+	res.Span = seen
+
+	if opts.Refine {
+		res.Span = refine(g, cat, opts.Optimizer, def, base, seen)
+	}
+	return res, nil
+}
+
+// refine drops span candidates whose single flip does not change the
+// estimated cost or the signature — flips that provably cannot steer.
+func refine(g *scope.Graph, cat *rules.Catalog, oopts optimizer.Options, def rules.Config, base *optimizer.Result, candidates rules.Bitset) rules.Bitset {
+	var kept rules.Bitset
+	for _, id := range candidates.Bits() {
+		flip := cat.FlipFor(id)
+		r, err := optimizer.Optimize(g, def.WithFlip(flip), oopts)
+		if err != nil {
+			kept.Set(id) // a failing flip definitely affects the plan
+			continue
+		}
+		if r.EstCost != base.EstCost || !r.Signature.Equal(base.Signature.Bitset) {
+			kept.Set(id)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,710 @@
+// Package workload generates synthetic recurring SCOPE workloads: job
+// templates (scripts with a fixed operator shape), daily instances with
+// varying input cardinalities, selectivities and filter constants, the
+// ground-truth environment the execution simulator consumes, and the
+// deliberately erroneous optimizer statistics that make estimated costs
+// diverge from real performance.
+//
+// The paper reports that more than 60% of SCOPE jobs are recurring
+// template-scripts; QO-Advisor keys its hints on template identity, so
+// template structure is the central concept here.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/scope"
+)
+
+// TableDef describes one synthetic base table of a template.
+type TableDef struct {
+	// PathPattern contains "@DATE@", substituted per instance.
+	PathPattern string
+	Columns     []scope.ColDef
+	// TrueRows is the base true row count; daily instances vary around it.
+	TrueRows float64
+	// TrueNDV maps column name to true distinct count.
+	TrueNDV map[string]float64
+	// StatsRowFactor and StatsNDVFactor are the template's fixed
+	// estimation errors: the optimizer sees TrueRows*StatsRowFactor.
+	StatsRowFactor float64
+	StatsNDVFactor map[string]float64
+}
+
+// Path returns the concrete path for a date.
+func (t *TableDef) Path(date int) string {
+	return strings.ReplaceAll(t.PathPattern, "@DATE@", fmt.Sprintf("%08d", 20211100+date))
+}
+
+// Template is a recurring job template.
+type Template struct {
+	ID   string
+	Name string // normalized job name
+	// ScriptPattern is the script source with "@DATE@" placeholders in
+	// paths and "@LIT<i>@" placeholders for varying literals.
+	ScriptPattern string
+	Tables        []TableDef
+	// TrueSel maps site-key patterns (with "@LIT<i>@" placeholders) to
+	// the template's true selectivity for that operator site.
+	TrueSel map[string]float64
+	// Literals lists the placeholder names in order.
+	Literals []string
+	// DailyInstances is how many instances arrive per day.
+	DailyInstances int
+	// Tokens is the job's parallelism allocation.
+	Tokens int
+	// Hash is the template hash of the compiled graph (literals
+	// normalized), QO-Advisor's hint key.
+	Hash uint64
+}
+
+// Job is one instance of a template on a given date.
+type Job struct {
+	ID       string
+	Template *Template
+	Date     int
+	Seq      int
+	Graph    *scope.Graph
+	Truth    *exec.Truth
+	Stats    optimizer.MapStats
+	Tokens   int
+}
+
+// Generator produces templates and daily job instances deterministically
+// from a seed.
+type Generator struct {
+	seed      int64
+	templates []*Template
+}
+
+// Config controls workload generation.
+type Config struct {
+	Seed         int64
+	NumTemplates int
+	// MaxDailyInstances caps per-template daily recurrences (>=1).
+	MaxDailyInstances int
+}
+
+// hashed returns a deterministic sub-seed from parts.
+func hashed(parts ...interface{}) int64 {
+	h := fnv.New64a()
+	fmt.Fprint(h, parts...)
+	return int64(h.Sum64())
+}
+
+// rngFor returns a deterministic RNG keyed by parts.
+func rngFor(parts ...interface{}) *rand.Rand {
+	return rand.New(rand.NewSource(hashed(parts...)))
+}
+
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	return math.Exp(math.Log(lo) + rng.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+func lognormal(rng *rand.Rand, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64() * sigma)
+}
+
+// New builds a generator with cfg.NumTemplates templates. Template
+// construction is validated: every generated script compiles.
+func New(cfg Config) (*Generator, error) {
+	if cfg.NumTemplates <= 0 {
+		cfg.NumTemplates = 50
+	}
+	if cfg.MaxDailyInstances <= 0 {
+		cfg.MaxDailyInstances = 3
+	}
+	g := &Generator{seed: cfg.Seed}
+	for i := 0; i < cfg.NumTemplates; i++ {
+		t, err := buildTemplate(cfg.Seed, i, cfg.MaxDailyInstances)
+		if err != nil {
+			return nil, fmt.Errorf("workload: template %d: %w", i, err)
+		}
+		g.templates = append(g.templates, t)
+	}
+	return g, nil
+}
+
+// Templates returns the generated templates.
+func (g *Generator) Templates() []*Template { return g.templates }
+
+// JobsForDay instantiates every template's recurrences for the given date.
+func (g *Generator) JobsForDay(date int) ([]*Job, error) {
+	var jobs []*Job
+	for _, t := range g.templates {
+		for s := 0; s < t.DailyInstances; s++ {
+			j, err := t.Instantiate(date, s)
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs, nil
+}
+
+// Instantiate produces the job instance of a template for (date, seq):
+// concrete literals, per-day true row counts, jittered selectivities and
+// the optimizer-visible statistics.
+func (t *Template) Instantiate(date, seq int) (*Job, error) {
+	// Substitute literals: deterministic per (template, literal, date).
+	src := strings.ReplaceAll(t.ScriptPattern, "@DATE@", fmt.Sprintf("%08d", 20211100+date))
+	litVals := make(map[string]string, len(t.Literals))
+	for _, lit := range t.Literals {
+		rng := rngFor("lit", t.ID, lit, date)
+		litVals[lit] = fmt.Sprintf("%d", 10+rng.Intn(9000))
+	}
+	for lit, v := range litVals {
+		src = strings.ReplaceAll(src, lit, v)
+	}
+	graph, err := scope.CompileScript(src)
+	if err != nil {
+		return nil, fmt.Errorf("workload: instance of %s does not compile: %w", t.ID, err)
+	}
+
+	truth := &exec.Truth{
+		Rows:       make(map[string]float64, len(t.Tables)),
+		Sel:        make(map[string]float64, len(t.TrueSel)),
+		JitterSeed: hashed("jitter", t.ID),
+	}
+	statsMap := make(optimizer.MapStats, len(t.Tables))
+	for _, tab := range t.Tables {
+		path := tab.Path(date)
+		dayFactor := lognormal(rngFor("rows", t.ID, tab.PathPattern, date), 0.35)
+		trueRows := tab.TrueRows * dayFactor
+		truth.Rows[path] = trueRows
+
+		ndv := make(map[string]float64, len(tab.TrueNDV))
+		for col, v := range tab.TrueNDV {
+			f := tab.StatsNDVFactor[col]
+			if f == 0 {
+				f = 1
+			}
+			ndv[col] = math.Max(1, v*f)
+		}
+		statsMap[path] = optimizer.TableStats{
+			Rows: math.Max(1, trueRows*tab.StatsRowFactor*lognormal(rngFor("statdrift", t.ID, tab.PathPattern, date), 0.30)),
+			NDV:  ndv,
+		}
+	}
+	for sitePattern, sel := range t.TrueSel {
+		site := sitePattern
+		for lit, v := range litVals {
+			site = strings.ReplaceAll(site, lit, v)
+		}
+		jitter := lognormal(rngFor("sel", t.ID, sitePattern, date), 0.25)
+		s := sel * jitter
+		if s > 1 {
+			s = 1
+		}
+		truth.Sel[site] = s
+	}
+
+	return &Job{
+		ID:       fmt.Sprintf("J%08d_%s_%d", 20211100+date, t.ID, seq),
+		Template: t,
+		Date:     date,
+		Seq:      seq,
+		Graph:    graph,
+		Truth:    truth,
+		Stats:    statsMap,
+		Tokens:   t.Tokens,
+	}, nil
+}
+
+// --- Template construction ---
+
+// buildTemplate synthesizes one template. The script is built
+// programmatically (schema-tracked), so generated scripts always compile;
+// construction is verified anyway.
+func buildTemplate(seed int64, idx, maxDaily int) (*Template, error) {
+	rng := rngFor("template", seed, idx)
+	b := &scriptBuilder{
+		rng:      rng,
+		tID:      fmt.Sprintf("T%03d", idx),
+		trueSel:  make(map[string]float64),
+		rowsets:  make(map[string]*rowsetInfo),
+		consumed: make(map[string]bool),
+	}
+	b.build()
+
+	t := &Template{
+		ID:             b.tID,
+		Name:           fmt.Sprintf("Prod_%s_Pipeline", b.tID),
+		ScriptPattern:  b.script.String(),
+		Tables:         b.tables,
+		TrueSel:        b.trueSel,
+		Literals:       b.literals,
+		DailyInstances: 1 + rng.Intn(maxDaily),
+		Tokens:         50 + rng.Intn(4)*50,
+	}
+
+	// Validate by instantiating day 1 and record the template hash.
+	j, err := t.Instantiate(1, 0)
+	if err != nil {
+		return nil, err
+	}
+	t.Hash = j.Graph.TemplateHash()
+	return t, nil
+}
+
+// rowsetInfo tracks the schema of a named rowset during generation.
+type rowsetInfo struct {
+	name string
+	cols []scope.ColDef
+	// table is set for raw extracts, letting the builder pick join keys
+	// with matching NDVs.
+	keyCol string
+	rows   float64 // rough true row estimate, to scale selectivities
+}
+
+type scriptBuilder struct {
+	rng      *rand.Rand
+	tID      string
+	script   strings.Builder
+	tables   []TableDef
+	rowsets  map[string]*rowsetInfo
+	consumed map[string]bool
+	order    []string // rowset creation order
+	litSeq   int
+	literals []string
+	trueSel  map[string]float64
+	seq      int
+}
+
+func (b *scriptBuilder) newLit() string {
+	name := fmt.Sprintf("@LIT%d@", b.litSeq)
+	b.litSeq++
+	b.literals = append(b.literals, name)
+	return name
+}
+
+func (b *scriptBuilder) addRowset(info *rowsetInfo) {
+	b.rowsets[info.name] = info
+	b.order = append(b.order, info.name)
+}
+
+var colTypes = []scope.ColType{
+	scope.TypeInt, scope.TypeLong, scope.TypeDouble, scope.TypeString, scope.TypeFloat,
+}
+
+// build assembles the whole script.
+func (b *scriptBuilder) build() {
+	nTables := 1 + b.rng.Intn(3)
+	for i := 0; i < nTables; i++ {
+		b.addExtract(i)
+	}
+	nTransforms := 3 + b.rng.Intn(4)
+	for i := 0; i < nTransforms; i++ {
+		b.addTransform()
+	}
+	b.addOutputs()
+}
+
+func (b *scriptBuilder) addExtract(i int) {
+	name := fmt.Sprintf("raw%d", i)
+	nCols := 3 + b.rng.Intn(4)
+	cols := make([]scope.ColDef, 0, nCols+1)
+	// Every table gets a join key column.
+	keyCol := fmt.Sprintf("%s_key", name)
+	cols = append(cols, scope.ColDef{Name: keyCol, Type: scope.TypeLong})
+	for c := 0; c < nCols; c++ {
+		cols = append(cols, scope.ColDef{
+			Name: fmt.Sprintf("%s_c%d", name, c),
+			Type: colTypes[b.rng.Intn(len(colTypes))],
+		})
+	}
+	trueRows := logUniform(b.rng, 2e5, 3e7)
+	ndv := make(map[string]float64, len(cols))
+	ndvErr := make(map[string]float64, len(cols))
+	// Join keys share a universe so joins have sane selectivity.
+	ndv[keyCol] = logUniform(b.rng, 1e4, 1e6)
+	for _, cd := range cols[1:] {
+		switch cd.Type {
+		case scope.TypeString:
+			ndv[cd.Name] = logUniform(b.rng, 10, 1e5)
+		default:
+			ndv[cd.Name] = logUniform(b.rng, 10, 1e6)
+		}
+	}
+	for name := range ndv {
+		ndvErr[name] = lognormal(b.rng, 0.5)
+	}
+	path := fmt.Sprintf("store/%s/%s_@DATE@.tsv", b.tID, name)
+	b.tables = append(b.tables, TableDef{
+		PathPattern:    path,
+		Columns:        cols,
+		TrueRows:       trueRows,
+		TrueNDV:        ndv,
+		StatsRowFactor: lognormal(b.rng, 0.45),
+		StatsNDVFactor: ndvErr,
+	})
+
+	fmt.Fprintf(&b.script, "%s = EXTRACT ", name)
+	for i, cd := range cols {
+		if i > 0 {
+			b.script.WriteString(", ")
+		}
+		fmt.Fprintf(&b.script, "%s:%s", cd.Name, cd.Type)
+	}
+	fmt.Fprintf(&b.script, " FROM \"%s\";\n", path)
+	b.addRowset(&rowsetInfo{name: name, cols: cols, keyCol: keyCol, rows: trueRows})
+}
+
+// pickRowset selects an existing rowset, biased toward recent ones, and
+// marks it consumed so that dead statements never arise (every sink is
+// OUTPUT at the end).
+func (b *scriptBuilder) pickRowset() *rowsetInfo {
+	var i int
+	if b.rng.Float64() < 0.5 {
+		i = len(b.order) - 1 - b.rng.Intn(minI(len(b.order), 3))
+	} else {
+		i = b.rng.Intn(len(b.order))
+	}
+	name := b.order[i]
+	b.consumed[name] = true
+	return b.rowsets[name]
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// numericCols returns the numeric columns of a rowset.
+func numericCols(cols []scope.ColDef) []scope.ColDef {
+	var out []scope.ColDef
+	for _, c := range cols {
+		switch c.Type {
+		case scope.TypeInt, scope.TypeLong, scope.TypeFloat, scope.TypeDouble:
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (b *scriptBuilder) nextName(prefix string) string {
+	b.seq++
+	return fmt.Sprintf("%s%d", prefix, b.seq)
+}
+
+func (b *scriptBuilder) addTransform() {
+	switch b.rng.Intn(10) {
+	case 0, 1, 2:
+		b.addFilterSelect()
+	case 3, 4, 5:
+		b.addJoinSelect()
+	case 6, 7:
+		b.addAggSelect()
+	case 8:
+		b.addUnion()
+	default:
+		b.addReduce()
+	}
+}
+
+// predicate generates a WHERE conjunct over a numeric column, records its
+// true selectivity under the site-key pattern, and returns its source.
+func (b *scriptBuilder) predicate(rs *rowsetInfo, qualifier string) (string, bool) {
+	nums := numericCols(rs.cols)
+	if len(nums) == 0 {
+		return "", false
+	}
+	col := nums[b.rng.Intn(len(nums))]
+	lit := b.newLit()
+	ref := col.Name
+	// Predicates referencing a qualified column resolve to the bare
+	// merged name at compile time; site keys use the bare name.
+	_ = qualifier
+	var src string
+	var sel float64
+	if b.rng.Float64() < 0.3 {
+		src = fmt.Sprintf("%s == %s", ref, lit)
+		sel = logUniform(b.rng, 0.001, 0.08)
+	} else {
+		op := []string{">", "<", ">=", "<="}[b.rng.Intn(4)]
+		src = fmt.Sprintf("%s %s %s", ref, op, lit)
+		sel = logUniform(b.rng, 0.05, 0.9)
+	}
+	// Site key: the compiled conjunct renders as "(ref op lit)".
+	var siteExpr string
+	if strings.Contains(src, "==") {
+		siteExpr = fmt.Sprintf("(%s == %s)", ref, lit)
+	} else {
+		parts := strings.SplitN(src, " ", 3)
+		siteExpr = fmt.Sprintf("(%s %s %s)", parts[0], parts[1], parts[2])
+	}
+	b.trueSel["filter:"+siteExpr] = sel
+	return src, true
+}
+
+func (b *scriptBuilder) addFilterSelect() {
+	in := b.pickRowset()
+	name := b.nextName("rs")
+	// Project a random subset of columns (keep the key when present).
+	var kept []scope.ColDef
+	for _, c := range in.cols {
+		if c.Name == in.keyCol || b.rng.Float64() < 0.7 {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		kept = in.cols[:1]
+	}
+	names := make([]string, len(kept))
+	for i, c := range kept {
+		names[i] = c.Name
+	}
+	fmt.Fprintf(&b.script, "%s = SELECT %s FROM %s", name, strings.Join(names, ", "), in.name)
+
+	rows := in.rows
+	nPreds := 1 + b.rng.Intn(2)
+	var preds []string
+	for i := 0; i < nPreds; i++ {
+		if p, ok := b.predicate(in, ""); ok {
+			preds = append(preds, p)
+		}
+	}
+	if len(preds) > 0 {
+		fmt.Fprintf(&b.script, " WHERE %s", strings.Join(preds, " AND "))
+		rows *= 0.3
+	}
+	if b.rng.Float64() < 0.2 && len(numericCols(kept)) > 0 {
+		sortCol := numericCols(kept)[0]
+		fmt.Fprintf(&b.script, " ORDER BY %s DESC", sortCol.Name)
+		if b.rng.Float64() < 0.6 {
+			fmt.Fprintf(&b.script, " TOP %d", 100*(1+b.rng.Intn(50)))
+		}
+	}
+	b.script.WriteString(";\n")
+	b.addRowset(&rowsetInfo{name: name, cols: kept, keyCol: keyIfKept(kept, in.keyCol), rows: rows})
+}
+
+func keyIfKept(cols []scope.ColDef, key string) string {
+	for _, c := range cols {
+		if c.Name == key {
+			return key
+		}
+	}
+	return ""
+}
+
+func (b *scriptBuilder) addJoinSelect() {
+	// Need two rowsets with key columns and disjoint column names.
+	var candidates []*rowsetInfo
+	for _, n := range b.order {
+		rs := b.rowsets[n]
+		if rs.keyCol != "" {
+			candidates = append(candidates, rs)
+		}
+	}
+	if len(candidates) < 2 {
+		b.addFilterSelect()
+		return
+	}
+	l := candidates[b.rng.Intn(len(candidates))]
+	r := candidates[b.rng.Intn(len(candidates))]
+	if l == r || sharesColumns(l, r) {
+		b.addFilterSelect()
+		return
+	}
+	b.consumed[l.name] = true
+	b.consumed[r.name] = true
+	name := b.nextName("rs")
+	// Keep a subset of both sides.
+	var kept []scope.ColDef
+	var names []string
+	for _, c := range l.cols {
+		if c.Name == l.keyCol || b.rng.Float64() < 0.6 {
+			kept = append(kept, c)
+			names = append(names, "a."+c.Name)
+		}
+	}
+	// A third of joins keep no right-side columns at all: pure
+	// existence-filter joins, the natural semi-join-reduction targets.
+	if b.rng.Float64() > 0.35 {
+		nRight := 0
+		for _, c := range r.cols {
+			if c.Name != r.keyCol && b.rng.Float64() < 0.5 {
+				kept = append(kept, c)
+				names = append(names, "b."+c.Name)
+				nRight++
+			}
+		}
+		if nRight == 0 && len(r.cols) > 1 {
+			c := r.cols[1]
+			kept = append(kept, c)
+			names = append(names, "b."+c.Name)
+		}
+	}
+	joinKind := "JOIN"
+	if b.rng.Float64() < 0.15 {
+		joinKind = "LEFT JOIN"
+	}
+	fmt.Fprintf(&b.script, "%s = SELECT %s FROM %s AS a %s %s AS b ON a.%s == b.%s",
+		name, strings.Join(names, ", "), l.name, joinKind, r.name, l.keyCol, r.keyCol)
+
+	// True join selectivity: fanout per left row over the right side.
+	fanout := logUniform(b.rng, 0.2, 4)
+	sel := fanout / math.Max(r.rows, 1)
+	if sel > 1 {
+		sel = 1
+	}
+	site := fmt.Sprintf("join:(%s == %s)", l.keyCol, r.keyCol)
+	b.trueSel[site] = sel
+
+	if b.rng.Float64() < 0.4 {
+		if p, ok := b.predicate(l, "a"); ok {
+			fmt.Fprintf(&b.script, " WHERE %s", p)
+		}
+	}
+	b.script.WriteString(";\n")
+	outRows := l.rows * fanout
+	b.addRowset(&rowsetInfo{name: name, cols: kept, keyCol: keyIfKept(kept, l.keyCol), rows: outRows})
+}
+
+func sharesColumns(a, c *rowsetInfo) bool {
+	set := make(map[string]bool, len(a.cols))
+	for _, col := range a.cols {
+		set[col.Name] = true
+	}
+	for _, col := range c.cols {
+		if set[col.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *scriptBuilder) addAggSelect() {
+	in := b.pickRowset()
+	nums := numericCols(in.cols)
+	if len(nums) == 0 || len(in.cols) < 2 {
+		b.addFilterSelect()
+		return
+	}
+	name := b.nextName("rs")
+	groupCol := in.cols[b.rng.Intn(len(in.cols))]
+	aggCol := nums[b.rng.Intn(len(nums))]
+	sumName := fmt.Sprintf("sum_%s", aggCol.Name)
+	if sumName == groupCol.Name {
+		sumName = fmt.Sprintf("sum%d_%s", b.seq, aggCol.Name)
+	}
+	cntName := fmt.Sprintf("cnt_%d", b.seq)
+	fmt.Fprintf(&b.script, "%s = SELECT %s, SUM(%s) AS %s, COUNT(*) AS %s FROM %s GROUP BY %s",
+		name, groupCol.Name, aggCol.Name, sumName, cntName, in.name, groupCol.Name)
+
+	frac := logUniform(b.rng, 0.001, 0.4)
+	b.trueSel["agg:"+groupCol.Name] = frac
+
+	if b.rng.Float64() < 0.3 {
+		lit := b.newLit()
+		fmt.Fprintf(&b.script, " HAVING COUNT(*) > %s", lit)
+		b.trueSel[fmt.Sprintf("filter:(%s > %s)", cntName, lit)] = logUniform(b.rng, 0.1, 0.9)
+	}
+	b.script.WriteString(";\n")
+	outCols := []scope.ColDef{
+		{Name: groupCol.Name, Type: groupCol.Type},
+		{Name: sumName, Type: scope.TypeDouble},
+		{Name: cntName, Type: scope.TypeLong},
+	}
+	b.addRowset(&rowsetInfo{name: name, cols: outCols, rows: in.rows * frac})
+
+	// Dashboards routinely slice aggregates by their group column; such
+	// filters are the natural targets of the (off-by-default)
+	// push-filter-below-aggregate rewrite.
+	if isNumeric(groupCol.Type) && b.rng.Float64() < 0.5 {
+		fname := b.nextName("rs")
+		lit := b.newLit()
+		op := []string{">", "<", ">="}[b.rng.Intn(3)]
+		fmt.Fprintf(&b.script, "%s = SELECT %s, %s, %s FROM %s WHERE %s %s %s;\n",
+			fname, groupCol.Name, sumName, cntName, name, groupCol.Name, op, lit)
+		b.trueSel[fmt.Sprintf("filter:(%s %s %s)", groupCol.Name, op, lit)] = logUniform(b.rng, 0.05, 0.6)
+		b.consumed[name] = true
+		b.addRowset(&rowsetInfo{name: fname, cols: outCols, rows: in.rows * frac * 0.3})
+	}
+}
+
+func isNumeric(t scope.ColType) bool {
+	switch t {
+	case scope.TypeInt, scope.TypeLong, scope.TypeFloat, scope.TypeDouble:
+		return true
+	}
+	return false
+}
+
+// addUnion creates two compatible filtered branches over one input and
+// unions them — the common "same template, different slices" pattern.
+func (b *scriptBuilder) addUnion() {
+	in := b.pickRowset()
+	if len(numericCols(in.cols)) == 0 {
+		b.addFilterSelect()
+		return
+	}
+	names := make([]string, len(in.cols))
+	for i, c := range in.cols {
+		names[i] = c.Name
+	}
+	cols := strings.Join(names, ", ")
+	n1, n2 := b.nextName("br"), b.nextName("br")
+	uname := b.nextName("rs")
+	p1, _ := b.predicate(in, "")
+	p2, _ := b.predicate(in, "")
+	fmt.Fprintf(&b.script, "%s = SELECT %s FROM %s WHERE %s;\n", n1, cols, in.name, p1)
+	fmt.Fprintf(&b.script, "%s = SELECT %s FROM %s WHERE %s;\n", n2, cols, in.name, p2)
+	all := " ALL"
+	if b.rng.Float64() < 0.3 {
+		all = ""
+		key := make([]string, len(in.cols))
+		copy(key, names)
+		// Distinct site over the union's columns.
+		b.trueSel["distinct:"+strings.Join(key, ",")] = logUniform(b.rng, 0.2, 0.95)
+	}
+	fmt.Fprintf(&b.script, "%s = %s UNION%s %s;\n", uname, n1, all, n2)
+	b.consumed[n1] = true
+	b.consumed[n2] = true
+	b.addRowset(&rowsetInfo{name: uname, cols: in.cols, keyCol: in.keyCol, rows: in.rows * 0.8})
+}
+
+func (b *scriptBuilder) addReduce() {
+	in := b.pickRowset()
+	if in.keyCol == "" {
+		b.addFilterSelect()
+		return
+	}
+	name := b.nextName("rs")
+	op := fmt.Sprintf("Reducer_%s_%d", b.tID, b.seq)
+	outCols := []scope.ColDef{
+		{Name: fmt.Sprintf("%s_rk", name), Type: scope.TypeLong},
+		{Name: fmt.Sprintf("%s_rv", name), Type: scope.TypeDouble},
+	}
+	fmt.Fprintf(&b.script, "%s = REDUCE %s ON %s USING %s PRODUCE %s:long, %s:double;\n",
+		name, in.name, in.keyCol, op, outCols[0].Name, outCols[1].Name)
+	b.trueSel["reduce:"+op] = logUniform(b.rng, 0.05, 0.7)
+	b.addRowset(&rowsetInfo{name: name, cols: outCols, rows: in.rows * 0.3})
+}
+
+func (b *scriptBuilder) addOutputs() {
+	// Every sink rowset is written out, so scripts contain no dead
+	// statements; SCOPE jobs commonly have several outputs.
+	outIdx := 0
+	for _, name := range b.order {
+		if b.consumed[name] {
+			continue
+		}
+		fmt.Fprintf(&b.script, "OUTPUT %s TO \"out/%s/result%d_@DATE@.tsv\";\n", name, b.tID, outIdx)
+		outIdx++
+	}
+	if outIdx == 0 {
+		last := b.order[len(b.order)-1]
+		fmt.Fprintf(&b.script, "OUTPUT %s TO \"out/%s/result0_@DATE@.tsv\";\n", last, b.tID)
+	}
+}
