@@ -12,6 +12,7 @@ package qoadvisor_test
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"qoadvisor/internal/core"
@@ -19,6 +20,8 @@ import (
 	"qoadvisor/internal/experiments"
 	"qoadvisor/internal/optimizer"
 	"qoadvisor/internal/rules"
+	"qoadvisor/internal/serve"
+	"qoadvisor/internal/sis"
 	"qoadvisor/internal/span"
 	"qoadvisor/internal/workload"
 )
@@ -373,6 +376,122 @@ func BenchmarkAblationValidationThreshold(b *testing.B) {
 			b.ReportMetric(res.FracActualBelow0, prec)
 		}
 	}
+}
+
+// --- Online steering serve path (internal/serve) ---
+//
+// These benchmarks baseline the production-facing layer: cached hint
+// lookups must stay nanosecond-scale, bandit ranks must scale with
+// GOMAXPROCS (run with -cpu 1,2,4,8 to see the scaling curve), and the
+// async reward pipeline must drain faster than rewards arrive.
+
+// benchServeHints builds n synthetic hints over distinct template hashes.
+func benchServeHints(cat *rules.Catalog, n int) []sis.Hint {
+	hints := make([]sis.Hint, n)
+	for i := range hints {
+		hints[i] = sis.Hint{
+			TemplateHash: uint64(i)*0x9e3779b97f4a7c15 + 1,
+			TemplateID:   "T",
+			Flip:         cat.FlipFor(40 + i%64),
+			Day:          1,
+		}
+	}
+	return hints
+}
+
+// BenchmarkServeCachedHintLookup measures the serving fast path: a rank
+// request whose template has a validated hint in the sharded cache.
+func BenchmarkServeCachedHintLookup(b *testing.B) {
+	cat := rules.NewCatalog()
+	srv := serve.New(serve.Config{Catalog: cat, Seed: 1})
+	defer srv.Close()
+	const numHints = 10000
+	hints := benchServeHints(cat, numHints)
+	if _, err := srv.InstallHints(hints); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := serve.RankRequest{TemplateHash: hints[i%numHints].TemplateHash, Span: []int{40}}
+			resp, err := srv.Rank(req)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.Source != "hint" {
+				b.Errorf("cache miss for installed hint %x", req.TemplateHash)
+				return
+			}
+			i++
+		}
+	})
+	b.ReportMetric(float64(srv.Cache().Size()), "cachedHints")
+}
+
+// BenchmarkServeConcurrentRank measures bandit-path rank throughput under
+// request concurrency: scoring shares a read lock, so throughput should
+// scale across GOMAXPROCS until the rng/event-log critical sections bite.
+func BenchmarkServeConcurrentRank(b *testing.B) {
+	srv := serve.New(serve.Config{Seed: 1})
+	defer srv.Close()
+	spans := [][]int{
+		{3, 17, 40, 77},
+		{5, 21, 60, 100, 130},
+		{8, 9, 44, 91},
+		{12, 30, 71, 150, 200, 201},
+	}
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := seq.Add(1)
+			req := serve.RankRequest{
+				TemplateHash: n, // no hint installed: always the bandit path
+				Span:         spans[n%uint64(len(spans))],
+				RowCount:     float64(uint64(1) << (n % 20)),
+			}
+			if _, err := srv.Rank(req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServeRewardIngestionDrain measures the async reward pipeline
+// end to end: enqueue a batch of rewards for logged rank events, then
+// drain it through the worker pool into IPS training.
+func BenchmarkServeRewardIngestionDrain(b *testing.B) {
+	const batch = 512
+	srv := serve.New(serve.Config{Seed: 1, QueueSize: batch, TrainEvery: 64})
+	defer srv.Close()
+	req := serve.RankRequest{TemplateHash: 1, Span: []int{3, 17, 40}}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ids := make([]string, batch)
+		for j := range ids {
+			resp, err := srv.Rank(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[j] = resp.EventID
+		}
+		b.StartTimer()
+		for _, id := range ids {
+			for !srv.RewardAsync(id, 1.5) {
+				// Queue full: the workers are mid-drain, retry.
+			}
+		}
+		srv.Ingestor().Drain()
+	}
+	st := srv.Ingestor().Stats()
+	b.ReportMetric(float64(st.Applied)/float64(b.N), "rewards/drain")
+	b.ReportMetric(float64(st.TrainRuns)/float64(b.N), "trainRuns/drain")
 }
 
 // makeFeaturizer builds the shared job featurization used by the

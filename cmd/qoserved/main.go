@@ -1,0 +1,225 @@
+// Command qoserved runs QO-Advisor's online steering service: an HTTP
+// Rank/Reward server backed by a sharded hint cache and an asynchronous
+// reward-ingestion pipeline.
+//
+// On startup it can bootstrap itself end-to-end by running the offline
+// daily pipeline for a few simulated days — producing a validated hint
+// table and a trained bandit — and then serves both: cached hints answer
+// steering queries for known templates, the bandit ranks everything else,
+// and /v1/reward telemetry trains the model continuously off the request
+// path. On SIGINT/SIGTERM the server drains the reward queue and, when
+// -model is set, persists the learner so a restart resumes from the
+// learned state.
+//
+// Usage:
+//
+//	qoserved [-addr :8080] [-bootstrap-days 5] [-templates 24] [-seed 42]
+//	         [-hints file] [-model file] [-shards 32] [-queue 4096]
+//	         [-workers 0] [-train-every 256] [-uniform]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/core"
+	"qoadvisor/internal/exec"
+	"qoadvisor/internal/flighting"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/serve"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	seed := flag.Int64("seed", 42, "workload, pipeline and exploration seed")
+	templates := flag.Int("templates", 24, "bootstrap workload size (recurring job templates)")
+	bootstrapDays := flag.Int("bootstrap-days", 5, "simulated pipeline days to run before serving (0 = none)")
+	hintsPath := flag.String("hints", "", "load an additional SIS hint file into the cache")
+	modelPath := flag.String("model", "", "model snapshot path: loaded at startup if present, written on shutdown and POST /v1/model/snapshot")
+	shards := flag.Int("shards", 0, "hint cache shard count (0 = default)")
+	queue := flag.Int("queue", 0, "reward ingestion queue size (0 = default)")
+	workers := flag.Int("workers", 0, "reward ingestion workers (0 = default 1; applies serialize on the learner)")
+	trainEvery := flag.Int("train-every", 0, "train after this many applied rewards (0 = default)")
+	maxLog := flag.Int("max-log", 0, "cap on retained rank events (0 = default, negative = unbounded)")
+	uniform := flag.Bool("uniform", false, "rank with the uniform-at-random logging policy")
+	flag.Parse()
+
+	cat := rules.NewCatalog()
+
+	// Model precedence: an existing snapshot wins (restart recovery);
+	// otherwise the bootstrap pipeline's trained bandit; otherwise fresh.
+	var svc *bandit.Service
+	if *modelPath != "" {
+		if f, err := os.Open(*modelPath); err == nil {
+			loaded, lerr := bandit.Load(f, *seed)
+			f.Close()
+			if lerr != nil {
+				log.Fatalf("qoserved: loading model %s: %v", *modelPath, lerr)
+			}
+			svc = loaded
+			log.Printf("model restored from %s", *modelPath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("qoserved: %v", err)
+		}
+	}
+
+	var hints []sis.Hint
+	if *bootstrapDays > 0 {
+		adv, bootHints, err := bootstrap(cat, *seed, *templates, *bootstrapDays)
+		if err != nil {
+			log.Fatalf("qoserved: bootstrap: %v", err)
+		}
+		hints = bootHints
+		if svc == nil {
+			svc = adv.CB.Service
+			log.Printf("serving the bootstrap pipeline's trained bandit")
+		}
+	}
+	if *hintsPath != "" {
+		f, err := os.Open(*hintsPath)
+		if err != nil {
+			log.Fatalf("qoserved: %v", err)
+		}
+		file, err := sis.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("qoserved: parsing %s: %v", *hintsPath, err)
+		}
+		if err := sis.Validate(file, cat); err != nil {
+			log.Fatalf("qoserved: validating %s: %v", *hintsPath, err)
+		}
+		// Merge with the bootstrap table, file hints winning on conflict:
+		// both describe the same workload, so template overlap is normal.
+		hints = mergeHints(hints, file.Hints)
+	}
+
+	srv := serve.New(serve.Config{
+		Catalog:      cat,
+		Bandit:       svc,
+		Seed:         *seed,
+		Uniform:      *uniform,
+		Shards:       *shards,
+		QueueSize:    *queue,
+		Workers:      *workers,
+		TrainEvery:   *trainEvery,
+		MaxLogEvents: *maxLog,
+		SnapshotPath: *modelPath,
+	})
+	if len(hints) > 0 {
+		gen, err := srv.InstallHints(hints)
+		if err != nil {
+			log.Fatalf("qoserved: installing hints: %v", err)
+		}
+		log.Printf("hint cache: %d hints installed (generation %d, %d shards)",
+			srv.Cache().Size(), gen, srv.Cache().Shards())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// ListenAndServe returns as soon as Shutdown begins; in-flight
+	// requests keep running until Shutdown itself returns, so the drain
+	// must be awaited before closing the ingestor behind those handlers.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("qoserved listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("qoserved: %v", err)
+	}
+	<-shutdownDone
+
+	// Graceful teardown: drain pending rewards into the model, then
+	// persist it for the next start.
+	srv.Close()
+	if *modelPath != "" {
+		n, err := srv.SnapshotToPath(*modelPath)
+		if err != nil {
+			log.Fatalf("qoserved: final snapshot: %v", err)
+		}
+		log.Printf("model persisted to %s (%d bytes)", *modelPath, n)
+	}
+	log.Printf("qoserved stopped")
+}
+
+// mergeHints overlays additions onto base, additions winning on
+// template conflicts; order is preserved (base first, new additions
+// appended).
+func mergeHints(base, additions []sis.Hint) []sis.Hint {
+	index := make(map[uint64]int, len(base))
+	out := make([]sis.Hint, len(base))
+	copy(out, base)
+	for i, h := range out {
+		index[h.TemplateHash] = i
+	}
+	for _, h := range additions {
+		if i, ok := index[h.TemplateHash]; ok {
+			out[i] = h
+			continue
+		}
+		index[h.TemplateHash] = len(out)
+		out = append(out, h)
+	}
+	return out
+}
+
+// bootstrap runs the offline daily pipeline for the requested number of
+// simulated days and returns the advisor (whose bandit is now trained)
+// plus the active hint table in servable form.
+func bootstrap(cat *rules.Catalog, seed int64, templates, days int) (*core.Advisor, []sis.Hint, error) {
+	gen, err := workload.New(workload.Config{Seed: seed, NumTemplates: templates, MaxDailyInstances: 2})
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster := exec.DefaultCluster(seed)
+	store := sis.NewStore(cat)
+	adv := core.NewAdvisor(cat, store, core.Config{
+		Seed:      seed,
+		Flighting: flighting.Config{Catalog: cat, Cluster: cluster, Seed: seed + 5},
+	})
+	prod := core.NewProduction(cat, store, cluster, seed+9)
+
+	for day := 1; day <= days; day++ {
+		// Off-policy schedule: uniform logging for the first third, the
+		// learned policy afterwards (as in cmd/qoadvisor).
+		adv.CB.Uniform = day <= days/3
+		jobs, err := gen.JobsForDay(day)
+		if err != nil {
+			return nil, nil, err
+		}
+		_, view, err := prod.RunDay(day, jobs)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := adv.RunDay(day, jobs, view); err != nil {
+			return nil, nil, err
+		}
+	}
+	log.Printf("bootstrap: %d days over %d templates, %d active hints",
+		days, templates, store.Size())
+	return adv, adv.ActiveHints(), nil
+}

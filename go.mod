@@ -1,0 +1,3 @@
+module qoadvisor
+
+go 1.24

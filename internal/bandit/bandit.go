@@ -13,6 +13,9 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Action is one candidate decision, described by categorical feature
@@ -65,6 +68,12 @@ type Config struct {
 	// TrainEpochs is the number of SGD passes over new events per Train
 	// call.
 	TrainEpochs int
+	// MaxLogEvents caps the in-memory event log (0 = unbounded, the
+	// offline-pipeline mode). When the cap is exceeded the oldest events
+	// are evicted — trained ones silently, pending ones forfeiting any
+	// late reward (which then reports as an unknown event). Long-running
+	// servers must set a cap or the log grows without bound.
+	MaxLogEvents int
 	// Seed drives exploration randomness.
 	Seed int64
 }
@@ -80,15 +89,45 @@ func DefaultConfig(seed int64) Config {
 	}
 }
 
-// Service is the in-process Personalizer stand-in.
+// Service is the in-process Personalizer stand-in. It is safe for
+// concurrent use: the serve layer issues Rank and Reward calls from many
+// request goroutines while the reward ingestor trains in the background.
+// Scoring takes a shared read lock on the weight vector so concurrent
+// Rank calls scale across cores; the event log and the exploration rng
+// are guarded by their own short-critical-section mutexes.
 type Service struct {
-	cfg    Config
-	w      []float64
-	rng    *rand.Rand
+	cfg Config
+
+	// mu guards the weight vector w: read-locked for scoring, write-locked
+	// for SGD updates and deserialization.
+	mu sync.RWMutex
+	w  []float64
+
+	// rngMu guards the exploration rng (lock ordering: never held together
+	// with mu or evMu).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// evMu guards the event log, the event index, the pending-reward
+	// list, the ID sequence, and the log cap.
+	evMu   sync.Mutex
 	events map[string]*Event
 	log    []*Event
-	seq    int
+	// pending holds rewarded-but-untrained events so Train is O(batch)
+	// rather than a full-log scan, and so an accepted reward survives
+	// log eviction until it is trained.
+	pending []*Event
+	seq     int
+	maxLog  int
+	// nonce makes event IDs unique across Service instances (and hence
+	// process restarts), so a reward held across a model-restore restart
+	// fails loudly as unknown instead of silently training the wrong
+	// event.
+	nonce string
 }
+
+// instanceSeq disambiguates services created in the same nanosecond.
+var instanceSeq atomic.Int64
 
 // New creates a Service.
 func New(cfg Config) *Service {
@@ -112,7 +151,37 @@ func New(cfg Config) *Service {
 		w:      make([]float64, cfg.Dim),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		events: make(map[string]*Event),
+		maxLog: cfg.MaxLogEvents,
+		nonce:  fmt.Sprintf("%x", uint64(time.Now().UnixNano())^uint64(instanceSeq.Add(1))<<48),
 	}
+}
+
+// SetMaxLog adjusts the event-log cap at runtime (0 = unbounded) — the
+// serve layer applies its bound to a learner trained by the offline
+// pipeline. The cap takes effect on the next Rank.
+func (s *Service) SetMaxLog(n int) {
+	s.evMu.Lock()
+	s.maxLog = n
+	s.evMu.Unlock()
+}
+
+// evictLocked enforces maxLog by dropping the oldest events; callers
+// hold evMu. Trained events are simply forgotten; unrewarded ones lose
+// their slot in the index, so a late reward reports as unknown. An
+// accepted-but-untrained reward is never lost: the pending list keeps
+// the event for the next Train even after it leaves the log. The 25%
+// slack before compaction amortizes the copy cost across ranks.
+func (s *Service) evictLocked() {
+	if s.maxLog <= 0 || len(s.log) <= s.maxLog+s.maxLog/4 {
+		return
+	}
+	drop := len(s.log) - s.maxLog
+	for _, ev := range s.log[:drop] {
+		if !ev.Rewarded || ev.Trained {
+			delete(s.events, ev.EventID)
+		}
+	}
+	s.log = append(s.log[:0:0], s.log[drop:]...)
 }
 
 // featureIndexes hashes the cross product of context and action tokens
@@ -136,16 +205,18 @@ func (s *Service) featureIndexes(ctx Context, a Action) []int {
 
 // Score returns the model's value estimate for an action in context.
 func (s *Service) Score(ctx Context, a Action) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scoreLocked(ctx, a)
+}
+
+// scoreLocked is Score without locking; callers hold mu (read or write).
+func (s *Service) scoreLocked(ctx Context, a Action) float64 {
 	sum := 0.0
 	for _, i := range s.featureIndexes(ctx, a) {
 		sum += s.w[i]
 	}
 	return sum
-}
-
-func (s *Service) newEventID() string {
-	s.seq++
-	return fmt.Sprintf("ev%08d", s.seq)
 }
 
 // Rank selects an action with the learned epsilon-greedy policy and logs
@@ -170,20 +241,31 @@ func (s *Service) rank(ctx Context, actions []Action, uniform bool) (Ranked, err
 	k := len(actions)
 	scores := make([]float64, k)
 	best := 0
+	s.mu.RLock()
 	for i, a := range actions {
-		scores[i] = s.Score(ctx, a)
+		scores[i] = s.scoreLocked(ctx, a)
 		if scores[i] > scores[best] {
 			best = i
 		}
 	}
+	s.mu.RUnlock()
+
+	s.rngMu.Lock()
+	explore := !uniform && s.rng.Float64() < s.cfg.Epsilon
+	pick := 0
+	if uniform || explore {
+		pick = s.rng.Intn(k)
+	}
+	s.rngMu.Unlock()
+
 	var chosen int
 	var prob float64
 	switch {
 	case uniform:
-		chosen = s.rng.Intn(k)
+		chosen = pick
 		prob = 1 / float64(k)
-	case s.rng.Float64() < s.cfg.Epsilon:
-		chosen = s.rng.Intn(k)
+	case explore:
+		chosen = pick
 		if chosen == best {
 			prob = (1 - s.cfg.Epsilon) + s.cfg.Epsilon/float64(k)
 		} else {
@@ -195,97 +277,156 @@ func (s *Service) rank(ctx Context, actions []Action, uniform bool) (Ranked, err
 	}
 
 	ev := &Event{
-		EventID: s.newEventID(),
 		Context: ctx,
 		Actions: actions,
 		Chosen:  chosen,
 		Prob:    prob,
 	}
+	s.evMu.Lock()
+	s.seq++
+	ev.EventID = fmt.Sprintf("ev%s-%08d", s.nonce, s.seq)
 	s.events[ev.EventID] = ev
 	s.log = append(s.log, ev)
+	s.evictLocked()
+	s.evMu.Unlock()
 	return Ranked{EventID: ev.EventID, Chosen: chosen, Prob: prob, Scores: scores}, nil
 }
 
 // Reward attaches the observed reward to a rank event.
 func (s *Service) Reward(eventID string, reward float64) error {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
 	ev, ok := s.events[eventID]
 	if !ok {
+		// Unknown, evicted, or already trained (trained events leave the
+		// index) — in every case the reward has nowhere to go.
 		return fmt.Errorf("bandit: unknown event %q", eventID)
+	}
+	if !ev.Rewarded {
+		s.pending = append(s.pending, ev)
 	}
 	ev.Reward = reward
 	ev.Rewarded = true
 	return nil
 }
 
+// trainExample is an immutable snapshot of a rewarded event, taken under
+// evMu so SGD can run without holding the event-log lock.
+type trainExample struct {
+	ctx    Context
+	action Action
+	prob   float64
+	reward float64
+}
+
 // Train performs TrainEpochs IPS-weighted SGD passes over all rewarded,
 // untrained events and returns how many events were consumed.
 func (s *Service) Train() int {
-	var fresh []*Event
-	for _, ev := range s.log {
-		if !ev.Rewarded || ev.Trained {
-			continue
-		}
-		fresh = append(fresh, ev)
+	s.evMu.Lock()
+	fresh := make([]trainExample, 0, len(s.pending))
+	for _, ev := range s.pending {
+		fresh = append(fresh, trainExample{
+			ctx:    ev.Context,
+			action: ev.Actions[ev.Chosen],
+			prob:   ev.Prob,
+			reward: ev.Reward,
+		})
 		ev.Trained = true
+		// A trained event can no longer accept rewards; drop it from the
+		// lookup index so the index only holds pending events.
+		delete(s.events, ev.EventID)
 	}
+	s.pending = nil
+	s.evMu.Unlock()
+	if len(fresh) == 0 {
+		return 0
+	}
+
+	s.mu.Lock()
 	for epoch := 0; epoch < s.cfg.TrainEpochs; epoch++ {
-		for _, ev := range fresh {
-			s.update(ev)
+		for _, ex := range fresh {
+			s.update(ex)
 		}
 	}
+	s.mu.Unlock()
 	return len(fresh)
 }
 
 // update applies an importance-weighted regression step toward the
-// observed reward for the chosen action.
-func (s *Service) update(ev *Event) {
-	a := ev.Actions[ev.Chosen]
-	idx := s.featureIndexes(ev.Context, a)
+// observed reward for the chosen action. Callers hold mu.
+func (s *Service) update(ex trainExample) {
+	idx := s.featureIndexes(ex.ctx, ex.action)
 	pred := 0.0
 	for _, i := range idx {
 		pred += s.w[i]
 	}
-	weight := 1 / ev.Prob
+	weight := 1 / ex.prob
 	if weight > s.cfg.MaxIPSWeight {
 		weight = s.cfg.MaxIPSWeight
 	}
-	grad := s.cfg.LearningRate * weight * (ev.Reward - pred) / float64(len(idx))
+	grad := s.cfg.LearningRate * weight * (ex.reward - pred) / float64(len(idx))
 	for _, i := range idx {
 		s.w[i] += grad
 	}
 }
 
 // LogSize returns the number of logged rank events.
-func (s *Service) LogSize() int { return len(s.log) }
+func (s *Service) LogSize() int {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return len(s.log)
+}
 
-// Events returns the full event log (shared slice; callers must not
-// modify it). The high-fidelity log is what enables counterfactual
-// policy evaluation.
-func (s *Service) Events() []*Event { return s.log }
+// Events returns a snapshot of the event log. Each Event is copied
+// under the lock so the caller can read Reward/Rewarded/Trained without
+// racing concurrent Reward and Train calls (Context and Actions are
+// shared but immutable after Rank). The high-fidelity log is what
+// enables counterfactual policy evaluation.
+func (s *Service) Events() []*Event {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	out := make([]*Event, len(s.log))
+	for i, ev := range s.log {
+		cp := *ev
+		out[i] = &cp
+	}
+	return out
+}
 
 // CounterfactualValue estimates the average reward another policy would
 // have obtained on the logged data using inverse propensity scoring:
 // V(π) = mean( r_i * 1{π(x_i) = a_i} / p_i ).
 func (s *Service) CounterfactualValue(policy func(ctx Context, actions []Action) int) (float64, error) {
-	n := 0
-	sum := 0.0
+	type cfExample struct {
+		ctx     Context
+		actions []Action
+		chosen  int
+		prob    float64
+		reward  float64
+	}
+	s.evMu.Lock()
+	examples := make([]cfExample, 0, len(s.log))
 	for _, ev := range s.log {
 		if !ev.Rewarded {
 			continue
 		}
-		n++
-		if policy(ev.Context, ev.Actions) == ev.Chosen {
-			w := 1 / ev.Prob
+		examples = append(examples, cfExample{ev.Context, ev.Actions, ev.Chosen, ev.Prob, ev.Reward})
+	}
+	s.evMu.Unlock()
+	if len(examples) == 0 {
+		return 0, errors.New("bandit: no rewarded events")
+	}
+	sum := 0.0
+	for _, ex := range examples {
+		if policy(ex.ctx, ex.actions) == ex.chosen {
+			w := 1 / ex.prob
 			if w > s.cfg.MaxIPSWeight {
 				w = s.cfg.MaxIPSWeight
 			}
-			sum += ev.Reward * w
+			sum += ex.reward * w
 		}
 	}
-	if n == 0 {
-		return 0, errors.New("bandit: no rewarded events")
-	}
-	return sum / float64(n), nil
+	return sum / float64(len(examples)), nil
 }
 
 // GreedyPolicy returns a policy function that picks the best-scoring
@@ -307,6 +448,8 @@ func (s *Service) GreedyPolicy() func(ctx Context, actions []Action) int {
 // TopWeights returns the n largest-magnitude weight indexes, a debugging
 // aid for explainability ("which rules are really moving the needle").
 func (s *Service) TopWeights(n int) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	idx := make([]int, 0)
 	for i, w := range s.w {
 		if w != 0 {

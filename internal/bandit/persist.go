@@ -2,6 +2,7 @@ package bandit
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,20 +15,23 @@ import (
 // the "maintaining the state over pipeline runs in a reliable way is
 // non-trivial" lesson of §6 that pushed the paper onto a managed service.
 func (s *Service) Save(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "qoadvisor-bandit v1 dim=%d epsilon=%g lr=%g clip=%g\n",
-		s.cfg.Dim, s.cfg.Epsilon, s.cfg.LearningRate, s.cfg.MaxIPSWeight); err != nil {
-		return err
-	}
+	// Serialize under the read lock into a buffer, then stream lock-free:
+	// writing directly to a slow consumer (e.g. an HTTP response) under
+	// the lock would let one client stall training and, through the
+	// writer-pending RWMutex semantics, all concurrent Rank calls.
+	var buf bytes.Buffer
+	s.mu.RLock()
+	fmt.Fprintf(&buf, "qoadvisor-bandit v1 dim=%d epsilon=%g lr=%g clip=%g\n",
+		s.cfg.Dim, s.cfg.Epsilon, s.cfg.LearningRate, s.cfg.MaxIPSWeight)
 	for i, wgt := range s.w {
 		if wgt == 0 {
 			continue
 		}
-		if _, err := fmt.Fprintf(bw, "%d %v\n", i, wgt); err != nil {
-			return err
-		}
+		fmt.Fprintf(&buf, "%d %v\n", i, wgt)
 	}
-	return bw.Flush()
+	s.mu.RUnlock()
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // Load restores a service saved with Save. The seed drives the restored

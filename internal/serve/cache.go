@@ -1,0 +1,120 @@
+// Package serve is QO-Advisor's online steering layer: an embeddable,
+// concurrency-safe service that answers per-job steering requests at
+// compile time and feeds run telemetry back into the contextual bandit.
+// It mirrors the deployment architecture of the paper (§4): the daily
+// offline pipeline produces rule-flip hints, a production-facing serving
+// layer answers "what flip for this job template?" on the hot path from
+// a sharded hint cache, and reward telemetry flows asynchronously into
+// the Personalizer-style rank/reward learner.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qoadvisor/internal/sis"
+)
+
+// defaultShards is the hint-cache shard count when the caller does not
+// choose one. 32 shards keep lock contention negligible at request
+// concurrencies well beyond typical GOMAXPROCS values.
+const defaultShards = 32
+
+// HintCache is a sharded, read-mostly map from job-template hash to the
+// template's active hint. Lookups take a per-shard read lock; Replace
+// hot-swaps the whole table shard by shard on pipeline rollover, so
+// readers never block behind a full rebuild and never observe a torn
+// table beyond a momentary mix of two adjacent generations.
+type HintCache struct {
+	shards []hintShard
+	mask   uint64
+	gen    atomic.Uint64
+	size   atomic.Int64
+	// replaceMu serializes writers: two concurrent Replace calls must not
+	// interleave their per-shard swaps, or the table would permanently mix
+	// two generations.
+	replaceMu sync.Mutex
+}
+
+type hintShard struct {
+	mu sync.RWMutex
+	m  map[uint64]sis.Hint
+}
+
+// NewHintCache creates a cache with at least n shards (rounded up to a
+// power of two; n <= 0 selects the default).
+func NewHintCache(n int) *HintCache {
+	if n <= 0 {
+		n = defaultShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	c := &HintCache{shards: make([]hintShard, p), mask: uint64(p - 1)}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]sis.Hint)
+	}
+	return c
+}
+
+// mix64 is the splitmix64 finalizer: template hashes are already
+// well-distributed FNV values, but finalizing makes shard selection
+// robust to any clustering in the low bits.
+func mix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (c *HintCache) shard(templateHash uint64) *hintShard {
+	return &c.shards[mix64(templateHash)&c.mask]
+}
+
+// Lookup returns the active hint for a job template, if any. This is the
+// serving hot path: one hash finalization, one shard RLock, one map read.
+func (c *HintCache) Lookup(templateHash uint64) (sis.Hint, bool) {
+	sh := c.shard(templateHash)
+	sh.mu.RLock()
+	h, ok := sh.m[templateHash]
+	sh.mu.RUnlock()
+	return h, ok
+}
+
+// Replace installs a fresh hint table, replacing the previous one — the
+// pipeline-rollover hot swap. The new shard maps are built entirely
+// outside the locks; each shard then swaps its map pointer under a brief
+// write lock. Duplicate template hashes keep the last occurrence,
+// matching sis.Store upload semantics. Returns the new generation.
+func (c *HintCache) Replace(hints []sis.Hint) uint64 {
+	c.replaceMu.Lock()
+	defer c.replaceMu.Unlock()
+	fresh := make([]map[uint64]sis.Hint, len(c.shards))
+	for i := range fresh {
+		fresh[i] = make(map[uint64]sis.Hint)
+	}
+	for _, h := range hints {
+		fresh[mix64(h.TemplateHash)&c.mask][h.TemplateHash] = h
+	}
+	total := 0
+	for i := range c.shards {
+		total += len(fresh[i])
+		c.shards[i].mu.Lock()
+		c.shards[i].m = fresh[i]
+		c.shards[i].mu.Unlock()
+	}
+	c.size.Store(int64(total))
+	return c.gen.Add(1)
+}
+
+// Size returns the number of active hints as of the last Replace.
+func (c *HintCache) Size() int { return int(c.size.Load()) }
+
+// Generation returns how many tables have been installed.
+func (c *HintCache) Generation() uint64 { return c.gen.Load() }
+
+// Shards returns the shard count (diagnostic).
+func (c *HintCache) Shards() int { return len(c.shards) }

@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qoadvisor/internal/bandit"
+)
+
+// reward is one queued reward observation.
+type reward struct {
+	eventID string
+	value   float64
+}
+
+// Ingestor is the asynchronous reward-ingestion pipeline: a bounded
+// queue drained by a worker pool that applies rewards to the bandit
+// service and triggers an IPS training pass every trainEvery applied
+// rewards. Keeping reward application and SGD off the request path is
+// what lets /v1/reward return in microseconds while the model still
+// learns continuously.
+type Ingestor struct {
+	svc        *bandit.Service
+	ch         chan reward
+	trainEvery int64
+
+	// closeMu serializes Enqueue sends against Close closing the channel.
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+
+	// queued counts accepted-but-not-yet-applied rewards; Drain spins on
+	// it reaching zero.
+	queued  atomic.Int64
+	pending atomic.Int64 // applied since the last training pass
+
+	enqueued      atomic.Int64
+	dropped       atomic.Int64
+	applied       atomic.Int64
+	unknown       atomic.Int64
+	trainRuns     atomic.Int64
+	trainedEvents atomic.Int64
+}
+
+// IngestStats is a point-in-time snapshot of ingestion counters.
+type IngestStats struct {
+	Enqueued      int64 `json:"enqueued"`
+	Dropped       int64 `json:"dropped"`
+	Applied       int64 `json:"applied"`
+	UnknownEvents int64 `json:"unknownEvents"`
+	TrainRuns     int64 `json:"trainRuns"`
+	TrainedEvents int64 `json:"trainedEvents"`
+	QueueDepth    int   `json:"queueDepth"`
+	QueueCap      int   `json:"queueCap"`
+}
+
+// NewIngestor starts an ingestion pipeline over the given bandit
+// service. queueSize bounds the reward backlog (default 4096); workers
+// is the drain pool size; trainEvery is the training batch size in
+// applied rewards (default 256). The default pool size is 1: reward
+// application serializes on the bandit's event-log mutex anyway, so
+// extra workers only add contention against the Rank hot path — raise
+// it only when reward application itself stops being the bottleneck
+// (e.g. a future sharded learner).
+func NewIngestor(svc *bandit.Service, queueSize, workers, trainEvery int) *Ingestor {
+	if queueSize <= 0 {
+		queueSize = 4096
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if trainEvery <= 0 {
+		trainEvery = 256
+	}
+	in := &Ingestor{
+		svc:        svc,
+		ch:         make(chan reward, queueSize),
+		trainEvery: int64(trainEvery),
+	}
+	in.start(workers)
+	return in
+}
+
+func (in *Ingestor) start(workers int) {
+	for i := 0; i < workers; i++ {
+		in.wg.Add(1)
+		go in.worker()
+	}
+}
+
+func (in *Ingestor) worker() {
+	defer in.wg.Done()
+	for r := range in.ch {
+		in.apply(r)
+	}
+}
+
+func (in *Ingestor) apply(r reward) {
+	if err := in.svc.Reward(r.eventID, r.value); err != nil {
+		in.unknown.Add(1)
+	} else {
+		in.applied.Add(1)
+		if p := in.pending.Add(1); p >= in.trainEvery {
+			// One worker claims the batch; a failed CAS means a peer is
+			// racing on a fresher count and will claim it instead.
+			if in.pending.CompareAndSwap(p, 0) {
+				in.train()
+			}
+		}
+	}
+	in.queued.Add(-1)
+}
+
+func (in *Ingestor) train() {
+	n := in.svc.Train()
+	in.trainRuns.Add(1)
+	in.trainedEvents.Add(int64(n))
+}
+
+// Enqueue submits a reward without blocking. It returns false when the
+// queue is full or the ingestor is closed — backpressure the HTTP layer
+// surfaces as 503 so callers can retry.
+func (in *Ingestor) Enqueue(eventID string, value float64) bool {
+	in.closeMu.RLock()
+	defer in.closeMu.RUnlock()
+	if in.closed {
+		in.dropped.Add(1)
+		return false
+	}
+	// Count before handing off: a worker can pick the item up and apply
+	// it before this goroutine resumes, and Drain must never observe
+	// queued==0 while an accepted reward is still in flight.
+	in.queued.Add(1)
+	select {
+	case in.ch <- reward{eventID: eventID, value: value}:
+		in.enqueued.Add(1)
+		return true
+	default:
+		in.queued.Add(-1)
+		in.dropped.Add(1)
+		return false
+	}
+}
+
+// Drain blocks until every accepted reward has been applied, then runs a
+// final training pass over whatever remains below the batch threshold.
+// It is a test/shutdown aid, not a hot-path call.
+func (in *Ingestor) Drain() {
+	for in.queued.Load() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	in.pending.Store(0)
+	in.train()
+}
+
+// Close stops accepting rewards, drains the queue, applies a final
+// training pass, and waits for the workers to exit.
+func (in *Ingestor) Close() {
+	in.closeMu.Lock()
+	if in.closed {
+		in.closeMu.Unlock()
+		return
+	}
+	in.closed = true
+	close(in.ch)
+	in.closeMu.Unlock()
+	in.wg.Wait()
+	in.queued.Store(0)
+	in.pending.Store(0)
+	in.train()
+}
+
+// Stats returns a snapshot of the ingestion counters.
+func (in *Ingestor) Stats() IngestStats {
+	return IngestStats{
+		Enqueued:      in.enqueued.Load(),
+		Dropped:       in.dropped.Load(),
+		Applied:       in.applied.Load(),
+		UnknownEvents: in.unknown.Load(),
+		TrainRuns:     in.trainRuns.Load(),
+		TrainedEvents: in.trainedEvents.Load(),
+		QueueDepth:    len(in.ch),
+		QueueCap:      cap(in.ch),
+	}
+}

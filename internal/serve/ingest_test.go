@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"testing"
+
+	"qoadvisor/internal/bandit"
+)
+
+func rankEvents(t *testing.T, svc *bandit.Service, n int) []string {
+	t.Helper()
+	ctx := bandit.Context{Features: []string{"span:1", "span:9"}}
+	actions := []bandit.Action{
+		{ID: "noop", Features: []string{"act:noop"}},
+		{ID: "+R030", Features: []string{"rule:30"}},
+	}
+	ids := make([]string, n)
+	for i := range ids {
+		r, err := svc.Rank(ctx, actions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = r.EventID
+	}
+	return ids
+}
+
+func TestIngestorAppliesAndTrains(t *testing.T) {
+	svc := bandit.New(bandit.DefaultConfig(5))
+	in := NewIngestor(svc, 128, 2, 16)
+	defer in.Close()
+
+	ids := rankEvents(t, svc, 64)
+	for _, id := range ids {
+		if !in.Enqueue(id, 1.5) {
+			t.Fatalf("Enqueue(%s) rejected with capacity to spare", id)
+		}
+	}
+	in.Drain()
+
+	st := in.Stats()
+	if st.Applied != 64 {
+		t.Errorf("Applied = %d, want 64", st.Applied)
+	}
+	if st.Dropped != 0 || st.UnknownEvents != 0 {
+		t.Errorf("Dropped=%d Unknown=%d, want 0/0", st.Dropped, st.UnknownEvents)
+	}
+	if st.TrainedEvents != 64 {
+		t.Errorf("TrainedEvents = %d, want 64 (all rewards consumed by training)", st.TrainedEvents)
+	}
+	if st.TrainRuns == 0 {
+		t.Error("no training pass ran despite 64 applied rewards at batch size 16")
+	}
+	// Training must actually have moved the model.
+	ctx := bandit.Context{Features: []string{"span:1", "span:9"}}
+	a := bandit.Action{ID: "+R030", Features: []string{"rule:30"}}
+	if svc.Score(ctx, a) == 0 {
+		t.Error("model weights untouched after ingestion training")
+	}
+}
+
+func TestIngestorUnknownEvents(t *testing.T) {
+	svc := bandit.New(bandit.DefaultConfig(5))
+	in := NewIngestor(svc, 16, 1, 4)
+	defer in.Close()
+	in.Enqueue("ev-no-such", 1.0)
+	in.Drain()
+	if st := in.Stats(); st.UnknownEvents != 1 || st.Applied != 0 {
+		t.Errorf("Unknown=%d Applied=%d, want 1/0", st.UnknownEvents, st.Applied)
+	}
+}
+
+// TestIngestorBackpressure uses a worker-less ingestor (white box) so the
+// bounded queue fills deterministically.
+func TestIngestorBackpressure(t *testing.T) {
+	svc := bandit.New(bandit.DefaultConfig(5))
+	in := &Ingestor{svc: svc, ch: make(chan reward, 2), trainEvery: 8}
+
+	ids := rankEvents(t, svc, 3)
+	if !in.Enqueue(ids[0], 1) || !in.Enqueue(ids[1], 1) {
+		t.Fatal("enqueue into empty queue rejected")
+	}
+	if in.Enqueue(ids[2], 1) {
+		t.Fatal("enqueue into full queue accepted")
+	}
+	if st := in.Stats(); st.Dropped != 1 || st.QueueDepth != 2 || st.QueueCap != 2 {
+		t.Errorf("stats = %+v, want dropped=1 depth=2 cap=2", st)
+	}
+
+	// Starting the drain pool empties the backlog.
+	in.start(1)
+	in.Drain()
+	if st := in.Stats(); st.Applied != 2 {
+		t.Errorf("Applied = %d, want 2", st.Applied)
+	}
+	in.Close()
+}
+
+func TestIngestorCloseRejectsAndDrains(t *testing.T) {
+	svc := bandit.New(bandit.DefaultConfig(5))
+	in := NewIngestor(svc, 64, 2, 1000) // batch too large to trigger mid-run
+	ids := rankEvents(t, svc, 32)
+	for _, id := range ids {
+		in.Enqueue(id, 2.0)
+	}
+	in.Close()
+	st := in.Stats()
+	if st.Applied != 32 {
+		t.Errorf("Applied after Close = %d, want 32", st.Applied)
+	}
+	if st.TrainedEvents != 32 {
+		t.Errorf("TrainedEvents after Close = %d, want 32 (final training pass)", st.TrainedEvents)
+	}
+	if in.Enqueue("ev-after-close", 1.0) {
+		t.Error("Enqueue accepted after Close")
+	}
+	in.Close() // second Close is a no-op
+}

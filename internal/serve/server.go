@@ -1,0 +1,448 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/core"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+)
+
+// Config parameterizes the steering server.
+type Config struct {
+	// Catalog is the rule catalog steering decisions are made against
+	// (nil selects the canonical 256-rule catalog).
+	Catalog *rules.Catalog
+	// Bandit is the rank/reward learner to serve. Nil builds a fresh one
+	// from Seed; passing the daily pipeline's trained service carries the
+	// learned policy into serving.
+	Bandit *bandit.Service
+	// Seed drives exploration when Bandit is nil.
+	Seed int64
+	// Uniform switches ranking to the uniform-at-random logging policy
+	// (the paper's off-policy data-collection mode).
+	Uniform bool
+	// Shards is the hint-cache shard count (0 = default).
+	Shards int
+	// QueueSize bounds the reward-ingestion backlog (0 = default).
+	QueueSize int
+	// Workers sizes the reward-ingestion worker pool (0 = default).
+	Workers int
+	// TrainEvery is the ingestion training batch size (0 = default).
+	TrainEvery int
+	// MaxLogEvents caps the learner's in-memory event log so an
+	// indefinitely running server does not leak rank events (0 = default
+	// 16384, negative = unbounded). Each logged event retains its full
+	// featurized context (measured ~6 KiB for a 10-bit span), so the
+	// default bounds event state near 100 MiB. Applies to a
+	// caller-supplied Bandit too.
+	MaxLogEvents int
+	// SnapshotPath is where POST /v1/model/snapshot persists the model.
+	SnapshotPath string
+}
+
+// RankRequest is one steering query: "which rule flip for this job?".
+// Span carries the job span's bit positions; RowCount and BytesRead are
+// the coarse input-stream features of the paper's featurization.
+type RankRequest struct {
+	TemplateHash uint64
+	TemplateID   string
+	Span         []int
+	RowCount     float64
+	BytesRead    float64
+}
+
+// RankResponse is the steering decision. Source "hint" means the sharded
+// cache had a validated hint for the template (the production fast path:
+// no bandit call, no event logged). Source "bandit" means the learner
+// picked an action and logged a rank event awaiting a reward.
+type RankResponse struct {
+	Source     string  `json:"source"`
+	Flip       string  `json:"flip,omitempty"`
+	NoOp       bool    `json:"noop"`
+	EventID    string  `json:"eventId,omitempty"`
+	Prob       float64 `json:"prob,omitempty"`
+	Chosen     int     `json:"chosen,omitempty"`
+	HintDay    int     `json:"hintDay,omitempty"`
+	Generation uint64  `json:"generation"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	UptimeSec    float64     `json:"uptimeSec"`
+	RankRequests int64       `json:"rankRequests"`
+	HintHits     int64       `json:"hintHits"`
+	BanditRanks  int64       `json:"banditRanks"`
+	NoOps        int64       `json:"noops"`
+	CacheSize    int         `json:"cacheSize"`
+	CacheGen     uint64      `json:"cacheGeneration"`
+	CacheShards  int         `json:"cacheShards"`
+	BanditLog    int         `json:"banditLogSize"`
+	Ingest       IngestStats `json:"ingest"`
+}
+
+// Server is the embeddable online steering service. It serves hint-cache
+// lookups and bandit ranks, ingests rewards asynchronously, and exposes
+// the whole surface over HTTP via ServeHTTP.
+type Server struct {
+	cat    *rules.Catalog
+	cache  *HintCache
+	bandit *bandit.Service
+	ingest *Ingestor
+
+	uniform      bool
+	snapshotPath string
+	snapMu       sync.Mutex
+	start        time.Time
+	mux          *http.ServeMux
+
+	rankRequests atomic.Int64
+	hintHits     atomic.Int64
+	banditRanks  atomic.Int64
+	noops        atomic.Int64
+}
+
+// New assembles a steering server.
+func New(cfg Config) *Server {
+	if cfg.Catalog == nil {
+		cfg.Catalog = rules.NewCatalog()
+	}
+	if cfg.Bandit == nil {
+		cfg.Bandit = bandit.New(bandit.DefaultConfig(cfg.Seed))
+	}
+	switch {
+	case cfg.MaxLogEvents == 0:
+		cfg.Bandit.SetMaxLog(1 << 14)
+	case cfg.MaxLogEvents > 0:
+		cfg.Bandit.SetMaxLog(cfg.MaxLogEvents)
+	default:
+		cfg.Bandit.SetMaxLog(0) // negative: lift any existing cap
+	}
+	s := &Server{
+		cat:          cfg.Catalog,
+		cache:        NewHintCache(cfg.Shards),
+		bandit:       cfg.Bandit,
+		ingest:       NewIngestor(cfg.Bandit, cfg.QueueSize, cfg.Workers, cfg.TrainEvery),
+		uniform:      cfg.Uniform,
+		snapshotPath: cfg.SnapshotPath,
+		start:        time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/rank", s.handleRank)
+	mux.HandleFunc("/v1/reward", s.handleReward)
+	mux.HandleFunc("/v1/hints", s.handleHints)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/model/snapshot", s.handleSnapshot)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Cache returns the hint cache (for embedding and diagnostics).
+func (s *Server) Cache() *HintCache { return s.cache }
+
+// Bandit returns the served learner.
+func (s *Server) Bandit() *bandit.Service { return s.bandit }
+
+// Ingestor returns the reward-ingestion pipeline.
+func (s *Server) Ingestor() *Ingestor { return s.ingest }
+
+// InstallHints validates and hot-swaps the hint table — the
+// pipeline-rollover entry point, fed from core.Advisor.ActiveHints() or
+// a parsed SIS file. Validation is the same gate the HTTP rollover
+// applies: rule IDs in range, no duplicate templates, no Required-rule
+// flips.
+func (s *Server) InstallHints(hints []sis.Hint) (uint64, error) {
+	if err := sis.Validate(sis.File{Hints: hints}, s.cat); err != nil {
+		return s.cache.Generation(), err
+	}
+	return s.cache.Replace(hints), nil
+}
+
+// Close drains and stops the reward ingestor.
+func (s *Server) Close() { s.ingest.Close() }
+
+// Rank answers one steering query: a cached validated hint when the
+// template has one, otherwise an epsilon-greedy bandit decision over the
+// job's span actions. This is the embeddable core of POST /v1/rank.
+func (s *Server) Rank(req RankRequest) (RankResponse, error) {
+	s.rankRequests.Add(1)
+	// Validate before the cache lookup so a request is accepted or
+	// rejected identically whether or not its template currently has a
+	// hint — otherwise a client's malformed span only surfaces as a 400
+	// after a rollover evicts the hint.
+	var span rules.Bitset
+	for _, b := range req.Span {
+		if b < 0 || b >= rules.NumRules {
+			return RankResponse{}, fmt.Errorf("serve: span bit %d out of range [0,%d)", b, rules.NumRules)
+		}
+		span.Set(b)
+	}
+	if span.IsEmpty() {
+		return RankResponse{}, fmt.Errorf("serve: empty span (empty-span jobs are not steered)")
+	}
+
+	if h, ok := s.cache.Lookup(req.TemplateHash); ok {
+		s.hintHits.Add(1)
+		return RankResponse{
+			Source:     "hint",
+			Flip:       h.Flip.String(),
+			HintDay:    h.Day,
+			Generation: s.cache.Generation(),
+		}, nil
+	}
+	gen := s.cache.Generation()
+
+	f := &core.JobFeatures{Span: span, RowCount: req.RowCount, BytesRead: req.BytesRead}
+	ctx := core.ContextFeatures(f)
+	actions, flips := core.ActionsFor(s.cat, f)
+	var ranked bandit.Ranked
+	var err error
+	if s.uniform {
+		ranked, err = s.bandit.RankUniform(ctx, actions)
+	} else {
+		ranked, err = s.bandit.Rank(ctx, actions)
+	}
+	if err != nil {
+		return RankResponse{}, err
+	}
+	s.banditRanks.Add(1)
+	resp := RankResponse{
+		Source:     "bandit",
+		EventID:    ranked.EventID,
+		Prob:       ranked.Prob,
+		Chosen:     ranked.Chosen,
+		NoOp:       ranked.Chosen == 0,
+		Generation: gen,
+	}
+	if resp.NoOp {
+		s.noops.Add(1)
+	} else {
+		resp.Flip = flips[ranked.Chosen].String()
+	}
+	return resp, nil
+}
+
+// RewardAsync submits a reward observation to the ingestion pipeline.
+// It returns false on backpressure (queue full or ingestor closed).
+func (s *Server) RewardAsync(eventID string, value float64) bool {
+	return s.ingest.Enqueue(eventID, value)
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSec:    time.Since(s.start).Seconds(),
+		RankRequests: s.rankRequests.Load(),
+		HintHits:     s.hintHits.Load(),
+		BanditRanks:  s.banditRanks.Load(),
+		NoOps:        s.noops.Load(),
+		CacheSize:    s.cache.Size(),
+		CacheGen:     s.cache.Generation(),
+		CacheShards:  s.cache.Shards(),
+		BanditLog:    s.bandit.LogSize(),
+		Ingest:       s.ingest.Stats(),
+	}
+}
+
+// SnapshotTo streams the learner's persisted form (bandit.Save).
+func (s *Server) SnapshotTo(w io.Writer) error { return s.bandit.Save(w) }
+
+// SnapshotToPath persists the model to the given path atomically
+// (write to temp file, rename) and returns the byte count.
+func (s *Server) SnapshotToPath(path string) (int64, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: f}
+	if err := s.bandit.Save(cw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	// Sync before rename: otherwise a crash can promote an empty or
+	// truncated snapshot, and the next start fails loading it.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// --- HTTP wire layer ---
+
+// rankWire is the JSON form of RankRequest. Template hashes travel as
+// hex strings (64-bit values do not survive JSON number decoding in
+// every client), matching the SIS exchange format.
+type rankWire struct {
+	TemplateHash string  `json:"templateHash"`
+	TemplateID   string  `json:"templateId"`
+	Span         []int   `json:"span"`
+	RowCount     float64 `json:"rowCount"`
+	BytesRead    float64 `json:"bytesRead"`
+}
+
+type rewardWire struct {
+	EventID string   `json:"eventId"`
+	Reward  *float64 `json:"reward"`
+}
+
+// Request body caps: steering queries and rewards are tiny; hint files
+// scale with the template population but stay far below this.
+const (
+	maxJSONBody = 1 << 20  // 1 MiB
+	maxHintBody = 64 << 20 // 64 MiB
+)
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var wire rankWire
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&wire); err != nil {
+		writeError(w, http.StatusBadRequest, "bad rank request: %v", err)
+		return
+	}
+	hash, err := strconv.ParseUint(wire.TemplateHash, 16, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad templateHash %q: want 64-bit hex", wire.TemplateHash)
+		return
+	}
+	resp, err := s.Rank(RankRequest{
+		TemplateHash: hash,
+		TemplateID:   wire.TemplateID,
+		Span:         wire.Span,
+		RowCount:     wire.RowCount,
+		BytesRead:    wire.BytesRead,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReward(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var wire rewardWire
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&wire); err != nil {
+		writeError(w, http.StatusBadRequest, "bad reward request: %v", err)
+		return
+	}
+	if wire.EventID == "" || wire.Reward == nil {
+		writeError(w, http.StatusBadRequest, "eventId and reward are required")
+		return
+	}
+	if !s.RewardAsync(wire.EventID, *wire.Reward) {
+		writeError(w, http.StatusServiceUnavailable, "reward queue full, retry")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"status": "queued"})
+}
+
+// handleHints installs a hint table from a SIS exchange-format body —
+// the HTTP face of the pipeline rollover.
+func (s *Server) handleHints(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	file, err := sis.Parse(http.MaxBytesReader(w, r.Body, maxHintBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	gen, err := s.InstallHints(file.Hints)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"installed":  len(file.Hints),
+		"day":        file.Day,
+		"generation": gen,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleSnapshot serves the model state: GET streams the persisted form,
+// POST writes it to the configured snapshot path for restart recovery.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.SnapshotTo(w); err != nil {
+			// Headers are gone; the truncated body will fail bandit.Load.
+			return
+		}
+	case http.MethodPost:
+		if s.snapshotPath == "" {
+			writeError(w, http.StatusConflict, "no snapshot path configured")
+			return
+		}
+		n, err := s.SnapshotToPath(s.snapshotPath)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"path": s.snapshotPath, "bytes": n})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+	}
+}

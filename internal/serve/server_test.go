@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRankRewardEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Seed: 11, TrainEvery: 4})
+
+	// No hints installed: the bandit path must answer and log an event.
+	rank := postJSON(t, ts.URL+"/v1/rank", map[string]any{
+		"templateHash": "00000000deadbeef",
+		"templateId":   "T0001",
+		"span":         []int{3, 17, 40},
+		"rowCount":     1e6,
+		"bytesRead":    1e9,
+	})
+	if rank.StatusCode != http.StatusOK {
+		t.Fatalf("rank status = %d", rank.StatusCode)
+	}
+	rr := decodeJSON[RankResponse](t, rank)
+	if rr.Source != "bandit" || rr.EventID == "" {
+		t.Fatalf("rank response = %+v, want bandit source with event ID", rr)
+	}
+	if rr.Prob <= 0 || rr.Prob > 1 {
+		t.Fatalf("rank propensity %v out of (0,1]", rr.Prob)
+	}
+	if !rr.NoOp {
+		if _, err := rules.ParseFlip(rr.Flip); err != nil {
+			t.Fatalf("unparseable flip %q: %v", rr.Flip, err)
+		}
+	}
+
+	// Reward the event asynchronously, then drain and check it landed.
+	reward := postJSON(t, ts.URL+"/v1/reward", map[string]any{"eventId": rr.EventID, "reward": 1.7})
+	if reward.StatusCode != http.StatusAccepted {
+		t.Fatalf("reward status = %d, want 202", reward.StatusCode)
+	}
+	reward.Body.Close()
+	srv.Ingestor().Drain()
+
+	stats := decodeJSON[Stats](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.RankRequests != 1 || stats.BanditRanks != 1 || stats.HintHits != 0 {
+		t.Errorf("stats = %+v, want 1 rank, 1 bandit rank, 0 hint hits", stats)
+	}
+	if stats.Ingest.Applied != 1 || stats.Ingest.TrainedEvents != 1 {
+		t.Errorf("ingest stats = %+v, want 1 applied and trained", stats.Ingest)
+	}
+	if stats.BanditLog != 1 {
+		t.Errorf("bandit log = %d, want 1", stats.BanditLog)
+	}
+}
+
+func TestHintsInstallAndServe(t *testing.T) {
+	cat := rules.NewCatalog()
+	_, ts := newTestServer(t, Config{Catalog: cat, Seed: 11})
+
+	// Install a day-7 hint table through the rollover endpoint.
+	file := sis.File{Day: 7, Hints: []sis.Hint{
+		{TemplateHash: 0xabc123, TemplateID: "T0042", Flip: cat.FlipFor(40), Day: 7},
+	}}
+	var buf bytes.Buffer
+	if err := sis.Serialize(&buf, file); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/hints", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	install := decodeJSON[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK || install["installed"].(float64) != 1 {
+		t.Fatalf("hints install: status %d, body %v", resp.StatusCode, install)
+	}
+
+	// A rank for the hinted template must hit the cache — no event logged.
+	rank := postJSON(t, ts.URL+"/v1/rank", map[string]any{
+		"templateHash": fmt.Sprintf("%016x", 0xabc123),
+		"span":         []int{40},
+	})
+	rr := decodeJSON[RankResponse](t, rank)
+	if rr.Source != "hint" || rr.EventID != "" {
+		t.Fatalf("rank = %+v, want hint-cache hit", rr)
+	}
+	if rr.Flip != cat.FlipFor(40).String() || rr.HintDay != 7 || rr.Generation != 1 {
+		t.Fatalf("hint payload = %+v", rr)
+	}
+
+	// Unknown template still goes to the bandit.
+	rank2 := postJSON(t, ts.URL+"/v1/rank", map[string]any{
+		"templateHash": "0000000000000001",
+		"span":         []int{40},
+	})
+	if rr2 := decodeJSON[RankResponse](t, rank2); rr2.Source != "bandit" {
+		t.Fatalf("unhinted rank source = %q, want bandit", rr2.Source)
+	}
+
+	// Invalid hint files are rejected by SIS validation.
+	resp, err = http.Post(ts.URL+"/v1/hints", "text/plain",
+		strings.NewReader("qoadvisor-hints v1 day=7\n00000000000abc12,T1,-R000,7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("required-rule flip install status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRankValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Seed: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"bad json", "{", http.StatusBadRequest},
+		{"bad hash", `{"templateHash":"zz","span":[1]}`, http.StatusBadRequest},
+		{"span bit out of range", `{"templateHash":"1","span":[999]}`, http.StatusBadRequest},
+		{"empty span", `{"templateHash":"1","span":[]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/rank", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/rank status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRewardValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Seed: 1})
+	resp, err := http.Post(ts.URL+"/v1/reward", "application/json",
+		strings.NewReader(`{"eventId":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing fields status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestModelSnapshotOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.snapshot")
+	srv, ts := newTestServer(t, Config{Seed: 11, SnapshotPath: path})
+
+	// Learn something first so the snapshot carries weights.
+	rr, err := srv.Rank(RankRequest{TemplateHash: 1, Span: []int{3, 17}, RowCount: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RewardAsync(rr.EventID, 1.9)
+	srv.Ingestor().Drain()
+
+	// GET streams a loadable model.
+	get := mustGet(t, ts.URL+"/v1/model/snapshot")
+	defer get.Body.Close()
+	loaded, err := bandit.Load(get.Body, 1)
+	if err != nil {
+		t.Fatalf("GET snapshot is not loadable: %v", err)
+	}
+
+	// POST persists to the configured path; the file round-trips to the
+	// same scores as the in-memory learner.
+	post := postJSON(t, ts.URL+"/v1/model/snapshot", nil)
+	body := decodeJSON[map[string]any](t, post)
+	if post.StatusCode != http.StatusOK || body["path"] != path {
+		t.Fatalf("POST snapshot: status %d body %v", post.StatusCode, body)
+	}
+	var mem, file bytes.Buffer
+	if err := srv.SnapshotTo(&mem); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(&file); err != nil {
+		t.Fatal(err)
+	}
+	if mem.String() != file.String() {
+		t.Error("GET snapshot differs from in-memory model")
+	}
+}
+
+func TestSnapshotPostWithoutPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{Seed: 1})
+	resp := postJSON(t, ts.URL+"/v1/model/snapshot", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("snapshot POST without path status = %d, want 409", resp.StatusCode)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
