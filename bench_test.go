@@ -10,14 +10,18 @@
 package qoadvisor_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/experiments"
+	"qoadvisor/internal/flighting"
 	"qoadvisor/internal/optimizer"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/serve"
@@ -531,4 +535,136 @@ func makeFeaturizer(b *testing.B, gen *workload.Generator, cat *rules.Catalog) f
 		}
 		return out
 	}
+}
+
+// --- Pipeline + bandit hot-path benchmarks (PR 2) ---
+
+// benchPipelineInputs builds one production day's jobs and workload view,
+// the pure inputs every BenchmarkPipelineDay iteration replays.
+func benchPipelineInputs(b *testing.B, numTemplates int) (*rules.Catalog, []*workload.Job, []workload.ViewRow) {
+	b.Helper()
+	cat := rules.NewCatalog()
+	gen, err := workload.New(workload.Config{Seed: 9, NumTemplates: numTemplates, MaxDailyInstances: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := gen.JobsForDay(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prod := core.NewProduction(cat, sis.NewStore(cat), exec.DefaultCluster(1), 3)
+	_, view, err := prod.RunDay(1, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat, jobs, view
+}
+
+// BenchmarkPipelineDay measures one full advisor day (Feature Generation →
+// Recommendation → Recompilation → Flighting → Validation → upload) with
+// the worker pools pinned sequential vs fanned across GOMAXPROCS. Each
+// iteration builds a fresh advisor, so the compile cache starts cold and
+// the two arms do identical work; parallel output is bit-identical to
+// sequential (TestParallelRunDayDeterministic).
+func BenchmarkPipelineDay(b *testing.B) {
+	cat, jobs, view := benchPipelineInputs(b, 48)
+	run := func(b *testing.B, parallelism, cacheSize int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			adv := core.NewAdvisor(cat, sis.NewStore(cat), core.Config{
+				Seed:                 1,
+				MinValidationSamples: 5,
+				Parallelism:          parallelism,
+				CompileCacheSize:     cacheSize,
+				Flighting:            flighting.Config{Catalog: cat, Seed: 2},
+			})
+			if _, err := adv.RunDay(1, jobs, view); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential-nocache", func(b *testing.B) { run(b, 1, -1) })
+	b.Run("sequential", func(b *testing.B) { run(b, 1, 0) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { run(b, 0, 0) })
+}
+
+// benchSpanFeatures is a realistic 8-bit job span for featurization
+// benchmarks (large enough that the pair/triple crosses dominate).
+func benchSpanFeatures() *core.JobFeatures {
+	var f core.JobFeatures
+	for _, bit := range []int{3, 9, 17, 24, 31, 40, 52, 63} {
+		f.Span.Set(bit)
+	}
+	f.RowCount = 1e7
+	f.BytesRead = 1e10
+	return &f
+}
+
+// BenchmarkContextFeatures measures building the bandit context: the
+// pre-hashed integer-mixing path the pipeline uses vs the legacy
+// fmt.Sprintf string-token featurization it replaced.
+func BenchmarkContextFeatures(b *testing.B) {
+	f := benchSpanFeatures()
+	b.Run("prehashed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = core.ContextFeatures(f)
+		}
+	})
+	b.Run("legacy-strings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = core.LegacyContextFeatures(f)
+		}
+	})
+}
+
+// BenchmarkBanditRank measures one Rank decision. The prehashed arm is
+// the pipeline/serve hot path: context and actions carry pre-hashed IDs,
+// so Rank mixes integers without touching a string. The seed-strings arm
+// reproduces the seed's per-rank cost: fmt.Sprintf featurization plus
+// per-rank FNV hashing of every token inside Rank.
+func BenchmarkBanditRank(b *testing.B) {
+	cat := rules.NewCatalog()
+	f := benchSpanFeatures()
+	cfg := bandit.DefaultConfig(1)
+	cfg.MaxLogEvents = 4096
+
+	b.Run("prehashed", func(b *testing.B) {
+		svc := bandit.New(cfg)
+		ctx := core.ContextFeatures(f)
+		actions, _ := core.ActionsFor(cat, f)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Rank(ctx, actions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("seed-strings", func(b *testing.B) {
+		svc := bandit.New(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := bandit.Context{Features: core.LegacyContextFeatures(f).Features}
+			actions := make([]bandit.Action, 0, len(f.Span.Bits())+1)
+			actions = append(actions, bandit.Action{ID: "noop", Features: []string{"act:noop"}})
+			for _, bit := range f.Span.Bits() {
+				r := cat.Rule(bit)
+				actions = append(actions, bandit.Action{
+					ID: fmt.Sprintf("flip:%d", bit),
+					Features: []string{
+						fmt.Sprintf("rule:%d", r.ID),
+						fmt.Sprintf("kind:%d", r.Kind),
+						fmt.Sprintf("cat:%d", r.Category),
+						fmt.Sprintf("kinddir:%d,%v", r.Kind, cat.FlipFor(bit).Enable),
+					},
+				})
+			}
+			if _, err := svc.Rank(ctx, actions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -30,6 +30,7 @@ func main() {
 	templates := flag.Int("templates", 60, "number of recurring job templates")
 	seed := flag.Int64("seed", 42, "workload and pipeline seed")
 	hintsOut := flag.String("hints", "", "write the final SIS hint file to this path")
+	parallelism := flag.Int("parallelism", 0, "pipeline worker-pool size (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	flag.Parse()
 
 	gen, err := workload.New(workload.Config{Seed: *seed, NumTemplates: *templates, MaxDailyInstances: 2})
@@ -40,8 +41,9 @@ func main() {
 	cluster := exec.DefaultCluster(*seed)
 	store := sis.NewStore(cat)
 	adv := core.NewAdvisor(cat, store, core.Config{
-		Seed:      *seed,
-		Flighting: flighting.Config{Catalog: cat, Cluster: cluster, Seed: *seed + 5},
+		Seed:        *seed,
+		Parallelism: *parallelism,
+		Flighting:   flighting.Config{Catalog: cat, Cluster: cluster, Seed: *seed + 5},
 	})
 	prod := core.NewProduction(cat, store, cluster, *seed+9)
 

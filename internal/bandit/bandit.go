@@ -10,7 +10,6 @@ package bandit
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
@@ -18,18 +17,79 @@ import (
 	"time"
 )
 
-// Action is one candidate decision, described by categorical feature
-// tokens (e.g. rule ID and rule category for a rule flip).
+// Action is one candidate decision. Features are described either as
+// pre-hashed 64-bit feature IDs (IDs, the allocation-free hot path the
+// offline pipeline and serve layer use) or as categorical string tokens
+// (Features, the adapter path for the HTTP API, tests, and persisted
+// telemetry). When IDs is non-nil it wins; string tokens are folded into
+// the same ID space via HashFeature, so the two representations of the
+// same feature set score identically.
 type Action struct {
 	ID       string
 	Features []string
+	IDs      []uint64
 }
 
-// Context carries the decision context as categorical feature tokens
-// (e.g. job-span bit positions and their co-occurrence pairs).
+// Context carries the decision context (e.g. job-span bit positions and
+// their co-occurrence crosses), with the same dual representation as
+// Action: pre-hashed IDs preferred, string tokens as the adapter.
 type Context struct {
 	Features []string
+	IDs      []uint64
 }
+
+// fnv64a hashes a string with FNV-1a without the hash.Hash allocation
+// (and without copying the string to a byte slice).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HashFeature maps a categorical feature token into the pre-hashed
+// feature-ID space. Featurizers that can compute IDs directly (integer
+// mixing over span bits) skip the string entirely; this adapter exists
+// for callers that still speak tokens.
+func HashFeature(token string) uint64 { return fnv64a(token) }
+
+// HashFeatures maps a token slice into feature IDs.
+func HashFeatures(tokens []string) []uint64 {
+	if len(tokens) == 0 {
+		return nil
+	}
+	out := make([]uint64, len(tokens))
+	for i, tok := range tokens {
+		out[i] = fnv64a(tok)
+	}
+	return out
+}
+
+// featureIDs resolves the context's features to IDs (allocating only on
+// the string-adapter path).
+func (c Context) featureIDs() []uint64 {
+	if c.IDs != nil {
+		return c.IDs
+	}
+	return HashFeatures(c.Features)
+}
+
+// featureIDs resolves the action's features to IDs.
+func (a Action) featureIDs() []uint64 {
+	if a.IDs != nil {
+		return a.IDs
+	}
+	return HashFeatures(a.Features)
+}
+
+// Bias feature IDs: every (context, action) pair contributes at least the
+// bias×bias weight, so even featureless pairs are learnable.
+var (
+	ctxBiasID = fnv64a("_cbias")
+	actBiasID = fnv64a("_abias")
+)
 
 // Ranked is the outcome of one Rank call.
 type Ranked struct {
@@ -109,7 +169,7 @@ type Service struct {
 	rng   *rand.Rand
 
 	// evMu guards the event log, the event index, the pending-reward
-	// list, the ID sequence, and the log cap.
+	// list, the ID sequence, the log cap, and the suspension count.
 	evMu   sync.Mutex
 	events map[string]*Event
 	log    []*Event
@@ -119,6 +179,11 @@ type Service struct {
 	pending []*Event
 	seq     int
 	maxLog  int
+	// evSuspend counts active SuspendEviction holds; eviction is off
+	// while it is positive. A counter (rather than saving and restoring
+	// maxLog) keeps overlapping suspensions and concurrent SetMaxLog
+	// calls composable.
+	evSuspend int
 	// nonce makes event IDs unique across Service instances (and hence
 	// process restarts), so a reward held across a model-restore restart
 	// fails loudly as unknown instead of silently training the wrong
@@ -165,6 +230,28 @@ func (s *Service) SetMaxLog(n int) {
 	s.evMu.Unlock()
 }
 
+// SuspendEviction disables event-log eviction until the returned release
+// function is called (idempotent). Batch trainers that rank every job
+// before feeding any reward back (the offline pipeline's rank-all /
+// recompile / learn-all phases) wrap the batch in it so a serve-layer cap
+// on a shared learner cannot evict the batch's earliest still-unrewarded
+// events mid-run. Suspensions nest: eviction resumes — at whatever cap
+// SetMaxLog currently prescribes — once every hold is released, on the
+// next Rank.
+func (s *Service) SuspendEviction() (release func()) {
+	s.evMu.Lock()
+	s.evSuspend++
+	s.evMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.evMu.Lock()
+			s.evSuspend--
+			s.evMu.Unlock()
+		})
+	}
+}
+
 // evictLocked enforces maxLog by dropping the oldest events; callers
 // hold evMu. Trained events are simply forgotten; unrewarded ones lose
 // their slot in the index, so a late reward reports as unknown. An
@@ -172,7 +259,7 @@ func (s *Service) SetMaxLog(n int) {
 // the event for the next Train even after it leaves the log. The 25%
 // slack before compaction amortizes the copy cost across ranks.
 func (s *Service) evictLocked() {
-	if s.maxLog <= 0 || len(s.log) <= s.maxLog+s.maxLog/4 {
+	if s.maxLog <= 0 || s.evSuspend > 0 || len(s.log) <= s.maxLog+s.maxLog/4 {
 		return
 	}
 	drop := len(s.log) - s.maxLog
@@ -184,20 +271,46 @@ func (s *Service) evictLocked() {
 	s.log = append(s.log[:0:0], s.log[drop:]...)
 }
 
-// featureIndexes hashes the cross product of context and action tokens
-// into weight indexes. A bias token on each side guarantees every pair
-// contributes at least one feature.
-func (s *Service) featureIndexes(ctx Context, a Action) []int {
-	ctxTokens := append([]string{"_cbias"}, ctx.Features...)
-	actTokens := append([]string{"_abias"}, a.Features...)
-	idx := make([]int, 0, len(ctxTokens)*len(actTokens))
-	for _, c := range ctxTokens {
-		for _, t := range actTokens {
-			h := fnv.New64a()
-			h.Write([]byte(c))
-			h.Write([]byte{'|'})
-			h.Write([]byte(t))
-			idx = append(idx, int(h.Sum64()%uint64(s.cfg.Dim)))
+// MixGamma is the golden-ratio multiplier shared by every hash in the
+// feature-ID space: featurizers combine raw values with it and the pair
+// index combines context and action IDs with it. One constant, one
+// space — tuning it in a single place keeps featurization and scoring
+// consistent.
+const MixGamma = 0x9e3779b97f4a7c15
+
+// Mix64 is the splitmix64 finalizer that spreads feature IDs and weight
+// pair indexes over the hash space.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pairIndex mixes one context feature ID with one action feature ID into
+// a weight index. The combine is asymmetric (the action side is
+// pre-multiplied by the golden-ratio constant) so (c, a) and (a, c) land
+// on different weights, and the splitmix64 finalizer spreads the product
+// over the table.
+func (s *Service) pairIndex(c, a uint64) int {
+	return int(Mix64(c^(a*MixGamma)) % uint64(s.cfg.Dim))
+}
+
+// featureIndexes enumerates the weight indexes of the full cross product
+// (bias ∪ ctxIDs) × (bias ∪ actIDs); scoreIDs walks the same pairs
+// without materializing the slice.
+func (s *Service) featureIndexes(ctxIDs, actIDs []uint64) []int {
+	idx := make([]int, 0, (len(ctxIDs)+1)*(len(actIDs)+1))
+	idx = append(idx, s.pairIndex(ctxBiasID, actBiasID))
+	for _, a := range actIDs {
+		idx = append(idx, s.pairIndex(ctxBiasID, a))
+	}
+	for _, c := range ctxIDs {
+		idx = append(idx, s.pairIndex(c, actBiasID))
+		for _, a := range actIDs {
+			idx = append(idx, s.pairIndex(c, a))
 		}
 	}
 	return idx
@@ -205,16 +318,24 @@ func (s *Service) featureIndexes(ctx Context, a Action) []int {
 
 // Score returns the model's value estimate for an action in context.
 func (s *Service) Score(ctx Context, a Action) float64 {
+	ctxIDs, actIDs := ctx.featureIDs(), a.featureIDs()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.scoreLocked(ctx, a)
+	return s.scoreIDs(ctxIDs, actIDs)
 }
 
-// scoreLocked is Score without locking; callers hold mu (read or write).
-func (s *Service) scoreLocked(ctx Context, a Action) float64 {
-	sum := 0.0
-	for _, i := range s.featureIndexes(ctx, a) {
-		sum += s.w[i]
+// scoreIDs sums the weights of the pair cross product without allocating;
+// callers hold mu (read or write).
+func (s *Service) scoreIDs(ctxIDs, actIDs []uint64) float64 {
+	sum := s.w[s.pairIndex(ctxBiasID, actBiasID)]
+	for _, a := range actIDs {
+		sum += s.w[s.pairIndex(ctxBiasID, a)]
+	}
+	for _, c := range ctxIDs {
+		sum += s.w[s.pairIndex(c, actBiasID)]
+		for _, a := range actIDs {
+			sum += s.w[s.pairIndex(c, a)]
+		}
 	}
 	return sum
 }
@@ -239,11 +360,15 @@ func (s *Service) rank(ctx Context, actions []Action, uniform bool) (Ranked, err
 		return Ranked{}, errors.New("bandit: no actions")
 	}
 	k := len(actions)
+	// Resolve features to pre-hashed IDs once per rank; the pipeline's
+	// featurizers hand IDs in directly, making this free.
+	ctxIDs := ctx.featureIDs()
+	ctx.IDs = ctxIDs // logged events carry the resolved form
 	scores := make([]float64, k)
 	best := 0
 	s.mu.RLock()
 	for i, a := range actions {
-		scores[i] = s.scoreLocked(ctx, a)
+		scores[i] = s.scoreIDs(ctxIDs, a.featureIDs())
 		if scores[i] > scores[best] {
 			best = i
 		}
@@ -311,10 +436,11 @@ func (s *Service) Reward(eventID string, reward float64) error {
 }
 
 // trainExample is an immutable snapshot of a rewarded event, taken under
-// evMu so SGD can run without holding the event-log lock.
+// evMu so SGD can run without holding the event-log lock. Features are
+// snapshotted in resolved ID form so the epochs never re-hash strings.
 type trainExample struct {
-	ctx    Context
-	action Action
+	ctxIDs []uint64
+	actIDs []uint64
 	prob   float64
 	reward float64
 }
@@ -326,8 +452,8 @@ func (s *Service) Train() int {
 	fresh := make([]trainExample, 0, len(s.pending))
 	for _, ev := range s.pending {
 		fresh = append(fresh, trainExample{
-			ctx:    ev.Context,
-			action: ev.Actions[ev.Chosen],
+			ctxIDs: ev.Context.featureIDs(),
+			actIDs: ev.Actions[ev.Chosen].featureIDs(),
 			prob:   ev.Prob,
 			reward: ev.Reward,
 		})
@@ -355,7 +481,7 @@ func (s *Service) Train() int {
 // update applies an importance-weighted regression step toward the
 // observed reward for the chosen action. Callers hold mu.
 func (s *Service) update(ex trainExample) {
-	idx := s.featureIndexes(ex.ctx, ex.action)
+	idx := s.featureIndexes(ex.ctxIDs, ex.actIDs)
 	pred := 0.0
 	for _, i := range idx {
 		pred += s.w[i]

@@ -328,3 +328,79 @@ func TestSaveSkipsZeroWeights(t *testing.T) {
 		t.Errorf("untrained model should save only the header, got %d lines", lines)
 	}
 }
+
+// TestPreHashedIDsMatchStringFeatures is the adapter guarantee: a context
+// or action described by string tokens scores identically to the same
+// features pre-hashed through HashFeatures — the two representations are
+// one feature space.
+func TestPreHashedIDsMatchStringFeatures(t *testing.T) {
+	s := New(Config{Dim: 1 << 12, Seed: 5})
+	ctxToks := []string{"span:3", "span:17", "rows:5"}
+	actToks := []string{"rule:10", "cat:off-by-default"}
+	ctxStr := Context{Features: ctxToks}
+	actStr := Action{ID: "+R010", Features: actToks}
+	ctxIDs := Context{IDs: HashFeatures(ctxToks)}
+	actIDs := Action{ID: "+R010", IDs: HashFeatures(actToks)}
+
+	// Train through the string path...
+	r, err := s.Rank(ctxStr, []Action{actStr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reward(r.EventID, 1.7); err != nil {
+		t.Fatal(err)
+	}
+	s.Train()
+
+	// ...and score through both: they must agree bit-for-bit.
+	want := s.Score(ctxStr, actStr)
+	if want == 0 {
+		t.Fatal("training left the scored pair at zero")
+	}
+	if got := s.Score(ctxIDs, actIDs); got != want {
+		t.Errorf("pre-hashed score %v != string score %v", got, want)
+	}
+	// Mixed representations agree too.
+	if got := s.Score(ctxIDs, actStr); got != want {
+		t.Errorf("mixed score %v != %v", got, want)
+	}
+}
+
+// TestSuspendEvictionComposes covers the suspension counter: holds nest,
+// release is idempotent, and a SetMaxLog issued mid-suspension takes
+// effect — rather than being clobbered by a stale restore — once the last
+// hold is released.
+func TestSuspendEvictionComposes(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.MaxLogEvents = 4
+	s := New(cfg)
+	rank := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := s.Rank(Context{IDs: []uint64{1}}, []Action{{ID: "a", IDs: []uint64{2}}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	r1 := s.SuspendEviction()
+	r2 := s.SuspendEviction()
+	rank(20)
+	if n := s.LogSize(); n != 20 {
+		t.Fatalf("log size %d during suspension, want 20 (no eviction)", n)
+	}
+	r1()
+	r1() // idempotent: must not release r2's hold
+	rank(1)
+	if n := s.LogSize(); n != 21 {
+		t.Fatalf("log size %d with one hold left, want 21 (still suspended)", n)
+	}
+	s.SetMaxLog(8) // issued mid-suspension; must win after release
+	r2()
+	rank(1)
+	if n := s.LogSize(); n > 8+8/4 {
+		t.Fatalf("log size %d after release, want <= %d (cap 8 + slack)", n, 8+8/4)
+	}
+	if n := s.LogSize(); n <= 4+4/4 {
+		t.Fatalf("log size %d after release: the mid-suspension SetMaxLog(8) was clobbered by a stale cap", n)
+	}
+}

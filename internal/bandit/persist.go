@@ -14,6 +14,11 @@ import (
 // models move between pipeline runs, telemetry stays where it was logged —
 // the "maintaining the state over pipeline runs in a reliable way is
 // non-trivial" lesson of §6 that pushed the paper onto a managed service.
+//
+// Format history: v1 weights were indexed by the legacy string-cross FNV
+// feature hashing; v2 (current) weights are indexed by the pre-hashed
+// feature-ID pair mixing. The body format is unchanged — only the
+// semantics of the indexes moved.
 func (s *Service) Save(w io.Writer) error {
 	// Serialize under the read lock into a buffer, then stream lock-free:
 	// writing directly to a slow consumer (e.g. an HTTP response) under
@@ -21,7 +26,7 @@ func (s *Service) Save(w io.Writer) error {
 	// writer-pending RWMutex semantics, all concurrent Rank calls.
 	var buf bytes.Buffer
 	s.mu.RLock()
-	fmt.Fprintf(&buf, "qoadvisor-bandit v1 dim=%d epsilon=%g lr=%g clip=%g\n",
+	fmt.Fprintf(&buf, "qoadvisor-bandit v2 dim=%d epsilon=%g lr=%g clip=%g\n",
 		s.cfg.Dim, s.cfg.Epsilon, s.cfg.LearningRate, s.cfg.MaxIPSWeight)
 	for i, wgt := range s.w {
 		if wgt == 0 {
@@ -37,17 +42,29 @@ func (s *Service) Save(w io.Writer) error {
 // Load restores a service saved with Save. The seed drives the restored
 // service's exploration randomness (exploration state is not part of the
 // model).
+//
+// v1 snapshots are migrated on load: the hyperparameters carry over, but
+// the weights do not — v1 indexes were derived from the legacy
+// string-cross hashing, so under the v2 pair mixing each would land on an
+// unrelated feature pair and the model would exploit pure noise with full
+// (1-epsilon) confidence. Dropping them restores the neutral untrained
+// policy instead, which trains back to usefulness as rewards arrive; a
+// resave writes the v2 header. The body is still fully parsed so a
+// corrupt v1 file fails loudly rather than "migrating".
 func Load(r io.Reader, seed int64) (*Service, error) {
 	sc := bufio.NewScanner(r)
 	if !sc.Scan() {
 		return nil, fmt.Errorf("bandit: empty model file")
 	}
 	header := sc.Text()
-	var dim int
+	var version, dim int
 	var eps, lr, clip float64
-	if _, err := fmt.Sscanf(header, "qoadvisor-bandit v1 dim=%d epsilon=%g lr=%g clip=%g",
-		&dim, &eps, &lr, &clip); err != nil {
+	if _, err := fmt.Sscanf(header, "qoadvisor-bandit v%d dim=%d epsilon=%g lr=%g clip=%g",
+		&version, &dim, &eps, &lr, &clip); err != nil {
 		return nil, fmt.Errorf("bandit: bad model header %q", header)
+	}
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("bandit: unsupported model version v%d", version)
 	}
 	svc := New(Config{Dim: dim, Epsilon: eps, LearningRate: lr, MaxIPSWeight: clip, Seed: seed})
 	line := 1
@@ -69,7 +86,9 @@ func Load(r io.Reader, seed int64) (*Service, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bandit: line %d: bad weight %q", line, parts[1])
 		}
-		svc.w[idx] = wgt
+		if version >= 2 {
+			svc.w[idx] = wgt
+		}
 	}
 	return svc, sc.Err()
 }

@@ -117,7 +117,7 @@ func TestLoadMalformedEdgeCases(t *testing.T) {
 }
 
 func TestLoadSkipsBlankLinesAndRestoresConfig(t *testing.T) {
-	data := "qoadvisor-bandit v1 dim=1024 epsilon=0.25 lr=0.07 clip=30\n" +
+	data := "qoadvisor-bandit v2 dim=1024 epsilon=0.25 lr=0.07 clip=30\n" +
 		"5 1.5\n\n   \n9 -0.25\n"
 	svc, err := Load(strings.NewReader(data), 1)
 	if err != nil {
@@ -127,7 +127,7 @@ func TestLoadSkipsBlankLinesAndRestoresConfig(t *testing.T) {
 	if err := svc.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	wantHeader := "qoadvisor-bandit v1 dim=1024 epsilon=0.25 lr=0.07 clip=30"
+	wantHeader := "qoadvisor-bandit v2 dim=1024 epsilon=0.25 lr=0.07 clip=30"
 	if got := strings.SplitN(buf.String(), "\n", 2)[0]; got != wantHeader {
 		t.Errorf("resaved header = %q, want %q", got, wantHeader)
 	}
@@ -138,5 +138,51 @@ func TestLoadSkipsBlankLinesAndRestoresConfig(t *testing.T) {
 	}
 	if n := strings.Count(buf.String(), "\n"); n != 3 {
 		t.Errorf("resaved model has %d lines, want 3:\n%s", n, buf.String())
+	}
+}
+
+// TestLoadMigratesV1Snapshots covers the snapshot-format bump: v1 files
+// (legacy string-cross hashed weights) still load — hyperparameters carry
+// over, weights are dropped (under v2 pair mixing they would score
+// unrelated feature pairs), the service is immediately servable — and a
+// resave writes the v2 header.
+func TestLoadMigratesV1Snapshots(t *testing.T) {
+	data := "qoadvisor-bandit v1 dim=1024 epsilon=0.25 lr=0.07 clip=30\n5 1.5\n9 -0.25\n"
+	svc, err := Load(strings.NewReader(data), 1)
+	if err != nil {
+		t.Fatalf("Load(v1): %v", err)
+	}
+	if svc.w[5] != 0 || svc.w[9] != 0 {
+		t.Errorf("v1 weights must be dropped, not carried into the v2 index space: w[5]=%v w[9]=%v", svc.w[5], svc.w[9])
+	}
+	if svc.cfg.Dim != 1024 || svc.cfg.Epsilon != 0.25 || svc.cfg.LearningRate != 0.07 || svc.cfg.MaxIPSWeight != 30 {
+		t.Errorf("v1 hyperparameters not carried over: %+v", svc.cfg)
+	}
+	// The migrated service must rank and train normally.
+	ctx := Context{Features: []string{"span:1"}}
+	actions := []Action{{ID: "a", Features: []string{"rule:1"}}, {ID: "b", Features: []string{"rule:2"}}}
+	r, err := svc.Rank(ctx, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Reward(r.EventID, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if n := svc.Train(); n != 1 {
+		t.Errorf("migrated service trained %d events, want 1", n)
+	}
+	var buf bytes.Buffer
+	if err := svc.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "qoadvisor-bandit v2 ") {
+		t.Errorf("resave after migration must write v2, got %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	data := "qoadvisor-bandit v3 dim=1024 epsilon=0.25 lr=0.07 clip=30\n"
+	if _, err := Load(strings.NewReader(data), 1); err == nil {
+		t.Error("v3 snapshot should be rejected")
 	}
 }

@@ -1,0 +1,69 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDoMemoizesValuesAndErrors(t *testing.T) {
+	c := NewFIFO[string, int](8)
+	calls := 0
+	get := func() (int, error) { calls++; return 7, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Do("k", get)
+		if v != 7 || err != nil {
+			t.Fatalf("Do = (%d, %v), want (7, nil)", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if _, err := c.Do("bad", func() (int, error) { calls++; return 0, boom }); err != boom {
+			t.Fatalf("error not memoized: %v", err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("error compute ran %d times, want 1", calls-1)
+	}
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 2 || st.Size != 2 {
+		t.Errorf("stats = %+v, want 3 hits / 2 misses / size 2", st)
+	}
+}
+
+func TestDoEvictsFIFO(t *testing.T) {
+	c := NewFIFO[int, int](2)
+	for k := 0; k < 3; k++ {
+		c.Do(k, func() (int, error) { return k, nil })
+	}
+	recomputed := false
+	c.Do(0, func() (int, error) { recomputed = true; return 0, nil })
+	if !recomputed {
+		t.Error("oldest key must be evicted at capacity")
+	}
+	if st := c.Stats(); st.Size != 2 {
+		t.Errorf("size = %d, want 2", st.Size)
+	}
+}
+
+// TestDoPanicDoesNotPoison is the singleflight panic contract: the panic
+// reaches the computing caller, and the key is retried — not served as a
+// spurious (zero, nil) — on the next Do.
+func TestDoPanicDoesNotPoison(t *testing.T) {
+	c := NewFIFO[string, *int](8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic must propagate to the computing caller")
+			}
+		}()
+		c.Do("k", func() (*int, error) { panic("compute blew up") })
+	}()
+	v := 42
+	got, err := c.Do("k", func() (*int, error) { return &v, nil })
+	if err != nil || got != &v {
+		t.Fatalf("retry after panic = (%v, %v), want the fresh result", got, err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"qoadvisor/internal/flighting"
+	"qoadvisor/internal/optimizer"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/sis"
 	"qoadvisor/internal/workload"
@@ -36,6 +37,16 @@ type Config struct {
 	// SkipHinted makes the pipeline stateful (§8): templates that already
 	// carry an active hint are not re-explored on later dates.
 	SkipHinted bool
+	// Parallelism bounds the worker pools the pipeline tasks (feature
+	// generation, recompilation, flighting) fan out across
+	// (0 = GOMAXPROCS, 1 = strictly sequential). Every parallel stage
+	// reduces deterministically, so DayReports and SIS uploads are
+	// bit-identical at any setting.
+	Parallelism int
+	// CompileCacheSize bounds the shared logical-compilation cache
+	// (0 = the optimizer default, negative = disable). The cache only
+	// affects speed, never results.
+	CompileCacheSize int
 }
 
 // DayReport summarizes one daily pipeline run.
@@ -73,7 +84,14 @@ type Advisor struct {
 	Validator  *Validator
 	Store      *sis.Store
 
-	cfg Config
+	cfg   Config
+	cache *optimizer.CompileCache
+
+	// lastHints caches the most recent uploaded hint set (in upload
+	// order) so the daily merge does not rebuild it from the store's
+	// version history; lastVersion detects out-of-band store uploads.
+	lastHints   []sis.Hint
+	lastVersion int
 }
 
 // NewAdvisor assembles a pipeline around a shared catalog and SIS store.
@@ -96,19 +114,42 @@ func NewAdvisor(cat *rules.Catalog, store *sis.Store, cfg Config) *Advisor {
 	if cfg.Flighting.Catalog == nil {
 		cfg.Flighting.Catalog = cat
 	}
+	var cache *optimizer.CompileCache
+	if cfg.CompileCacheSize >= 0 {
+		cache = optimizer.NewCompileCache(cfg.CompileCacheSize)
+	}
+	if cfg.Flighting.Parallelism == 0 {
+		cfg.Flighting.Parallelism = cfg.Parallelism
+	}
+	if cfg.Flighting.Cache == nil {
+		cfg.Flighting.Cache = cache
+	}
 	cb := NewCBRecommender(cat, cfg.Seed)
 	cb.Uniform = cfg.UniformLogging
 	v := NewValidator()
 	v.Threshold = cfg.ValidationThreshold
+	fg := NewFeatureGen(cat)
+	fg.Parallelism = cfg.Parallelism
+	fg.Cache = cache
 	return &Advisor{
 		Catalog:    cat,
-		FeatureGen: NewFeatureGen(cat),
+		FeatureGen: fg,
 		CB:         cb,
 		Flight:     flighting.New(cfg.Flighting),
 		Validator:  v,
 		Store:      store,
 		cfg:        cfg,
+		cache:      cache,
 	}
+}
+
+// CompileCacheStats reports the shared logical-compilation cache's
+// effectiveness (zero value when disabled).
+func (a *Advisor) CompileCacheStats() optimizer.CompileCacheStats {
+	if a.cache == nil {
+		return optimizer.CompileCacheStats{}
+	}
+	return a.cache.Stats()
 }
 
 // RunDay executes the full pipeline over one day's workload view and
@@ -140,7 +181,10 @@ func (a *Advisor) RunDay(date int, jobs []*workload.Job, view []workload.ViewRow
 	rep.JobsWithSpan = len(feats)
 
 	// 2-3. Recommendation + Recompilation.
-	recs := Recommend(a.CB, a.Catalog, feats)
+	recs := RecommendWith(a.CB, a.Catalog, feats, RecommendOptions{
+		Parallelism: a.cfg.Parallelism,
+		Cache:       a.cache,
+	})
 	a.CB.Train()
 	rep.Recommendations = len(recs)
 	for _, r := range recs {
@@ -163,7 +207,6 @@ func (a *Advisor) RunDay(date int, jobs []*workload.Job, view []workload.ViewRow
 	improved := Improved(recs)
 	reps := RepresentativePerTemplate(improved, a.cfg.Seed+int64(date))
 	var reqs []flighting.Request
-	var reqRecs []*Recommendation
 	for _, r := range reps {
 		if a.cfg.MaxFlightCostDelta != 0 && r.CostDelta > a.cfg.MaxFlightCostDelta {
 			continue
@@ -174,9 +217,7 @@ func (a *Advisor) RunDay(date int, jobs []*workload.Job, view []workload.ViewRow
 			EstCost:   r.Recompiled.EstCost,
 			Flip:      r.Flip,
 		})
-		reqRecs = append(reqRecs, r)
 	}
-	_ = reqRecs
 	rep.FlightsRequested = len(reqs)
 	results := a.Flight.Run(reqs)
 	for _, res := range results {
@@ -227,10 +268,12 @@ func (a *Advisor) RunDay(date int, jobs []*workload.Job, view []workload.ViewRow
 
 	// 6. Hint Generation: merge the day's accepted hints with the
 	// still-active ones and upload a fresh SIS version.
-	merged := a.mergeHints(hints, date)
+	merged := a.mergeHints(hints)
 	if err := a.Store.Upload(sis.File{Day: date, Hints: merged}); err != nil {
 		return nil, err
 	}
+	a.lastHints = merged
+	a.lastVersion = a.Store.Version()
 	rep.HintsUploaded = len(merged)
 	return rep, nil
 }
@@ -269,17 +312,20 @@ func (a *Advisor) explorationFlights(date int, feats []*JobFeatures) []flighting
 }
 
 // mergeHints combines newly validated hints with the active set; new
-// hints win on conflict.
-func (a *Advisor) mergeHints(fresh []sis.Hint, date int) []sis.Hint {
-	byTemplate := make(map[uint64]sis.Hint)
-	var order []uint64
-	if v := a.Store.History(); len(v) > 0 {
-		for _, h := range v[len(v)-1].Hints {
-			if _, ok := byTemplate[h.TemplateHash]; !ok {
-				order = append(order, h.TemplateHash)
-			}
-			byTemplate[h.TemplateHash] = h
+// hints win on conflict. The active set comes from the Advisor's cached
+// copy of its last upload (refreshed from the store only when another
+// writer has uploaded in between), and the merge map is pre-sized, so a
+// steady-state day costs O(active + fresh) with two allocations instead
+// of rebuilding state from the store's version history.
+func (a *Advisor) mergeHints(fresh []sis.Hint) []sis.Hint {
+	a.refreshLastHints()
+	byTemplate := make(map[uint64]sis.Hint, len(a.lastHints)+len(fresh))
+	order := make([]uint64, 0, len(a.lastHints)+len(fresh))
+	for _, h := range a.lastHints {
+		if _, ok := byTemplate[h.TemplateHash]; !ok {
+			order = append(order, h.TemplateHash)
 		}
+		byTemplate[h.TemplateHash] = h
 	}
 	for _, h := range fresh {
 		if _, ok := byTemplate[h.TemplateHash]; !ok {
@@ -292,4 +338,18 @@ func (a *Advisor) mergeHints(fresh []sis.Hint, date int) []sis.Hint {
 		out = append(out, byTemplate[key])
 	}
 	return out
+}
+
+// refreshLastHints reconciles the cached last-upload with the store: if
+// a version was installed that this Advisor did not produce (tests and
+// operators pre-seed hint sets), adopt its hints as the active set.
+func (a *Advisor) refreshLastHints() {
+	if v := a.Store.Version(); v != a.lastVersion {
+		hist := a.Store.History()
+		a.lastHints = nil
+		if len(hist) > 0 {
+			a.lastHints = append([]sis.Hint(nil), hist[len(hist)-1].Hints...)
+		}
+		a.lastVersion = v
+	}
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
+	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/flighting"
 	"qoadvisor/internal/optimizer"
@@ -119,19 +122,38 @@ func TestContextFeaturesIncludeCoOccurrence(t *testing.T) {
 	f.Span.Set(9)
 	f.RowCount = 1e6
 	ctx := ContextFeatures(&f)
-	want := map[string]bool{
-		"span:3": false, "span:7": false, "span:9": false,
-		"span2:3,7": false, "span2:3,9": false, "span2:7,9": false,
-		"span3:3,7,9": false, "rows:6": false,
+	want := map[uint64]string{
+		feat1(tagSpan, 3):                      "span:3",
+		feat1(tagSpan, 7):                      "span:7",
+		feat1(tagSpan, 9):                      "span:9",
+		feat2(tagSpan2, 3, 7):                  "span2:3,7",
+		feat2(tagSpan2, 3, 9):                  "span2:3,9",
+		feat2(tagSpan2, 7, 9):                  "span2:7,9",
+		feat3(tagSpan3, 3, 7, 9):               "span3:3,7,9",
+		feat1(tagRows, uint64(logBucket(1e6))): "rows:6",
 	}
-	for _, feat := range ctx.Features {
-		if _, ok := want[feat]; ok {
-			want[feat] = true
+	have := make(map[uint64]bool, len(ctx.IDs))
+	for _, id := range ctx.IDs {
+		if have[id] {
+			t.Errorf("duplicate feature ID %#x", id)
+		}
+		have[id] = true
+	}
+	for id, name := range want {
+		if !have[id] {
+			t.Errorf("missing context feature %s (ID %#x) in %v", name, id, ctx.IDs)
 		}
 	}
-	for k, found := range want {
-		if !found {
-			t.Errorf("missing context feature %q in %v", k, ctx.Features)
+	// The string adapter keeps the original token form for external
+	// clients (HTTP API, persisted snapshots).
+	legacy := LegacyContextFeatures(&f)
+	tokens := make(map[string]bool, len(legacy.Features))
+	for _, tok := range legacy.Features {
+		tokens[tok] = true
+	}
+	for _, name := range want {
+		if !tokens[name] {
+			t.Errorf("legacy adapter missing token %q in %v", name, legacy.Features)
 		}
 	}
 }
@@ -192,6 +214,46 @@ func TestRecommendAndLearn(t *testing.T) {
 	}
 	if n := cb.Train(); n == 0 {
 		t.Error("training should consume rewarded events")
+	}
+}
+
+// TestRecommendWithCappedLearnerLosesNoEvents guards the rank-all /
+// recompile / learn-all phase split against a serve-layer event-log cap
+// on a shared learner: without eviction suspension, a day larger than the
+// cap would evict the earliest ranks before phase 3 rewards them, and
+// those jobs would silently never train.
+func TestRecommendWithCappedLearnerLosesNoEvents(t *testing.T) {
+	cat := rules.NewCatalog()
+	gen := testWorkload(t, 12)
+	store := sis.NewStore(cat)
+	jobs, view := runProductionDay(t, gen, store, cat, 1)
+	fg := NewFeatureGen(cat)
+	feats, err := fg.Run(jobs, view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := bandit.DefaultConfig(3)
+	cfg.MaxLogEvents = 4 // far below the day's job count
+	cb := &CBRecommender{Catalog: cat, Service: bandit.New(cfg)}
+	recs := RecommendWith(cb, cat, feats, RecommendOptions{Parallelism: 1})
+	want := 0
+	for _, r := range recs {
+		if !r.CompileFailed {
+			want++ // noops and successful recompiles are both rewarded
+		}
+	}
+	if want <= cfg.MaxLogEvents {
+		t.Fatalf("test needs more jobs (%d) than the cap (%d) to exercise eviction", want, cfg.MaxLogEvents)
+	}
+	if got := cb.Train(); got != want {
+		t.Errorf("trained %d events, want %d: capped log evicted batch events before their reward", got, want)
+	}
+	// The cap is restored after the batch: the next ranks re-bound the log.
+	for i := 0; i < cfg.MaxLogEvents*2; i++ {
+		cb.Recommend(feats[0])
+	}
+	if n := cb.Service.LogSize(); n > cfg.MaxLogEvents+cfg.MaxLogEvents/4 {
+		t.Errorf("log size %d after batch: SuspendEviction did not restore the cap", n)
 	}
 }
 
@@ -421,6 +483,66 @@ func TestAdvisorEndToEnd(t *testing.T) {
 	}
 	if store.Version() != 4 {
 		t.Errorf("SIS versions = %d, want 4 (one per day)", store.Version())
+	}
+}
+
+// TestParallelRunDayDeterministic is the parallelism contract: running
+// the full pipeline with a worker pool must produce byte-identical
+// DayReports and SIS uploads to the strictly sequential run, for every
+// simulated day. Run under -race this also exercises the shared
+// compile-cache and bandit locking.
+func TestParallelRunDayDeterministic(t *testing.T) {
+	type dayOut struct {
+		Report *DayReport
+		Hints  []sis.Hint
+	}
+	run := func(parallelism int) []dayOut {
+		cat := rules.NewCatalog()
+		gen, err := workload.New(workload.Config{Seed: 11, NumTemplates: 15, MaxDailyInstances: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := sis.NewStore(cat)
+		adv := NewAdvisor(cat, store, Config{
+			Seed:                 1,
+			MinValidationSamples: 5,
+			Parallelism:          parallelism,
+			Flighting:            flighting.Config{Catalog: cat, Seed: 2},
+		})
+		prod := NewProduction(cat, store, exec.DefaultCluster(1), 3)
+		var out []dayOut
+		for day := 1; day <= 3; day++ {
+			jobs, err := gen.JobsForDay(day)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, view, err := prod.RunDay(day, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := adv.RunDay(day, jobs, view)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, dayOut{Report: rep, Hints: adv.ActiveHints()})
+		}
+		return out
+	}
+
+	seq := run(1)
+	par := run(8)
+	for i := range seq {
+		sj, err := json.Marshal(seq[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := json.Marshal(par[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, pj) {
+			t.Errorf("day %d diverged between sequential and parallel runs:\nseq: %s\npar: %s", i+1, sj, pj)
+		}
 	}
 }
 

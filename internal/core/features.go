@@ -11,7 +11,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/par"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/span"
 	"qoadvisor/internal/workload"
@@ -55,9 +58,26 @@ type FeatureGen struct {
 	Catalog *rules.Catalog
 	// SpanIterations bounds the span fix point (0 = default).
 	SpanIterations int
+	// Parallelism bounds the span-computation worker pool
+	// (0 = GOMAXPROCS, 1 = sequential). Output is bit-identical at any
+	// setting: span computation is a pure per-template function and the
+	// result set is sorted by job ID.
+	Parallelism int
+	// Cache memoizes the optimizer's logical phase across the many
+	// recompilations span computation performs.
+	Cache *optimizer.CompileCache
+
 	// spanCache memoizes span computation per template hash: instances
-	// of a template share plan shape and hence span.
-	spanCache map[uint64]*span.Result
+	// of a template share plan shape and hence span. Entries singleflight
+	// so concurrent instances of one template compute its span once.
+	mu        sync.Mutex
+	spanCache map[uint64]*spanEntry
+}
+
+type spanEntry struct {
+	once sync.Once
+	sp   *span.Result
+	err  error
 }
 
 // NewFeatureGen creates the task.
@@ -65,7 +85,7 @@ func NewFeatureGen(cat *rules.Catalog) *FeatureGen {
 	if cat == nil {
 		cat = rules.NewCatalog()
 	}
-	return &FeatureGen{Catalog: cat, spanCache: make(map[uint64]*span.Result)}
+	return &FeatureGen{Catalog: cat, spanCache: make(map[uint64]*spanEntry)}
 }
 
 // Aggregate turns the per-query view rows of one job into job-level
@@ -107,21 +127,28 @@ func Aggregate(rows []workload.ViewRow) (JobFeatures, error) {
 
 // Run executes Feature Generation for one day: it aggregates each job's
 // view rows and computes job spans, dropping jobs with empty spans.
-// The returned slice is sorted by job ID for determinism.
+// Span computation — the expensive part, a fix point of recompilations —
+// fans out across a bounded worker pool, deduplicated per template. The
+// returned slice is sorted by job ID, so output is identical at any
+// parallelism.
 func (fg *FeatureGen) Run(jobs []*workload.Job, view []workload.ViewRow) ([]*JobFeatures, error) {
 	byJob := make(map[string][]workload.ViewRow)
 	for _, r := range view {
 		byJob[r.JobID] = append(byJob[r.JobID], r)
 	}
-	var out []*JobFeatures
-	for _, job := range jobs {
+
+	results := make([]*JobFeatures, len(jobs))
+	errs := make([]error, len(jobs))
+	work := func(i int) {
+		job := jobs[i]
 		rows, ok := byJob[job.ID]
 		if !ok {
-			continue // job missing from the view (e.g. failed upstream)
+			return // job missing from the view (e.g. failed upstream)
 		}
 		f, err := Aggregate(rows)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		f.Job = job
 
@@ -129,33 +156,57 @@ func (fg *FeatureGen) Run(jobs []*workload.Job, view []workload.ViewRow) ([]*Job
 		if err != nil {
 			// Span computation requires a default compile; a job that
 			// cannot compile is dropped.
-			continue
+			return
 		}
 		f.Span = sp.Span
 		f.SpanFailedCompile = sp.FailedCompile
 		if f.Span.IsEmpty() {
-			continue // "all jobs that have an empty span are not further considered"
+			return // "all jobs that have an empty span are not further considered"
 		}
-		ff := f
-		out = append(out, &ff)
+		results[i] = &f
+	}
+
+	par.For(len(jobs), fg.Parallelism, work)
+
+	var out []*JobFeatures
+	for i := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if results[i] != nil {
+			out = append(out, results[i])
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Job.ID < out[j].Job.ID })
 	return out, nil
 }
 
 // spanFor computes (or serves from cache) the span of a job's template.
+// Concurrent callers for one template share a single computation.
 func (fg *FeatureGen) spanFor(job *workload.Job) (*span.Result, error) {
 	key := job.Template.Hash
-	if sp, ok := fg.spanCache[key]; ok {
-		return sp, nil
+	fg.mu.Lock()
+	e, ok := fg.spanCache[key]
+	if !ok {
+		e = &spanEntry{}
+		fg.spanCache[key] = e
 	}
-	sp, err := span.Compute(job.Graph, fg.Catalog, span.Options{
-		Optimizer:     optimizerOptions(fg.Catalog, job),
-		MaxIterations: fg.SpanIterations,
+	fg.mu.Unlock()
+	e.once.Do(func() {
+		e.sp, e.err = span.Compute(job.Graph, fg.Catalog, span.Options{
+			Optimizer:     optimizerOptions(fg.Catalog, job, fg.Cache),
+			MaxIterations: fg.SpanIterations,
+		})
 	})
-	if err != nil {
-		return nil, err
+	if e.err != nil {
+		// Failures are not memoized across days: a later instance (new
+		// graph, new stats) deserves a fresh attempt, matching the
+		// pre-parallel behaviour.
+		fg.mu.Lock()
+		if fg.spanCache[key] == e {
+			delete(fg.spanCache, key)
+		}
+		fg.mu.Unlock()
 	}
-	fg.spanCache[key] = sp
-	return sp, nil
+	return e.sp, e.err
 }

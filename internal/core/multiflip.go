@@ -33,7 +33,7 @@ func (m *MultiFlipResult) CostDelta() float64 {
 // rule, which is exactly the maintainability pressure that made the
 // production system start with single flips.
 func GreedyMultiFlip(cat *rules.Catalog, job *workload.Job, span rules.Bitset, maxFlips int) (*MultiFlipResult, error) {
-	opts := optimizerOptions(cat, job)
+	opts := optimizerOptions(cat, job, nil)
 	base, err := optimizer.Optimize(job.Graph, cat.DefaultConfig(), opts)
 	if err != nil {
 		return nil, err

@@ -2,13 +2,14 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/par"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/workload"
 )
@@ -47,20 +48,130 @@ type Recommender interface {
 	Name() string
 }
 
+// BatchRecommender is optionally implemented by recommenders whose
+// learner must be told that a rank-all-then-learn-all batch is in flight
+// (RecommendWith ranks every job before feeding back any reward, so a
+// bounded learner could otherwise evict the earliest events before their
+// Learn call arrives). Wrappers around a BatchRecommender must forward
+// BeginBatch.
+type BatchRecommender interface {
+	Recommender
+	// BeginBatch marks the start of a rank/learn batch; the returned
+	// function (idempotent) ends it.
+	BeginBatch() (end func())
+}
+
 // --- Featurization (§4.2 and §6: span co-occurrence features) ---
+//
+// Features are emitted as pre-hashed 64-bit IDs built by integer mixing
+// of span bits — no fmt.Sprintf, no string hashing on the Rank hot path.
+// Each feature family gets a distinct tag constant so "span bit 3" can
+// never collide with "rows bucket 3" by construction rather than by
+// string prefixing. LegacyContextFeatures keeps the original string-token
+// form as the adapter/benchmark reference.
+
+// featureMixK and mix64 alias the bandit's shared mixing primitives: the
+// featurizer and the learner's pair index must stay in the same hash
+// space, so the constant and finalizer live in one place (the bandit).
+const featureMixK = bandit.MixGamma
+
+// Feature-family tags (arbitrary distinct constants).
+const (
+	tagSpan uint64 = iota + 0x51
+	tagSpan2
+	tagSpan3
+	tagSpanAll
+	tagRows
+	tagBytes
+	tagVertices
+	tagActNoop
+	tagActRule
+	tagActKind
+	tagActCat
+	tagActKindDir
+)
+
+func mix64(x uint64) uint64 { return bandit.Mix64(x) }
+
+func feat1(tag, a uint64) uint64 { return mix64(tag*featureMixK + a + 1) }
+func feat2(tag, a, b uint64) uint64 {
+	return mix64(mix64(tag*featureMixK+a+1)*featureMixK + b + 1)
+}
+func feat3(tag, a, b, c uint64) uint64 {
+	return mix64(mix64(mix64(tag*featureMixK+a+1)*featureMixK+b+1)*featureMixK + c + 1)
+}
 
 // ContextFeatures builds the bandit context for a job: the complete job
 // span as bit-position indicators with second and third order
 // co-occurrence crosses ("the surprising effectiveness of span features"),
-// plus coarse input-size information.
+// plus coarse input-size information. All features are pre-hashed IDs
+// computed once at featurization; Rank never hashes strings.
 func ContextFeatures(f *JobFeatures) bandit.Context {
+	bits := f.Span.Bits()
+	const maxPairs, maxTriples = 60, 40
+	ids := make([]uint64, 0, len(bits)+maxPairs+maxTriples+3)
+	for _, b := range bits {
+		ids = append(ids, feat1(tagSpan, uint64(b)))
+	}
+	// Second and third order co-occurrence indicators, capped so long-tail
+	// spans do not dilute per-feature credit.
+	n := 0
+	for i := 0; i < len(bits) && n < maxPairs; i++ {
+		for j := i + 1; j < len(bits) && n < maxPairs; j++ {
+			ids = append(ids, feat2(tagSpan2, uint64(bits[i]), uint64(bits[j])))
+			n++
+		}
+	}
+	n = 0
+	for i := 0; i < len(bits) && n < maxTriples; i++ {
+		for j := i + 1; j < len(bits) && n < maxTriples; j++ {
+			for k := j + 1; k < len(bits) && n < maxTriples; k++ {
+				ids = append(ids, feat3(tagSpan3, uint64(bits[i]), uint64(bits[j]), uint64(bits[k])))
+				n++
+			}
+		}
+	}
+	// The complete span as one identity feature: "the complete set of bit
+	// positions in the job span provides valuable and concise information"
+	// (§6) — this is the highest-order co-occurrence indicator.
+	all := tagSpanAll
+	for _, b := range bits {
+		all = mix64(all*featureMixK + uint64(b) + 1)
+	}
+	ids = append(ids, all)
+	// Input stream properties: log-bucketed row count and bytes read
+	// ("representing some properties of the input data streams provided
+	// marginal improvement").
+	ids = append(ids,
+		feat1(tagRows, uint64(logBucket(f.RowCount))),
+		feat1(tagBytes, uint64(logBucket(f.BytesRead))),
+	)
+	return bandit.Context{IDs: ids}
+}
+
+// BasicContextFeatures builds a context without any span information:
+// only the coarse input-stream properties. The paper found such plan-level
+// featurizations "mostly ineffective" compared to span co-occurrence
+// features (§6).
+func BasicContextFeatures(f *JobFeatures) bandit.Context {
+	return bandit.Context{IDs: []uint64{
+		feat1(tagRows, uint64(logBucket(f.RowCount))),
+		feat1(tagBytes, uint64(logBucket(f.BytesRead))),
+		feat1(tagVertices, uint64(logBucket(float64(f.Vertices)))),
+	}}
+}
+
+// LegacyContextFeatures is the original string-token featurization, kept
+// as the adapter reference (external clients may still submit tokens
+// through bandit.HashFeatures) and as the baseline the allocation
+// benchmarks compare against. It encodes the same information as
+// ContextFeatures in a different (string-hashed) ID space.
+func LegacyContextFeatures(f *JobFeatures) bandit.Context {
 	bits := f.Span.Bits()
 	feats := make([]string, 0, len(bits)*3)
 	for _, b := range bits {
 		feats = append(feats, fmt.Sprintf("span:%d", b))
 	}
-	// Second and third order co-occurrence indicators, capped so long-tail
-	// spans do not dilute per-feature credit.
 	const maxPairs, maxTriples = 60, 40
 	n := 0
 	for i := 0; i < len(bits) && n < maxPairs; i++ {
@@ -78,34 +189,16 @@ func ContextFeatures(f *JobFeatures) bandit.Context {
 			}
 		}
 	}
-	// The complete span as one identity token: "the complete set of bit
-	// positions in the job span provides valuable and concise information"
-	// (§6) — this is the highest-order co-occurrence indicator.
-	h := fnv.New64a()
+	all := tagSpanAll
 	for _, b := range bits {
-		fmt.Fprintf(h, "%d,", b)
+		all = mix64(all*featureMixK + uint64(b) + 1)
 	}
-	feats = append(feats, fmt.Sprintf("spanall:%x", h.Sum64()))
-	// Input stream properties: log-bucketed row count and bytes read
-	// ("representing some properties of the input data streams provided
-	// marginal improvement").
+	feats = append(feats, fmt.Sprintf("spanall:%x", all))
 	feats = append(feats,
 		fmt.Sprintf("rows:%d", logBucket(f.RowCount)),
 		fmt.Sprintf("bytes:%d", logBucket(f.BytesRead)),
 	)
 	return bandit.Context{Features: feats}
-}
-
-// BasicContextFeatures builds a context without any span information:
-// only the coarse input-stream properties. The paper found such plan-level
-// featurizations "mostly ineffective" compared to span co-occurrence
-// features (§6).
-func BasicContextFeatures(f *JobFeatures) bandit.Context {
-	return bandit.Context{Features: []string{
-		fmt.Sprintf("rows:%d", logBucket(f.RowCount)),
-		fmt.Sprintf("bytes:%d", logBucket(f.BytesRead)),
-		fmt.Sprintf("vertices:%d", logBucket(float64(f.Vertices))),
-	}}
 }
 
 func logBucket(x float64) int {
@@ -115,29 +208,62 @@ func logBucket(x float64) int {
 	return int(math.Log10(x))
 }
 
+// flipNames caches the rendered form of every possible single-rule flip
+// so ActionsFor does not re-run fmt for each job × span bit.
+var (
+	flipNamesOnce sync.Once
+	flipNames     [rules.NumRules][2]string
+)
+
+func flipName(f rules.Flip) string {
+	flipNamesOnce.Do(func() {
+		for id := 0; id < rules.NumRules; id++ {
+			flipNames[id][0] = rules.Flip{RuleID: id, Enable: false}.String()
+			flipNames[id][1] = rules.Flip{RuleID: id, Enable: true}.String()
+		}
+	})
+	dir := 0
+	if f.Enable {
+		dir = 1
+	}
+	return flipNames[f.RuleID][dir]
+}
+
+// noopActionIDs is the shared featurization of the "change nothing"
+// action (immutable).
+var noopActionIDs = []uint64{feat1(tagActNoop, 0)}
+
 // ActionsFor builds the bandit action set for a job: no-op plus one flip
 // per span rule, "corresponding to either changing nothing (1) or
 // flipping a single bit in the span (S)". Actions are featurized by rule
-// ID and rule category.
+// ID, rule kind and rule category as pre-hashed feature IDs.
 func ActionsFor(cat *rules.Catalog, f *JobFeatures) ([]bandit.Action, []rules.Flip) {
 	bits := f.Span.Bits()
 	actions := make([]bandit.Action, 0, len(bits)+1)
 	flips := make([]rules.Flip, 0, len(bits)+1)
-	actions = append(actions, bandit.Action{ID: "noop", Features: []string{"act:noop"}})
+	actions = append(actions, bandit.Action{ID: "noop", IDs: noopActionIDs})
 	flips = append(flips, rules.Flip{})
+	// One backing array for all per-rule feature IDs of this job.
+	backing := make([]uint64, 0, len(bits)*4)
 	for _, b := range bits {
 		r := cat.Rule(b)
 		flip := cat.FlipFor(b)
+		enable := uint64(0)
+		if flip.Enable {
+			enable = 1
+		}
+		start := len(backing)
+		backing = append(backing,
+			feat1(tagActRule, uint64(r.ID)),
+			feat1(tagActKind, uint64(r.Kind)),
+			feat1(tagActCat, uint64(r.Category)),
+			// Kind crossed with flip direction: the decisive signal
+			// ("disabling compression helps", "enabling it hurts").
+			feat2(tagActKindDir, uint64(r.Kind), enable),
+		)
 		actions = append(actions, bandit.Action{
-			ID: flip.String(),
-			Features: []string{
-				fmt.Sprintf("rule:%d", r.ID),
-				fmt.Sprintf("kind:%s", r.Kind),
-				fmt.Sprintf("cat:%s", r.Category),
-				// Kind crossed with flip direction: the decisive signal
-				// ("disabling compression helps", "enabling it hurts").
-				fmt.Sprintf("kinddir:%s:%v", r.Kind, flip.Enable),
-			},
+			ID:  flipName(flip),
+			IDs: backing[start : start+4 : start+4],
 		})
 		flips = append(flips, flip)
 	}
@@ -200,6 +326,15 @@ func (c *CBRecommender) Learn(eventID string, reward float64) {
 // Train triggers an off-policy training pass over rewarded events.
 func (c *CBRecommender) Train() int { return c.Service.Train() }
 
+// BeginBatch implements BatchRecommender by suspending event-log eviction
+// on the bandit service for the duration of the batch.
+func (c *CBRecommender) BeginBatch() (end func()) {
+	if c.Service == nil {
+		return func() {}
+	}
+	return c.Service.SuspendEviction()
+}
+
 // --- Uniform-random baseline (Table 3's comparator) ---
 
 // RandomRecommender flips one rule chosen uniformly at random from the
@@ -232,27 +367,61 @@ func (r *RandomRecommender) Learn(string, float64) {}
 
 // --- Recommendation + Recompilation tasks ---
 
+// RecommendOptions tunes how the Recommendation + Recompilation tasks
+// execute; the zero value reproduces defaults (GOMAXPROCS workers, no
+// compile cache).
+type RecommendOptions struct {
+	// Parallelism bounds the recompilation worker pool (0 = GOMAXPROCS,
+	// 1 = sequential). Results are bit-identical at any setting.
+	Parallelism int
+	// Cache memoizes the logical compilation phase across recompilations.
+	Cache *optimizer.CompileCache
+}
+
 // Recommend runs the Recommendation and Recompilation tasks for a set of
 // featurized jobs: pick an action per job, recompile under the flip,
 // compute the clipped cost-ratio reward, and feed it back to the learner.
 // Jobs whose flip does not improve the estimated cost are kept in the
 // output (with their deltas) so callers can prune and count them.
 func Recommend(rec Recommender, cat *rules.Catalog, feats []*JobFeatures) []*Recommendation {
-	out := make([]*Recommendation, 0, len(feats))
-	for _, f := range feats {
+	return RecommendWith(rec, cat, feats, RecommendOptions{})
+}
+
+// RecommendWith is Recommend with explicit execution options. The task is
+// split into three phases so recompilation — the expensive, pure part —
+// can fan out across a worker pool without perturbing the learner:
+//
+//  1. rank every job sequentially (the recommender's exploration RNG and
+//     event log consume randomness in job order, exactly as before),
+//  2. recompile the chosen flips in parallel (optimizer.Optimize is a
+//     pure function of (graph, config, stats)),
+//  3. feed rewards back sequentially in job order (training order — and
+//     hence the learned weights — match the sequential pipeline bit for
+//     bit).
+func RecommendWith(rec Recommender, cat *rules.Catalog, feats []*JobFeatures, o RecommendOptions) []*Recommendation {
+	// The rank-all-then-learn-all split below must not lose events: on a
+	// shared learner the serve layer may have capped the event log, and a
+	// day larger than the cap would evict the earliest ranks before their
+	// reward arrives in phase 3. Tell batch-aware recommenders.
+	if br, ok := rec.(BatchRecommender); ok {
+		defer br.BeginBatch()()
+	}
+	out := make([]*Recommendation, len(feats))
+	eventIDs := make([]string, len(feats))
+
+	// Phase 1: sequential ranks.
+	for i, f := range feats {
 		r := &Recommendation{Features: f}
-		flip, noop, eventID := rec.Recommend(f)
-		r.Flip = flip
-		r.NoOp = noop
-		if noop {
-			r.Reward = 1 // "the reward of reject is known (relative change is 0)"
-			r.CostDelta = 0
-			rec.Learn(eventID, r.Reward)
-			out = append(out, r)
-			continue
-		}
-		cfg := cat.DefaultConfig().WithFlip(flip)
-		res, err := optimizer.Optimize(f.Job.Graph, cfg, optimizerOptions(cat, f.Job))
+		r.Flip, r.NoOp, eventIDs[i] = rec.Recommend(f)
+		out[i] = r
+	}
+
+	// Phase 2: parallel recompilation of the non-noop flips.
+	recompile := func(i int) {
+		r := out[i]
+		f := r.Features
+		cfg := cat.DefaultConfig().WithFlip(r.Flip)
+		res, err := optimizer.Optimize(f.Job.Graph, cfg, optimizerOptions(cat, f.Job, o.Cache))
 		if err != nil {
 			// A failed recompilation produces no cost estimate and hence
 			// no reward; the rank event stays unrewarded and is skipped
@@ -261,8 +430,7 @@ func Recommend(rec Recommender, cat *rules.Catalog, feats []*JobFeatures) []*Rec
 			r.CompileFailed = true
 			r.Reward = 0
 			r.CostDelta = math.Inf(1)
-			out = append(out, r)
-			continue
+			return
 		}
 		r.Recompiled = res
 		r.CostDelta = res.EstCost/f.EstCost - 1
@@ -273,15 +441,32 @@ func Recommend(rec Recommender, cat *rules.Catalog, feats []*JobFeatures) []*Rec
 			ratio = RewardClip
 		}
 		r.Reward = ratio
-		rec.Learn(eventID, r.Reward)
-		out = append(out, r)
+	}
+	par.For(len(out), o.Parallelism, func(i int) {
+		if !out[i].NoOp {
+			recompile(i)
+		}
+	})
+
+	// Phase 3: sequential reward feedback in job order.
+	for i, r := range out {
+		if r.NoOp {
+			r.Reward = 1 // "the reward of reject is known (relative change is 0)"
+			r.CostDelta = 0
+			rec.Learn(eventIDs[i], r.Reward)
+			continue
+		}
+		if r.CompileFailed {
+			continue // no reward: the rank event stays unrewarded
+		}
+		rec.Learn(eventIDs[i], r.Reward)
 	}
 	return out
 }
 
 // optimizerOptions bundles per-job compilation options.
-func optimizerOptions(cat *rules.Catalog, job *workload.Job) optimizer.Options {
-	return optimizer.Options{Catalog: cat, Stats: job.Stats, Tokens: job.Tokens}
+func optimizerOptions(cat *rules.Catalog, job *workload.Job, cache *optimizer.CompileCache) optimizer.Options {
+	return optimizer.Options{Catalog: cat, Stats: job.Stats, Tokens: job.Tokens, Cache: cache}
 }
 
 // Improved filters recommendations down to real flips with an estimated

@@ -13,6 +13,7 @@ import (
 
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/par"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/workload"
 )
@@ -89,6 +90,15 @@ type Config struct {
 	TotalBudgetHours float64
 	// Seed drives the A/B run seeds.
 	Seed int64
+	// Parallelism bounds the worker pool flights fan out across
+	// (0 = GOMAXPROCS, 1 = strictly sequential). Every flight is
+	// deterministic per request, and the budget is folded over the
+	// cheapest-first order after execution, so results are bit-identical
+	// at any parallelism.
+	Parallelism int
+	// Cache, when set, memoizes the logical compilation phase across the
+	// baseline/treatment/future arms (shared with the offline pipeline).
+	Cache *optimizer.CompileCache
 }
 
 // Service runs flights.
@@ -139,6 +149,13 @@ func classify(job *workload.Job) Outcome {
 // can still learn from a partially completed flighting pass — "we flight
 // jobs with lower estimated costs first, such that if we finish the total
 // time budget, we are still able to provide some suggestion".
+//
+// Flights execute on a bounded worker pool (Config.Parallelism). Each
+// flight is a pure function of its request, so parallel execution is
+// speculative with respect to the budget: chunks of the ordered queue run
+// concurrently, then the budget is folded over the chunk sequentially in
+// cheapest-first order, reproducing the sequential semantics exactly —
+// including which requests come back Skipped.
 func (s *Service) Run(reqs []Request) []Result {
 	ordered := append([]Request(nil), reqs...)
 	sort.SliceStable(ordered, func(i, j int) bool {
@@ -146,16 +163,47 @@ func (s *Service) Run(reqs []Request) []Result {
 	})
 
 	budget := s.cfg.TotalBudgetHours * float64(s.cfg.QueueSize)
+	workers := par.Resolve(s.cfg.Parallelism)
+
 	used := 0.0
 	results := make([]Result, 0, len(ordered))
-	for _, req := range ordered {
-		if used >= budget {
-			results = append(results, Result{Request: req, Outcome: Skipped})
-			continue
+	if workers == 1 {
+		for _, req := range ordered {
+			if used >= budget {
+				results = append(results, Result{Request: req, Outcome: Skipped})
+				continue
+			}
+			res := s.flightOne(req)
+			used += res.HoursUsed
+			results = append(results, res)
 		}
-		res := s.flightOne(req)
-		used += res.HoursUsed
-		results = append(results, res)
+		return results
+	}
+
+	// Chunked speculative execution: bounded wasted work when the budget
+	// runs out mid-chunk, full parallelism when it does not (the common
+	// case — the paper sizes the budget to cover the queue).
+	chunkSize := workers * 4
+	for start := 0; start < len(ordered); start += chunkSize {
+		if used >= budget {
+			// Budget exhausted: everything left is Skipped, uncomputed.
+			for _, req := range ordered[start:] {
+				results = append(results, Result{Request: req, Outcome: Skipped})
+			}
+			break
+		}
+		chunk := ordered[start:min(start+chunkSize, len(ordered))]
+		computed := make([]Result, len(chunk))
+		par.For(len(chunk), workers, func(i int) { computed[i] = s.flightOne(chunk[i]) })
+		// Sequential budget fold over the chunk, in queue order.
+		for i, req := range chunk {
+			if used >= budget {
+				results = append(results, Result{Request: req, Outcome: Skipped})
+				continue
+			}
+			used += computed[i].HoursUsed
+			results = append(results, computed[i])
+		}
 	}
 	return results
 }
@@ -169,7 +217,7 @@ func (s *Service) flightOne(req Request) Result {
 		return out
 	}
 	job := req.Job
-	opts := optimizer.Options{Catalog: s.cfg.Catalog, Stats: job.Stats, Tokens: job.Tokens}
+	opts := optimizer.Options{Catalog: s.cfg.Catalog, Stats: job.Stats, Tokens: job.Tokens, Cache: s.cfg.Cache}
 
 	baseRes, err := optimizer.Optimize(job.Graph, s.cfg.Catalog.DefaultConfig(), opts)
 	if err != nil {
@@ -201,7 +249,7 @@ func (s *Service) flightOne(req Request) Result {
 
 	// Next occurrence of the recurring template, for validation labels.
 	if future, err := job.Template.Instantiate(job.Date+1, job.Seq); err == nil {
-		fOpts := optimizer.Options{Catalog: s.cfg.Catalog, Stats: future.Stats, Tokens: future.Tokens}
+		fOpts := optimizer.Options{Catalog: s.cfg.Catalog, Stats: future.Stats, Tokens: future.Tokens, Cache: s.cfg.Cache}
 		fBase, err1 := optimizer.Optimize(future.Graph, s.cfg.Catalog.DefaultConfig(), fOpts)
 		fTreat, err2 := optimizer.Optimize(future.Graph, req.Treatment, fOpts)
 		if err1 == nil && err2 == nil {

@@ -158,3 +158,39 @@ func TestOutcomeString(t *testing.T) {
 		t.Error("unknown outcome should render")
 	}
 }
+
+// resultsEqual compares two result slices field-by-field on the
+// deterministic payload (outcome, metrics, budget accounting).
+func resultsEqual(t *testing.T, a, b []Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Outcome != b[i].Outcome ||
+			a[i].HoursUsed != b[i].HoursUsed ||
+			a[i].Baseline != b[i].Baseline ||
+			a[i].Treat != b[i].Treat ||
+			a[i].FutureBaseline != b[i].FutureBaseline ||
+			a[i].FutureTreat != b[i].FutureTreat ||
+			a[i].HasFuture != b[i].HasFuture ||
+			a[i].Request.Job.ID != b[i].Request.Job.ID {
+			t.Fatalf("result %d differs:\nseq: %+v\npar: %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestParallelRunMatchesSequential is the determinism contract of the
+// worker pool: any parallelism produces results bit-identical to the
+// sequential path, both with a generous budget and with one tight enough
+// that skips happen mid-chunk.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	cat := rules.NewCatalog()
+	jobs := testJobs(t, 14)
+	for _, budget := range []float64{0, 0.02} { // 0 = default (generous)
+		seq := New(Config{Catalog: cat, Seed: 9, Parallelism: 1, TotalBudgetHours: budget, QueueSize: 1})
+		par := New(Config{Catalog: cat, Seed: 9, Parallelism: 8, TotalBudgetHours: budget, QueueSize: 1})
+		reqs := requestsFor(jobs, cat)
+		resultsEqual(t, seq.Run(reqs), par.Run(reqs))
+	}
+}

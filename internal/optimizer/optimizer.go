@@ -16,6 +16,14 @@ type Options struct {
 	// Tokens is the maximum degree of parallelism available to the job
 	// (the SCOPE "token" allocation). Zero means DefaultTokens.
 	Tokens int
+	// Cache, when non-nil, memoizes the logical phase (rewrite fixpoint +
+	// experimental-validity check) per (input graph, rule configuration).
+	// Physical lowering always re-runs, so cached and uncached compilation
+	// produce identical Results. Callers reusing a Cache across Optimize
+	// calls must pass the same Stats for the same graph pointer (true for
+	// job instances, whose stats are a function of their template and
+	// date).
+	Cache *CompileCache
 }
 
 // DefaultTokens is the default per-job parallelism budget.
@@ -47,7 +55,12 @@ type Result struct {
 }
 
 // Optimize compiles the logical DAG under the given rule configuration.
-// The input graph is never mutated: all rewrites run on a clone.
+// The input graph is never mutated: all rewrites run on a clone. When
+// opts.Cache is set, the rewritten logical DAG is reused across calls
+// with the same (graph, configuration); the physical lowering phase
+// (implBuilder) treats logical nodes as strictly read-only — a guarantee
+// exercised under -race by TestCachedLogicalGraphSharedLoweringRace —
+// so a cached clone can be lowered concurrently by many goroutines.
 func Optimize(g *scope.Graph, cfg rules.Config, opts Options) (*Result, error) {
 	cat := opts.Catalog
 	if cat == nil {
@@ -71,17 +84,15 @@ func Optimize(g *scope.Graph, cfg rules.Config, opts Options) (*Result, error) {
 		}
 	}
 
+	var work *scope.Graph
 	var sig rules.Signature
-	for _, r := range cat.Rules(rules.Required) {
-		sig.Record(r.ID) // normalization always runs
+	var err error
+	if opts.Cache != nil {
+		work, sig, err = opts.Cache.logical(g, cfg, cat, opts.Stats)
+	} else {
+		work, sig, err = rewriteLogical(g, cfg, cat, opts.Stats)
 	}
-
-	env := &EstimationEnv{Stats: opts.Stats}
-	work := g.Clone()
-
-	rw := newRewriter(work, cfg, cat, &sig, opts.Stats, env)
-	rw.run()
-	if err := checkExperimentalValidity(work, cfg, cat, &sig); err != nil {
+	if err != nil {
 		return nil, err
 	}
 
@@ -89,12 +100,33 @@ func Optimize(g *scope.Graph, cfg rules.Config, opts Options) (*Result, error) {
 	if tokens <= 0 {
 		tokens = DefaultTokens
 	}
+	env := &EstimationEnv{Stats: opts.Stats}
 	ib := newImplBuilder(cfg, cat, &sig, opts.Stats, env, tokens)
 	plan, err := ib.build(work)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Plan: plan, Logical: work, Signature: sig, EstCost: plan.EstCost}, nil
+}
+
+// rewriteLogical runs the logical phase of a compilation: clone the input
+// DAG, apply the enabled rewrites to fixpoint, and run the experimental
+// validity check. The returned graph is final — nothing downstream (the
+// implBuilder, the execution simulator, view building) mutates logical
+// nodes, which is what makes the result cacheable and shareable.
+func rewriteLogical(g *scope.Graph, cfg rules.Config, cat *rules.Catalog, stats StatsProvider) (*scope.Graph, rules.Signature, error) {
+	var sig rules.Signature
+	for _, r := range cat.Rules(rules.Required) {
+		sig.Record(r.ID) // normalization always runs
+	}
+	env := &EstimationEnv{Stats: stats}
+	work := g.Clone()
+	rw := newRewriter(work, cfg, cat, &sig, stats, env)
+	rw.run()
+	if err := checkExperimentalValidity(work, cfg, cat, &sig); err != nil {
+		return nil, sig, err
+	}
+	return work, sig, nil
 }
 
 // checkExperimentalValidity models the riskiness of off-by-default rules:

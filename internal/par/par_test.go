@@ -1,0 +1,60 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForSequentialPreservesOrder(t *testing.T) {
+	var got []int
+	For(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("workers=1 order = %v, want ascending", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("visited %d indexes, want 5", len(got))
+	}
+}
+
+func TestForParallelVisitsAllOnce(t *testing.T) {
+	const n = 200
+	seen := make([]int32, n)
+	For(n, 8, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	For(50, workers, func(int) {
+		mu.Lock()
+		inFlight++
+		if inFlight > peak {
+			peak = inFlight
+		}
+		mu.Unlock()
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+	})
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(4) != 4 {
+		t.Error("Resolve(4) != 4")
+	}
+	if Resolve(0) < 1 || Resolve(-1) < 1 {
+		t.Error("Resolve must return at least 1 for non-positive input")
+	}
+}

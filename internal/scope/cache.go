@@ -1,0 +1,48 @@
+package scope
+
+import "qoadvisor/internal/cache"
+
+// DefaultCompileCacheSize bounds a CompileCache built with size 0. Daily
+// pipelines see one distinct script per (template, date); a few thousand
+// entries covers weeks of a large template population.
+const DefaultCompileCacheSize = 4096
+
+// CompileCache memoizes CompileScript by script source, so each distinct
+// script is parsed and lowered to a logical DAG exactly once per process.
+// Recurring-job pipelines compile the same source over and over — every
+// daily instance of a template shares one script, and flighting re-derives
+// the next day's instance for validation labels — so the cache turns the
+// dominant parse+lower cost into a map lookup.
+//
+// The cache is safe for concurrent use and deduplicates concurrent
+// compilations of the same source (only one goroutine compiles; the rest
+// wait for its result). Compile errors are cached too: a script that does
+// not compile keeps not compiling until it changes. Cached graphs are
+// shared: callers must treat them as immutable, which the optimizer
+// guarantees by always rewriting a Clone. Eviction is FIFO past the cap —
+// "invalidation" is purely capacity-driven, since sources are
+// content-addressed and a changed script is simply a different key.
+type CompileCache struct {
+	f *cache.FIFO[string, *Graph]
+}
+
+// CompileCacheStats is a point-in-time snapshot of cache effectiveness.
+type CompileCacheStats = cache.Stats
+
+// NewCompileCache builds a cache holding at most max compiled scripts
+// (0 = DefaultCompileCacheSize).
+func NewCompileCache(max int) *CompileCache {
+	if max <= 0 {
+		max = DefaultCompileCacheSize
+	}
+	return &CompileCache{f: cache.NewFIFO[string, *Graph](max)}
+}
+
+// Compile returns the compiled logical DAG for src, serving repeats from
+// the cache.
+func (c *CompileCache) Compile(src string) (*Graph, error) {
+	return c.f.Do(src, func() (*Graph, error) { return CompileScript(src) })
+}
+
+// Stats snapshots the hit/miss counters and current occupancy.
+func (c *CompileCache) Stats() CompileCacheStats { return c.f.Stats() }

@@ -1,0 +1,138 @@
+package scope
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+const cacheTestScript = `raw0 = EXTRACT a:long, b:int FROM "store/t/x.tsv";
+rs1 = SELECT a, b FROM raw0 WHERE b > %d;
+OUTPUT rs1 TO "out/t/r.tsv";
+`
+
+func TestCompileCacheHitsShareGraphs(t *testing.T) {
+	c := NewCompileCache(0)
+	src := fmt.Sprintf(cacheTestScript, 10)
+	g1, err := c.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Error("same source must return the identical cached graph")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+	// A different source is a different key.
+	if _, err := c.Compile(fmt.Sprintf(cacheTestScript, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("misses = %d, want 2", st.Misses)
+	}
+}
+
+func TestCompileCacheCachesErrors(t *testing.T) {
+	c := NewCompileCache(0)
+	bad := "rs = SELECT x FROM nowhere;"
+	if _, err := c.Compile(bad); err == nil {
+		t.Fatal("expected compile error")
+	}
+	if _, err := c.Compile(bad); err == nil {
+		t.Fatal("cached result must preserve the error")
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("error entries must be cache hits too: %+v", st)
+	}
+}
+
+func TestCompileCacheEvictsOldestAtCapacity(t *testing.T) {
+	c := NewCompileCache(2)
+	srcs := []string{
+		fmt.Sprintf(cacheTestScript, 1),
+		fmt.Sprintf(cacheTestScript, 2),
+		fmt.Sprintf(cacheTestScript, 3),
+	}
+	for _, s := range srcs {
+		if _, err := c.Compile(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Size != 2 {
+		t.Errorf("size = %d, want cap 2", st.Size)
+	}
+	// The oldest source was invalidated: recompiling it is a miss...
+	before := c.Stats().Misses
+	if _, err := c.Compile(srcs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != before+1 {
+		t.Errorf("evicted entry should recompile as a miss: misses %d -> %d", before, got)
+	}
+	// ...while the newest is still a hit.
+	beforeHits := c.Stats().Hits
+	if _, err := c.Compile(srcs[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Hits; got != beforeHits+1 {
+		t.Errorf("resident entry should hit: hits %d -> %d", beforeHits, got)
+	}
+}
+
+func TestCompileCacheConcurrentSingleflight(t *testing.T) {
+	c := NewCompileCache(0)
+	src := fmt.Sprintf(cacheTestScript, 42)
+	const n = 16
+	graphs := make([]*Graph, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Compile(src)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			graphs[i] = g
+			// Exercise the memoized template hash concurrently.
+			_ = g.TemplateHash()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatal("concurrent compilations of one source must share a graph")
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (singleflight)", st.Misses)
+	}
+}
+
+func TestTemplateHashMemoStable(t *testing.T) {
+	src := fmt.Sprintf(cacheTestScript, 7)
+	g1, err := CompileScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := CompileScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.TemplateHash() != g1.TemplateHash() {
+		t.Error("memoized hash changed between calls")
+	}
+	if g1.TemplateHash() != g2.TemplateHash() {
+		t.Error("identical sources must share a template hash")
+	}
+	if g1.Clone().TemplateHash() != g1.TemplateHash() {
+		t.Error("clone must hash identically to its original")
+	}
+}

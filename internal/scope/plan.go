@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // OpKind enumerates logical operator kinds in the plan DAG.
@@ -190,9 +191,22 @@ func sortKeysString(keys []SortKey) string {
 }
 
 // Graph is a logical plan DAG with one root per OUTPUT statement.
+//
+// Once a Graph has been handed to the optimizer or published through a
+// CompileCache it must be treated as immutable: compiled graphs are
+// shared across job instances and across goroutines, and the optimizer
+// always rewrites a Clone, never the input.
 type Graph struct {
 	Roots  []*Node
 	nextID int
+
+	// tmplOnce/tmplHash memoize TemplateHash: the hash walks the whole
+	// DAG through fmt, which is far too expensive to redo on every
+	// compilation of a shared graph. Callers must not invoke TemplateHash
+	// until the graph has reached its final shape (the optimizer only
+	// hashes input graphs and fully rewritten clones).
+	tmplOnce sync.Once
+	tmplHash uint64
 }
 
 // NewNode allocates a node with a fresh ID attached to this graph.
@@ -354,7 +368,14 @@ func (n *Node) RowWidth() int64 {
 // operators and normalized expressions, with literals wildcarded. Two
 // instances of the same recurring job template share a TemplateHash even
 // when their filter constants and input paths' date components differ.
+// The hash is computed once and memoized (safe for concurrent callers);
+// it must not be called before the graph has reached its final shape.
 func (g *Graph) TemplateHash() uint64 {
+	g.tmplOnce.Do(func() { g.tmplHash = g.computeTemplateHash() })
+	return g.tmplHash
+}
+
+func (g *Graph) computeTemplateHash() uint64 {
 	h := fnv.New64a()
 	for _, n := range g.Nodes() {
 		fmt.Fprintf(h, "%s|", n.Kind)

@@ -62,6 +62,12 @@ type Template struct {
 	// Hash is the template hash of the compiled graph (literals
 	// normalized), QO-Advisor's hint key.
 	Hash uint64
+
+	// cache memoizes compiled scripts. All daily instances of a template
+	// on one date share a script source and hence one compiled (immutable)
+	// graph; flighting's next-day re-instantiations hit the same entries.
+	// Nil compiles uncached.
+	cache *scope.CompileCache
 }
 
 // Job is one instance of a template on a given date.
@@ -81,6 +87,7 @@ type Job struct {
 type Generator struct {
 	seed      int64
 	templates []*Template
+	cache     *scope.CompileCache
 }
 
 // Config controls workload generation.
@@ -89,6 +96,11 @@ type Config struct {
 	NumTemplates int
 	// MaxDailyInstances caps per-template daily recurrences (>=1).
 	MaxDailyInstances int
+	// CompileCacheSize bounds the shared script compile cache (0 = the
+	// scope package default, negative = disable caching entirely). The
+	// cache only affects speed: cached and uncached instantiation produce
+	// structurally identical graphs.
+	CompileCacheSize int
 }
 
 // hashed returns a deterministic sub-seed from parts.
@@ -121,8 +133,11 @@ func New(cfg Config) (*Generator, error) {
 		cfg.MaxDailyInstances = 3
 	}
 	g := &Generator{seed: cfg.Seed}
+	if cfg.CompileCacheSize >= 0 {
+		g.cache = scope.NewCompileCache(cfg.CompileCacheSize)
+	}
 	for i := 0; i < cfg.NumTemplates; i++ {
-		t, err := buildTemplate(cfg.Seed, i, cfg.MaxDailyInstances)
+		t, err := buildTemplate(cfg.Seed, i, cfg.MaxDailyInstances, g.cache)
 		if err != nil {
 			return nil, fmt.Errorf("workload: template %d: %w", i, err)
 		}
@@ -133,6 +148,15 @@ func New(cfg Config) (*Generator, error) {
 
 // Templates returns the generated templates.
 func (g *Generator) Templates() []*Template { return g.templates }
+
+// CompileCacheStats reports the shared script compile cache's
+// effectiveness (zero value when caching is disabled).
+func (g *Generator) CompileCacheStats() scope.CompileCacheStats {
+	if g.cache == nil {
+		return scope.CompileCacheStats{}
+	}
+	return g.cache.Stats()
+}
 
 // JobsForDay instantiates every template's recurrences for the given date.
 func (g *Generator) JobsForDay(date int) ([]*Job, error) {
@@ -163,7 +187,13 @@ func (t *Template) Instantiate(date, seq int) (*Job, error) {
 	for lit, v := range litVals {
 		src = strings.ReplaceAll(src, lit, v)
 	}
-	graph, err := scope.CompileScript(src)
+	var graph *scope.Graph
+	var err error
+	if t.cache != nil {
+		graph, err = t.cache.Compile(src)
+	} else {
+		graph, err = scope.CompileScript(src)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("workload: instance of %s does not compile: %w", t.ID, err)
 	}
@@ -223,7 +253,7 @@ func (t *Template) Instantiate(date, seq int) (*Job, error) {
 // buildTemplate synthesizes one template. The script is built
 // programmatically (schema-tracked), so generated scripts always compile;
 // construction is verified anyway.
-func buildTemplate(seed int64, idx, maxDaily int) (*Template, error) {
+func buildTemplate(seed int64, idx, maxDaily int, cache *scope.CompileCache) (*Template, error) {
 	rng := rngFor("template", seed, idx)
 	b := &scriptBuilder{
 		rng:      rng,
@@ -243,6 +273,7 @@ func buildTemplate(seed int64, idx, maxDaily int) (*Template, error) {
 		Literals:       b.literals,
 		DailyInstances: 1 + rng.Intn(maxDaily),
 		Tokens:         50 + rng.Intn(4)*50,
+		cache:          cache,
 	}
 
 	// Validate by instantiating day 1 and record the template hash.
@@ -333,8 +364,12 @@ func (b *scriptBuilder) addExtract(i int) {
 			ndv[cd.Name] = logUniform(b.rng, 10, 1e6)
 		}
 	}
-	for name := range ndv {
-		ndvErr[name] = lognormal(b.rng, 0.5)
+	// Draw in column order, not map order: iterating the map here would
+	// consume b.rng in a run-dependent order and make the generated
+	// workload itself nondeterministic across processes.
+	ndvErr[keyCol] = lognormal(b.rng, 0.5)
+	for _, cd := range cols[1:] {
+		ndvErr[cd.Name] = lognormal(b.rng, 0.5)
 	}
 	path := fmt.Sprintf("store/%s/%s_@DATE@.tsv", b.tID, name)
 	b.tables = append(b.tables, TableDef{
