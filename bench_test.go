@@ -10,13 +10,17 @@
 package qoadvisor_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/exec"
@@ -419,13 +423,13 @@ func BenchmarkServeCachedHintLookup(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			req := serve.RankRequest{TemplateHash: hints[i%numHints].TemplateHash, Span: []int{40}}
+			req := api.RankRequest{TemplateHash: api.TemplateHash(hints[i%numHints].TemplateHash), Span: []int{40}}
 			resp, err := srv.Rank(req)
 			if err != nil {
 				b.Error(err)
 				return
 			}
-			if resp.Source != "hint" {
+			if resp.Source != api.SourceHint {
 				b.Errorf("cache miss for installed hint %x", req.TemplateHash)
 				return
 			}
@@ -452,8 +456,8 @@ func BenchmarkServeConcurrentRank(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			n := seq.Add(1)
-			req := serve.RankRequest{
-				TemplateHash: n, // no hint installed: always the bandit path
+			req := api.RankRequest{
+				TemplateHash: api.TemplateHash(n), // no hint installed: always the bandit path
 				Span:         spans[n%uint64(len(spans))],
 				RowCount:     float64(uint64(1) << (n % 20)),
 			}
@@ -472,7 +476,7 @@ func BenchmarkServeRewardIngestionDrain(b *testing.B) {
 	const batch = 512
 	srv := serve.New(serve.Config{Seed: 1, QueueSize: batch, TrainEvery: 64})
 	defer srv.Close()
-	req := serve.RankRequest{TemplateHash: 1, Span: []int{3, 17, 40}}
+	req := api.RankRequest{TemplateHash: 1, Span: []int{3, 17, 40}}
 
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -496,6 +500,79 @@ func BenchmarkServeRewardIngestionDrain(b *testing.B) {
 	st := srv.Ingestor().Stats()
 	b.ReportMetric(float64(st.Applied)/float64(b.N), "rewards/drain")
 	b.ReportMetric(float64(st.TrainRuns)/float64(b.N), "trainRuns/drain")
+}
+
+// BenchmarkServeBatchRankHTTP measures the versioned protocol end to
+// end: a /v2/rank batch through the typed client (JSON encode, HTTP
+// round trip, server-side fan-out over the rank pool, JSON decode),
+// reported per job. Half the batch hits the hint cache, half takes the
+// bandit path — the mixed steady state of a production rollover.
+func BenchmarkServeBatchRankHTTP(b *testing.B) {
+	cat := rules.NewCatalog()
+	srv := serve.New(serve.Config{Catalog: cat, Seed: 1})
+	defer srv.Close()
+	const numHints = 1024
+	if _, err := srv.InstallHints(benchServeHints(cat, numHints)); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	for _, batchSize := range []int{1, 16, 128} {
+		b.Run(fmt.Sprintf("batch=%d", batchSize), func(b *testing.B) {
+			jobs := make([]api.RankRequest, batchSize)
+			for i := range jobs {
+				if i%2 == 0 { // hint path
+					jobs[i] = api.RankRequest{
+						TemplateHash: api.TemplateHash(uint64(i/2%numHints)*0x9e3779b97f4a7c15 + 1),
+						Span:         []int{40 + (i / 2 % 64)},
+					}
+				} else { // bandit path
+					jobs[i] = api.RankRequest{
+						TemplateHash: api.TemplateHash(uint64(i)<<32 | 0xbad),
+						Span:         []int{3, 17, 40 + i%64},
+						RowCount:     float64(1000 * i),
+					}
+				}
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				resp, err := cl.RankBatch(ctx, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resp.Results) != batchSize {
+					b.Fatalf("got %d results for %d jobs", len(resp.Results), batchSize)
+				}
+			}
+			b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkServeHintRollover measures the pipeline rollover hot swap:
+// building and installing a fresh sharded table (Replace pre-sizes each
+// shard map to its expected share, so the build avoids incremental map
+// growth).
+func BenchmarkServeHintRollover(b *testing.B) {
+	cat := rules.NewCatalog()
+	for _, size := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("hints=%d", size), func(b *testing.B) {
+			hints := benchServeHints(cat, size)
+			cache := serve.NewHintCache(0)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				cache.Replace(hints)
+			}
+			b.StopTimer()
+			if cache.Size() != size {
+				b.Fatalf("cache size = %d, want %d", cache.Size(), size)
+			}
+			b.ReportMetric(float64(size)/(b.Elapsed().Seconds()/float64(b.N))/1e6, "Mhints/s")
+		})
+	}
 }
 
 // makeFeaturizer builds the shared job featurization used by the

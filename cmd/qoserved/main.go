@@ -15,20 +15,30 @@
 //
 //	qoserved [-addr :8080] [-bootstrap-days 5] [-templates 24] [-seed 42]
 //	         [-hints file] [-model file] [-shards 32] [-queue 4096]
-//	         [-workers 0] [-train-every 256] [-uniform]
+//	         [-workers 0] [-train-every 256] [-rank-workers 0] [-uniform]
+//
+// It doubles as the protocol's ops CLI via the typed client
+// (qoadvisor/internal/api/client):
+//
+//	qoserved -check http://host:8080              # /v2/healthz + /v2/stats
+//	qoserved -push-hints http://host:8080 -hints f.hints   # rollover upload
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/exec"
@@ -50,9 +60,25 @@ func main() {
 	queue := flag.Int("queue", 0, "reward ingestion queue size (0 = default)")
 	workers := flag.Int("workers", 0, "reward ingestion workers (0 = default 1; applies serialize on the learner)")
 	trainEvery := flag.Int("train-every", 0, "train after this many applied rewards (0 = default)")
+	rankWorkers := flag.Int("rank-workers", 0, "/v2/rank batch fan-out pool size (0 = GOMAXPROCS)")
 	maxLog := flag.Int("max-log", 0, "cap on retained rank events (0 = default, negative = unbounded)")
 	uniform := flag.Bool("uniform", false, "rank with the uniform-at-random logging policy")
+	check := flag.String("check", "", "client mode: probe a running server's /v2/healthz and /v2/stats, print, exit")
+	pushHints := flag.String("push-hints", "", "client mode: upload the -hints file to a running server and exit")
 	flag.Parse()
+
+	if *check != "" {
+		if err := runCheck(*check); err != nil {
+			log.Fatalf("qoserved: check: %v", err)
+		}
+		return
+	}
+	if *pushHints != "" {
+		if err := runPushHints(*pushHints, *hintsPath); err != nil {
+			log.Fatalf("qoserved: push-hints: %v", err)
+		}
+		return
+	}
 
 	cat := rules.NewCatalog()
 
@@ -112,6 +138,7 @@ func main() {
 		QueueSize:    *queue,
 		Workers:      *workers,
 		TrainEvery:   *trainEvery,
+		RankWorkers:  *rankWorkers,
 		MaxLogEvents: *maxLog,
 		SnapshotPath: *modelPath,
 	})
@@ -164,6 +191,75 @@ func main() {
 		log.Printf("model persisted to %s (%d bytes)", *modelPath, n)
 	}
 	log.Printf("qoserved stopped")
+}
+
+// runCheck probes a running server through the typed client: healthz
+// first (cheap, gateable), then the full stats payload with per-route
+// latency metrics.
+func runCheck(base string) error {
+	cl := client.New(base, client.WithTimeout(5*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	health, err := cl.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("health:     %s (generation %d, %d hints, queue %d/%d, up %.1fs)\n",
+		health.Status, health.Generation, health.Hints,
+		health.QueueDepth, health.QueueCap, health.UptimeSec)
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving:    %d ranks (%d hint hits, %d bandit, %d noops), event log %d\n",
+		stats.RankRequests, stats.HintHits, stats.BanditRanks, stats.NoOps, stats.BanditLog)
+	fmt.Printf("ingest:     %d enqueued, %d applied, %d dropped, %d unknown, %d train runs\n",
+		stats.Ingest.Enqueued, stats.Ingest.Applied, stats.Ingest.Dropped,
+		stats.Ingest.UnknownEvents, stats.Ingest.TrainRuns)
+
+	routes := make([]string, 0, len(stats.Routes))
+	for r := range stats.Routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		m := stats.Routes[r]
+		if m.Count == 0 {
+			continue
+		}
+		fmt.Printf("route %-20s %6d calls, %d errors, avg %.0fus, max %dus\n",
+			r, m.Count, m.Errors, float64(m.TotalMicros)/float64(m.Count), m.MaxMicros)
+	}
+	return nil
+}
+
+// runPushHints uploads a SIS hint file to a running server — the
+// out-of-process half of the pipeline rollover, over the typed client.
+func runPushHints(base, hintsPath string) error {
+	if hintsPath == "" {
+		return fmt.Errorf("-push-hints needs -hints <file>")
+	}
+	f, err := os.Open(hintsPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cl := client.New(base, client.WithTimeout(30*time.Second))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	resp, err := cl.InstallHints(ctx, f)
+	if err != nil {
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) {
+			return fmt.Errorf("server rejected rollover (%s): %s", apiErr.Code, apiErr.Message)
+		}
+		return err
+	}
+	fmt.Printf("installed %d hints (day %d) as generation %d\n",
+		resp.Installed, resp.Day, resp.Generation)
+	return nil
 }
 
 // mergeHints overlays additions onto base, additions winning on

@@ -3,16 +3,30 @@
 // currently installed hints, then the offline QO-Advisor pipeline
 // processes the day's telemetry and uploads new validated hints to the
 // Stats & Insight Service — the Figure 1 loop of the paper, end to end.
+//
+// The final section closes the deployment loop over the wire: the
+// trained bandit and validated hint table are served by the online
+// steering service (internal/serve), the hint file is rolled over via
+// POST /v1/hints, and the next day's jobs are steered through the
+// versioned batch protocol with the typed client
+// (qoadvisor/internal/api/client) — cache hits for hinted templates,
+// bandit decisions for the rest, and batched reward telemetry back.
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"net/http/httptest"
 
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/flighting"
 	"qoadvisor/internal/rules"
+	"qoadvisor/internal/serve"
 	"qoadvisor/internal/sis"
 	"qoadvisor/internal/workload"
 )
@@ -65,10 +79,105 @@ func main() {
 		fmt.Println("\nNo hints survived validation in this short run — try more days.")
 		return
 	}
+	final := hist[len(hist)-1]
 	fmt.Println("\nActive hints (template -> single rule flip):")
-	for _, h := range hist[len(hist)-1].Hints {
+	for _, h := range final.Hints {
 		r := cat.Rule(h.Flip.RuleID)
 		fmt.Printf("  %s (%016x): %s  [%s, %s] installed day %d\n",
 			h.TemplateID, h.TemplateHash, h.Flip, r.Name, r.Category, h.Day)
 	}
+
+	// --- Serve the result online and steer the next day over the wire ---
+
+	srv := serve.New(serve.Config{Catalog: cat, Bandit: adv.CB.Service, Seed: 7})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Pipeline rollover over HTTP: serialize the SIS file and push it
+	// through the typed client, exactly as qoserved -push-hints would.
+	var hintFile bytes.Buffer
+	if err := sis.Serialize(&hintFile, final); err != nil {
+		log.Fatal(err)
+	}
+	install, err := cl.InstallHints(ctx, &hintFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nServing: rolled %d hints (day %d) into generation %d at %s\n",
+		install.Installed, install.Day, install.Generation, ts.URL)
+
+	// Compile day N+1 against the server: run production to get the
+	// day's telemetry view, featurize it (spans, input-stream stats),
+	// and steer every job in one /v2/rank batch instead of a round trip
+	// per job.
+	jobs, err := gen.JobsForDay(days + 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, view, err := prod.RunDay(days+1, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	feats, err := adv.FeatureGen.Run(jobs, view)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := make([]api.RankRequest, 0, len(feats))
+	for _, f := range feats {
+		batch = append(batch, api.RankRequest{
+			TemplateHash: api.TemplateHash(f.Job.Graph.TemplateHash()),
+			TemplateID:   f.Job.Template.ID,
+			Span:         f.Span.Bits(),
+			RowCount:     f.RowCount,
+			BytesRead:    f.BytesRead,
+		})
+	}
+	resp, err := cl.RankBatch(ctx, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var hintHits, banditRanks, skipped int
+	reward := 1.0
+	var events []api.RewardEvent
+	for _, res := range resp.Results {
+		switch {
+		case res.Error != nil:
+			// Not steerable (the protocol rejects per job without
+			// voiding the batch).
+			skipped++
+		case res.Source == api.SourceHint:
+			hintHits++
+		default:
+			banditRanks++
+			// Pretend the flip ran well: batch the telemetry back.
+			events = append(events, api.RewardEvent{EventID: res.EventID, Reward: &reward})
+		}
+	}
+	fmt.Printf("Day %d over the wire: %d jobs ranked in one batch -> %d hint hits, %d bandit decisions, %d unsteerable\n",
+		days+1, len(batch), hintHits, banditRanks, skipped)
+
+	if len(events) > 0 {
+		rb, err := cl.RewardBatch(ctx, events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.Ingestor().Drain()
+		fmt.Printf("Telemetry: %d rewards queued in one batch (%d rejected)\n", rb.Queued, len(rb.Rejected))
+	}
+
+	health, err := cl.Health(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Server: %s generation %d, %d hints; %d ranks (%d from cache), %d rewards applied\n",
+		health.Status, health.Generation, health.Hints,
+		stats.RankRequests, stats.HintHits, stats.Ingest.Applied)
 }

@@ -1,0 +1,346 @@
+// Package api defines the versioned wire protocol of QO-Advisor's
+// online steering service: every request and response type the HTTP
+// surface speaks, a structured error envelope with machine-readable
+// codes, and the batch /v2 shapes. The package is the single contract
+// shared by the server (internal/serve), the typed Go client
+// (internal/api/client), the CLI, and the examples — it depends only on
+// the standard library so any binary can embed it.
+//
+// Protocol versions:
+//
+//   - v1 — the original single-job surface (/v1/rank, /v1/reward,
+//     /v1/hints, /v1/stats, /v1/model/snapshot). Stable; served as thin
+//     adapters over the v2 handlers. Success shapes are unchanged from
+//     the pre-versioned protocol; errors now use the structured
+//     envelope.
+//   - v2 — the batch-first surface (/v2/rank, /v2/reward, /v2/healthz,
+//     /v2/stats). Every v2 response carries the hint-table generation
+//     and the request ID assigned (or propagated) by the server.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Versions of the HTTP surface, as path prefixes.
+const (
+	V1 = "v1"
+	V2 = "v2"
+)
+
+// Route paths. Clients should use these constants rather than spelling
+// paths so protocol moves stay one-line changes.
+const (
+	RouteV1Rank     = "/v1/rank"
+	RouteV1Reward   = "/v1/reward"
+	RouteV1Hints    = "/v1/hints"
+	RouteV1Stats    = "/v1/stats"
+	RouteV1Snapshot = "/v1/model/snapshot"
+
+	RouteV2Rank    = "/v2/rank"
+	RouteV2Reward  = "/v2/reward"
+	RouteV2Healthz = "/v2/healthz"
+	RouteV2Stats   = "/v2/stats"
+)
+
+// RequestIDHeader carries the request ID on every instrumented route.
+// Clients may set it to propagate their own correlation ID; the server
+// echoes it back, or assigns one when absent.
+const RequestIDHeader = "X-Request-Id"
+
+// MaxRankBatch bounds the job count of one BatchRankRequest. Larger
+// batches are rejected with CodeInvalidRequest rather than silently
+// truncated.
+const MaxRankBatch = 4096
+
+// MaxRewardBatch bounds the event count of one BatchRewardRequest.
+const MaxRewardBatch = 8192
+
+// TemplateHash is a 64-bit job-template hash. On the wire it travels as
+// a 16-digit hex string — 64-bit integers do not survive JSON number
+// decoding in every client — matching the SIS exchange format.
+type TemplateHash uint64
+
+// MarshalJSON renders the hash as a zero-padded hex string.
+func (h TemplateHash) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts a hex string of up to 16 digits.
+func (h *TemplateHash) UnmarshalJSON(b []byte) error {
+	s, err := strconv.Unquote(string(b))
+	if err != nil {
+		return fmt.Errorf("api: templateHash must be a hex string, got %s", b)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return fmt.Errorf("api: bad templateHash %q: want 64-bit hex", s)
+	}
+	*h = TemplateHash(v)
+	return nil
+}
+
+// String renders the canonical wire form.
+func (h TemplateHash) String() string { return fmt.Sprintf("%016x", uint64(h)) }
+
+// RankRequest is one steering query: "which rule flip for this job?".
+// Span carries the job span's bit positions; RowCount and BytesRead are
+// the coarse input-stream features of the paper's featurization.
+type RankRequest struct {
+	TemplateHash TemplateHash `json:"templateHash"`
+	TemplateID   string       `json:"templateId,omitempty"`
+	Span         []int        `json:"span"`
+	RowCount     float64      `json:"rowCount,omitempty"`
+	BytesRead    float64      `json:"bytesRead,omitempty"`
+}
+
+// UnmarshalJSON rejects a request whose templateHash field is absent: a
+// client that silently drops it would otherwise collapse all its
+// traffic onto template 0 and still receive plausible decisions. An
+// explicit "0000000000000000" remains valid.
+func (r *RankRequest) UnmarshalJSON(b []byte) error {
+	type plain RankRequest
+	aux := struct {
+		*plain
+		TemplateHash *TemplateHash `json:"templateHash"`
+	}{plain: (*plain)(r)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	if aux.TemplateHash == nil {
+		return fmt.Errorf("api: templateHash is required")
+	}
+	r.TemplateHash = *aux.TemplateHash
+	return nil
+}
+
+// RankResponse is the steering decision. Source "hint" means the sharded
+// cache had a validated hint for the template (the production fast path:
+// no bandit call, no event logged). Source "bandit" means the learner
+// picked an action and logged a rank event awaiting a reward.
+type RankResponse struct {
+	Source     string  `json:"source"`
+	Flip       string  `json:"flip,omitempty"`
+	NoOp       bool    `json:"noop"`
+	EventID    string  `json:"eventId,omitempty"`
+	Prob       float64 `json:"prob,omitempty"`
+	Chosen     int     `json:"chosen,omitempty"`
+	HintDay    int     `json:"hintDay,omitempty"`
+	Generation uint64  `json:"generation"`
+}
+
+// Rank decision sources.
+const (
+	SourceHint   = "hint"
+	SourceBandit = "bandit"
+)
+
+// BatchRankRequest is the /v2/rank payload: up to MaxRankBatch jobs
+// steered in one call, fanned out over the server's worker pool.
+type BatchRankRequest struct {
+	Jobs []RankRequest `json:"jobs"`
+}
+
+// RankResult is one job's outcome inside a batch: either a decision or
+// a per-job error (the batch itself still returns 200 — one malformed
+// job must not void its neighbors' decisions).
+type RankResult struct {
+	RankResponse
+	Error *Error `json:"error,omitempty"`
+}
+
+// BatchRankResponse answers /v2/rank. Results align index-for-index
+// with the submitted jobs.
+type BatchRankResponse struct {
+	RequestID  string       `json:"requestId"`
+	Generation uint64       `json:"generation"`
+	Results    []RankResult `json:"results"`
+}
+
+// RewardEvent is one telemetry observation: the reward earned by a
+// previously ranked event. Reward is a pointer so "field absent" is
+// distinguishable from a legitimate 0.0 reward.
+type RewardEvent struct {
+	EventID string   `json:"eventId"`
+	Reward  *float64 `json:"reward"`
+}
+
+// RewardResponse answers /v1/reward.
+type RewardResponse struct {
+	Status string `json:"status"`
+}
+
+// BatchRewardRequest is the /v2/reward payload: a batch of telemetry
+// events fed to the ingestion queue in one call.
+type BatchRewardRequest struct {
+	Events []RewardEvent `json:"events"`
+}
+
+// RewardRejection reports one event of a batch that was not queued,
+// with the index it held in the request.
+type RewardRejection struct {
+	Index   int    `json:"index"`
+	EventID string `json:"eventId"`
+	Error   Error  `json:"error"`
+}
+
+// BatchRewardResponse answers /v2/reward. Queued counts events accepted
+// into the ingestion queue; Rejected lists the rest with per-event
+// errors. When nothing was queued and backpressure (CodeQueueFull) was
+// among the rejection reasons, the response status is 503 so clients
+// retry the whole batch (safe: no event was accepted, and other
+// rejections re-reject deterministically); any partial acceptance
+// returns 202.
+type BatchRewardResponse struct {
+	RequestID  string            `json:"requestId"`
+	Generation uint64            `json:"generation"`
+	Queued     int               `json:"queued"`
+	Rejected   []RewardRejection `json:"rejected,omitempty"`
+}
+
+// HintsInstallResponse answers POST /v1/hints (the pipeline rollover).
+type HintsInstallResponse struct {
+	Installed  int    `json:"installed"`
+	Day        int    `json:"day"`
+	Generation uint64 `json:"generation"`
+}
+
+// SnapshotSaveResponse answers POST /v1/model/snapshot.
+type SnapshotSaveResponse struct {
+	Path  string `json:"path"`
+	Bytes int64  `json:"bytes"`
+}
+
+// IngestStats is a point-in-time snapshot of the reward-ingestion
+// counters, embedded in StatsResponse.
+type IngestStats struct {
+	Enqueued      int64 `json:"enqueued"`
+	Dropped       int64 `json:"dropped"`
+	Applied       int64 `json:"applied"`
+	UnknownEvents int64 `json:"unknownEvents"`
+	TrainRuns     int64 `json:"trainRuns"`
+	TrainedEvents int64 `json:"trainedEvents"`
+	QueueDepth    int   `json:"queueDepth"`
+	QueueCap      int   `json:"queueCap"`
+}
+
+// RouteStats aggregates the middleware's per-route counters.
+type RouteStats struct {
+	Count       int64 `json:"count"`
+	Errors      int64 `json:"errors"`
+	TotalMicros int64 `json:"totalMicros"`
+	MaxMicros   int64 `json:"maxMicros"`
+}
+
+// StatsResponse answers /v1/stats and /v2/stats. The v1 field set is
+// unchanged from the pre-versioned protocol; v2 additionally populates
+// RequestID and the per-route Routes metrics.
+type StatsResponse struct {
+	UptimeSec    float64     `json:"uptimeSec"`
+	RankRequests int64       `json:"rankRequests"`
+	HintHits     int64       `json:"hintHits"`
+	BanditRanks  int64       `json:"banditRanks"`
+	NoOps        int64       `json:"noops"`
+	CacheSize    int         `json:"cacheSize"`
+	CacheGen     uint64      `json:"cacheGeneration"`
+	CacheShards  int         `json:"cacheShards"`
+	BanditLog    int64       `json:"banditLogSize"`
+	Ingest       IngestStats `json:"ingest"`
+
+	RequestID string                `json:"requestId,omitempty"`
+	Routes    map[string]RouteStats `json:"routes,omitempty"`
+}
+
+// HealthResponse answers /v2/healthz: a cheap liveness probe carrying
+// the serving generation and queue depth so load balancers and rollover
+// tooling can gate on it without the full stats payload.
+type HealthResponse struct {
+	Status     string  `json:"status"`
+	RequestID  string  `json:"requestId,omitempty"`
+	Generation uint64  `json:"generation"`
+	UptimeSec  float64 `json:"uptimeSec"`
+	Hints      int     `json:"hints"`
+	QueueDepth int     `json:"queueDepth"`
+	QueueCap   int     `json:"queueCap"`
+}
+
+// HealthOK is the Status value of a healthy server.
+const HealthOK = "ok"
+
+// Machine-readable error codes. Codes are the stable contract — clients
+// branch on Code, never on Message text.
+const (
+	// CodeMethodNotAllowed: the route exists but not for this verb.
+	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeNotFound: no such route in either protocol version.
+	CodeNotFound = "not_found"
+	// CodeInvalidJSON: the body failed JSON decoding.
+	CodeInvalidJSON = "invalid_json"
+	// CodeInvalidRequest: well-formed JSON, semantically invalid
+	// (empty span, span bit out of range, empty batch, batch too
+	// large, missing required fields).
+	CodeInvalidRequest = "invalid_request"
+	// CodeBodyTooLarge: the body exceeded the route's size cap.
+	CodeBodyTooLarge = "body_too_large"
+	// CodeUnknownEvent: the reward names no logged rank event (never
+	// ranked, evicted, or already trained).
+	CodeUnknownEvent = "unknown_event"
+	// CodeQueueFull: the reward-ingestion queue is saturated; retry.
+	CodeQueueFull = "queue_full"
+	// CodeValidationFailed: a hint rollover failed SIS validation.
+	CodeValidationFailed = "validation_failed"
+	// CodeSnapshotUnconfigured: POST snapshot with no path configured.
+	CodeSnapshotUnconfigured = "snapshot_unconfigured"
+	// CodeInternal: the server failed; the request may be retried.
+	CodeInternal = "internal"
+)
+
+// Error is the structured error envelope's payload. It implements the
+// error interface so client methods can return it directly.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// HTTPStatus is the transport status the error traveled with. It is
+	// not serialized; the client fills it in for callers that want to
+	// branch on status rather than code.
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ErrorResponse is the envelope every non-2xx response carries.
+type ErrorResponse struct {
+	Error     Error  `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// StatusForCode maps an error code to its canonical HTTP status. The
+// server uses it when writing envelopes so code→status stays consistent
+// across routes and versions.
+func StatusForCode(code string) int {
+	switch code {
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeInvalidJSON, CodeInvalidRequest, CodeValidationFailed:
+		return http.StatusBadRequest
+	case CodeBodyTooLarge:
+		return http.StatusRequestEntityTooLarge
+	case CodeUnknownEvent, CodeNotFound:
+		return http.StatusNotFound
+	case CodeQueueFull:
+		return http.StatusServiceUnavailable
+	case CodeSnapshotUnconfigured:
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}

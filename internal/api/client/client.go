@@ -1,0 +1,262 @@
+// Package client is the typed Go client for QO-Advisor's steering
+// protocol (qoadvisor/internal/api): one implementation of timeouts,
+// retry-on-503 (reward-queue backpressure), error envelope decoding,
+// and batch helpers, shared by the server CLI, the examples, and the
+// benchmarks instead of hand-rolled JSON.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"qoadvisor/internal/api"
+)
+
+// Client talks the versioned steering protocol to one server.
+// Zero-value is unusable; use New. Client is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (pooling, TLS, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTimeout caps each attempt end to end (default 10s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		hc := *c.hc
+		hc.Timeout = d
+		c.hc = &hc
+	}
+}
+
+// WithRetries sets how many times a 503 (queue backpressure, rollover
+// in progress) is retried and the base backoff between attempts, which
+// doubles per retry. retries <= 0 disables retrying.
+func WithRetries(retries int, backoff time.Duration) Option {
+	return func(c *Client) {
+		c.retries = retries
+		c.backoff = backoff
+	}
+}
+
+// New builds a client for a server base URL ("http://host:port").
+// Defaults: 10s per-attempt timeout, 3 retries on 503 with 50ms base
+// backoff.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 10 * time.Second},
+		retries: 3,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one protocol call: marshal in (nil = no body), retry 503s,
+// decode either the typed response into out or the error envelope into
+// an *api.Error. The request body is re-sent from the encoded bytes on
+// each retry, so retries are never partial.
+func (c *Client) do(ctx context.Context, method, path, contentType string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding %s %s: %w", method, path, err)
+		}
+		if contentType == "" {
+			contentType = "application/json"
+		}
+	}
+	return c.doRaw(ctx, method, path, contentType, payload, func(resp *http.Response) error {
+		if out == nil {
+			io.Copy(io.Discard, resp.Body)
+			return nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+		}
+		return nil
+	})
+}
+
+// doRaw is the transport loop under do, also used directly for
+// non-JSON bodies (hint files) and streamed responses (snapshots).
+// onOK consumes a 2xx response's body; non-2xx responses become
+// *api.Error after the retry budget is spent.
+func (c *Client) doRaw(ctx context.Context, method, path, contentType string, payload []byte, onOK func(*http.Response) error) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			wait := c.backoff << (attempt - 1)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return fmt.Errorf("client: %s %s: %w (last error: %v)", method, path, ctx.Err(), lastErr)
+			}
+		}
+
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+		if err != nil {
+			return fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if resp.StatusCode < 400 {
+			err := onOK(resp)
+			resp.Body.Close()
+			return err
+		}
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
+			lastErr = apiErr
+			continue
+		}
+		return apiErr
+	}
+}
+
+// decodeError turns a non-2xx response into an *api.Error, synthesizing
+// an envelope when the body does not carry one (proxies, panics).
+func decodeError(resp *http.Response) *api.Error {
+	var env api.ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env); err != nil || env.Error.Code == "" {
+		return &api.Error{
+			Code:       api.CodeInternal,
+			Message:    fmt.Sprintf("HTTP %d with no error envelope", resp.StatusCode),
+			HTTPStatus: resp.StatusCode,
+		}
+	}
+	e := env.Error
+	e.HTTPStatus = resp.StatusCode
+	return &e
+}
+
+// Rank steers one job via the stable v1 single-job endpoint.
+func (c *Client) Rank(ctx context.Context, job api.RankRequest) (api.RankResponse, error) {
+	var out api.RankResponse
+	err := c.do(ctx, http.MethodPost, api.RouteV1Rank, "", job, &out)
+	return out, err
+}
+
+// RankBatch steers up to api.MaxRankBatch jobs in one /v2/rank call.
+// Per-job failures ride inside Results; only transport- or batch-level
+// problems surface as the returned error.
+func (c *Client) RankBatch(ctx context.Context, jobs []api.RankRequest) (api.BatchRankResponse, error) {
+	var out api.BatchRankResponse
+	err := c.do(ctx, http.MethodPost, api.RouteV2Rank, "", api.BatchRankRequest{Jobs: jobs}, &out)
+	return out, err
+}
+
+// RankAll steers a job list of any size, splitting it into
+// api.MaxRankBatch-sized /v2/rank calls and concatenating the results
+// (index-aligned with jobs).
+func (c *Client) RankAll(ctx context.Context, jobs []api.RankRequest) ([]api.RankResult, error) {
+	results := make([]api.RankResult, 0, len(jobs))
+	for start := 0; start < len(jobs); start += api.MaxRankBatch {
+		end := min(start+api.MaxRankBatch, len(jobs))
+		resp, err := c.RankBatch(ctx, jobs[start:end])
+		if err != nil {
+			return nil, fmt.Errorf("client: batch at offset %d: %w", start, err)
+		}
+		results = append(results, resp.Results...)
+	}
+	return results, nil
+}
+
+// Reward reports one event's reward via v1. A saturated queue (503) is
+// retried per the client's retry policy before the error is returned.
+func (c *Client) Reward(ctx context.Context, eventID string, value float64) error {
+	return c.do(ctx, http.MethodPost, api.RouteV1Reward, "",
+		api.RewardEvent{EventID: eventID, Reward: &value}, nil)
+}
+
+// RewardBatch feeds a telemetry batch to /v2/reward. The transport
+// retries whole-batch 503s (nothing was queued in that case); per-event
+// rejections are returned in the response for the caller to inspect.
+func (c *Client) RewardBatch(ctx context.Context, events []api.RewardEvent) (api.BatchRewardResponse, error) {
+	var out api.BatchRewardResponse
+	err := c.do(ctx, http.MethodPost, api.RouteV2Reward, "", api.BatchRewardRequest{Events: events}, &out)
+	return out, err
+}
+
+// InstallHints uploads a SIS exchange-format hint file (the pipeline
+// rollover). The body is read fully up front so 503 retries can replay
+// it.
+func (c *Client) InstallHints(ctx context.Context, hintFile io.Reader) (api.HintsInstallResponse, error) {
+	payload, err := io.ReadAll(hintFile)
+	if err != nil {
+		return api.HintsInstallResponse{}, fmt.Errorf("client: reading hint file: %w", err)
+	}
+	var out api.HintsInstallResponse
+	err = c.doRaw(ctx, http.MethodPost, api.RouteV1Hints, "text/plain", payload, func(resp *http.Response) error {
+		return json.NewDecoder(resp.Body).Decode(&out)
+	})
+	return out, err
+}
+
+// Health probes /v2/healthz.
+func (c *Client) Health(ctx context.Context) (api.HealthResponse, error) {
+	var out api.HealthResponse
+	err := c.do(ctx, http.MethodGet, api.RouteV2Healthz, "", nil, &out)
+	return out, err
+}
+
+// Stats fetches /v2/stats (serving counters plus per-route metrics).
+func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
+	var out api.StatsResponse
+	err := c.do(ctx, http.MethodGet, api.RouteV2Stats, "", nil, &out)
+	return out, err
+}
+
+// Snapshot streams the model's persisted form from the server. The
+// caller must Close the returned reader.
+func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.RouteV1Snapshot, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: snapshot: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: snapshot: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		return nil, apiErr
+	}
+	return resp.Body, nil
+}
+
+// SaveSnapshot asks the server to persist its model to the configured
+// snapshot path.
+func (c *Client) SaveSnapshot(ctx context.Context) (api.SnapshotSaveResponse, error) {
+	var out api.SnapshotSaveResponse
+	err := c.do(ctx, http.MethodPost, api.RouteV1Snapshot, "", nil, &out)
+	return out, err
+}

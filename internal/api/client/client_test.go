@@ -1,0 +1,203 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/serve"
+	"qoadvisor/internal/sis"
+)
+
+// TestAPIConformanceClientEndToEnd drives every client method against a
+// real steering server: install hints, health, batch rank, reward (v1
+// and v2 batch), stats, snapshot.
+func TestAPIConformanceClientEndToEnd(t *testing.T) {
+	cat := rules.NewCatalog()
+	srv := serve.New(serve.Config{Catalog: cat, Seed: 17, TrainEvery: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Rollover: upload a hint file through the typed client.
+	var buf bytes.Buffer
+	if err := sis.Serialize(&buf, sis.File{Day: 4, Hints: []sis.Hint{
+		{TemplateHash: 0x99, TemplateID: "T9", Flip: cat.FlipFor(47), Day: 4},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	install, err := c.InstallHints(ctx, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if install.Installed != 1 || install.Generation != 1 {
+		t.Fatalf("install = %+v", install)
+	}
+
+	health, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != api.HealthOK || health.Generation != 1 || health.Hints != 1 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	// Batch rank: one hint hit, one bandit decision.
+	batch, err := c.RankBatch(ctx, []api.RankRequest{
+		{TemplateHash: 0x99, Span: []int{47}},
+		{TemplateHash: 0x100, Span: []int{12, 47}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 || batch.Generation != 1 {
+		t.Fatalf("batch = %+v", batch)
+	}
+	if batch.Results[0].Source != api.SourceHint {
+		t.Errorf("result 0 = %+v, want hint", batch.Results[0])
+	}
+	ev := batch.Results[1]
+	if ev.Source != api.SourceBandit || ev.EventID == "" {
+		t.Fatalf("result 1 = %+v, want bandit event", ev)
+	}
+
+	// v1 reward through the client, then a v2 batch with one unknown.
+	if err := c.Reward(ctx, ev.EventID, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	val := 0.5
+	rb, err := c.RewardBatch(ctx, []api.RewardEvent{
+		{EventID: ev.EventID, Reward: &val},
+		{EventID: "ev-unknown", Reward: &val},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Queued != 1 || len(rb.Rejected) != 1 || rb.Rejected[0].Error.Code != api.CodeUnknownEvent {
+		t.Fatalf("reward batch = %+v", rb)
+	}
+	srv.Ingestor().Drain()
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HintHits != 1 || stats.BanditRanks != 1 || stats.Ingest.Applied != 2 {
+		t.Errorf("stats = %+v, want 1 hint hit, 1 bandit rank, 2 applied", stats)
+	}
+	if stats.Routes[api.RouteV2Rank].Count != 1 {
+		t.Errorf("route metrics = %+v, want one v2 rank call", stats.Routes[api.RouteV2Rank])
+	}
+
+	// Snapshot streams a loadable model.
+	snap, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if _, err := bandit.Load(snap, 1); err != nil {
+		t.Fatalf("snapshot not loadable: %v", err)
+	}
+}
+
+func TestClientTypedError(t *testing.T) {
+	srv := serve.New(serve.Config{Seed: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := client.New(ts.URL)
+
+	_, err := c.Rank(context.Background(), api.RankRequest{TemplateHash: 1, Span: []int{}})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error = %T %v, want *api.Error", err, err)
+	}
+	if apiErr.Code != api.CodeInvalidRequest || apiErr.HTTPStatus != http.StatusBadRequest {
+		t.Errorf("error = %+v, want invalid_request / 400", apiErr)
+	}
+}
+
+func TestClientRetriesOn503(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: *api.Errorf(api.CodeQueueFull, "full")})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(api.RewardResponse{Status: "queued"})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(3, time.Millisecond))
+	if err := c.Reward(context.Background(), "ev1", 1.0); err != nil {
+		t.Fatalf("reward after retries: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 x 503 + success)", calls.Load())
+	}
+}
+
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.ErrorResponse{Error: *api.Errorf(api.CodeQueueFull, "full")})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(2, time.Millisecond))
+	err := c.Reward(context.Background(), "ev1", 1.0)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull {
+		t.Fatalf("error = %v, want queue_full after exhausted retries", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3 (initial + 2 retries)", calls.Load())
+	}
+}
+
+func TestRankAllChunksBatches(t *testing.T) {
+	var batchSizes []int
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req api.BatchRankRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		batchSizes = append(batchSizes, len(req.Jobs))
+		resp := api.BatchRankResponse{Results: make([]api.RankResult, len(req.Jobs))}
+		json.NewEncoder(w).Encode(resp)
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	jobs := make([]api.RankRequest, api.MaxRankBatch+5)
+	results, err := client.New(ts.URL).RankAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Errorf("results = %d, want %d", len(results), len(jobs))
+	}
+	if len(batchSizes) != 2 || batchSizes[0] != api.MaxRankBatch || batchSizes[1] != 5 {
+		t.Errorf("batch sizes = %v, want [%d 5]", batchSizes, api.MaxRankBatch)
+	}
+}

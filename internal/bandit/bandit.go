@@ -503,6 +503,20 @@ func (s *Service) LogSize() int {
 	return len(s.log)
 }
 
+// HasEvent reports whether eventID names a rank event still awaiting a
+// reward in the index — the serve layer's synchronous pre-check for
+// rejecting rewards that would otherwise be dropped asynchronously.
+// Trained and evicted events leave the index, so a false here matches
+// the "reward has nowhere to go" cases Reward would report. The answer
+// is advisory: eviction may race a subsequent Reward, which then counts
+// as unknown on the async path as before.
+func (s *Service) HasEvent(eventID string) bool {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	_, ok := s.events[eventID]
+	return ok
+}
+
 // Events returns a snapshot of the event log. Each Event is copied
 // under the lock so the caller can read Reward/Rewarded/Trained without
 // racing concurrent Reward and Train calls (Context and Actions are

@@ -70,9 +70,9 @@ type BatchRecommender interface {
 // string prefixing. LegacyContextFeatures keeps the original string-token
 // form as the adapter/benchmark reference.
 
-// featureMixK and mix64 alias the bandit's shared mixing primitives: the
-// featurizer and the learner's pair index must stay in the same hash
-// space, so the constant and finalizer live in one place (the bandit).
+// featureMixK aliases the bandit's mixing constant: the featurizer and
+// the learner's pair index must stay in the same hash space, so the
+// constant and the bandit.Mix64 finalizer live in one place (the bandit).
 const featureMixK = bandit.MixGamma
 
 // Feature-family tags (arbitrary distinct constants).
@@ -91,14 +91,12 @@ const (
 	tagActKindDir
 )
 
-func mix64(x uint64) uint64 { return bandit.Mix64(x) }
-
-func feat1(tag, a uint64) uint64 { return mix64(tag*featureMixK + a + 1) }
+func feat1(tag, a uint64) uint64 { return bandit.Mix64(tag*featureMixK + a + 1) }
 func feat2(tag, a, b uint64) uint64 {
-	return mix64(mix64(tag*featureMixK+a+1)*featureMixK + b + 1)
+	return bandit.Mix64(bandit.Mix64(tag*featureMixK+a+1)*featureMixK + b + 1)
 }
 func feat3(tag, a, b, c uint64) uint64 {
-	return mix64(mix64(mix64(tag*featureMixK+a+1)*featureMixK+b+1)*featureMixK + c + 1)
+	return bandit.Mix64(bandit.Mix64(bandit.Mix64(tag*featureMixK+a+1)*featureMixK+b+1)*featureMixK + c + 1)
 }
 
 // ContextFeatures builds the bandit context for a job: the complete job
@@ -136,7 +134,7 @@ func ContextFeatures(f *JobFeatures) bandit.Context {
 	// (§6) — this is the highest-order co-occurrence indicator.
 	all := tagSpanAll
 	for _, b := range bits {
-		all = mix64(all*featureMixK + uint64(b) + 1)
+		all = bandit.Mix64(all*featureMixK + uint64(b) + 1)
 	}
 	ids = append(ids, all)
 	// Input stream properties: log-bucketed row count and bytes read
@@ -191,7 +189,7 @@ func LegacyContextFeatures(f *JobFeatures) bandit.Context {
 	}
 	all := tagSpanAll
 	for _, b := range bits {
-		all = mix64(all*featureMixK + uint64(b) + 1)
+		all = bandit.Mix64(all*featureMixK + uint64(b) + 1)
 	}
 	feats = append(feats, fmt.Sprintf("spanall:%x", all))
 	feats = append(feats,

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/sis"
 )
 
@@ -58,20 +59,12 @@ func NewHintCache(n int) *HintCache {
 	return c
 }
 
-// mix64 is the splitmix64 finalizer: template hashes are already
-// well-distributed FNV values, but finalizing makes shard selection
-// robust to any clustering in the low bits.
-func mix64(h uint64) uint64 {
-	h ^= h >> 33
-	h *= 0xff51afd7ed558ccd
-	h ^= h >> 33
-	h *= 0xc4ceb9fe1a85ec53
-	h ^= h >> 33
-	return h
-}
-
+// Shard selection finalizes the template hash with bandit.Mix64 —
+// template hashes are already well-distributed FNV values, but
+// finalizing makes shard selection robust to any clustering in the low
+// bits.
 func (c *HintCache) shard(templateHash uint64) *hintShard {
-	return &c.shards[mix64(templateHash)&c.mask]
+	return &c.shards[bandit.Mix64(templateHash)&c.mask]
 }
 
 // Lookup returns the active hint for a job template, if any. This is the
@@ -93,11 +86,15 @@ func (c *HintCache) Replace(hints []sis.Hint) uint64 {
 	c.replaceMu.Lock()
 	defer c.replaceMu.Unlock()
 	fresh := make([]map[uint64]sis.Hint, len(c.shards))
+	// Pre-size each shard near its expected share of the table: Mix64
+	// spreads templates evenly, so len/shards is the right hint and the
+	// rollover build stops paying for incremental map growth.
+	per := len(hints)/len(c.shards) + 1
 	for i := range fresh {
-		fresh[i] = make(map[uint64]sis.Hint)
+		fresh[i] = make(map[uint64]sis.Hint, per)
 	}
 	for _, h := range hints {
-		fresh[mix64(h.TemplateHash)&c.mask][h.TemplateHash] = h
+		fresh[bandit.Mix64(h.TemplateHash)&c.mask][h.TemplateHash] = h
 	}
 	total := 0
 	for i := range c.shards {

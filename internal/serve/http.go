@@ -1,0 +1,447 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/par"
+	"qoadvisor/internal/sis"
+)
+
+// Request body caps: steering queries and rewards are tiny; batches
+// scale with the job population; hint files scale with the template
+// population but stay far below their cap.
+const (
+	maxJSONBody  = 1 << 20  // 1 MiB: single-job v1 bodies
+	maxBatchBody = 8 << 20  // 8 MiB: /v2 batch bodies
+	maxHintBody  = 64 << 20 // 64 MiB: hint rollover files
+)
+
+// httpLayer is the server's HTTP face: the versioned mux plus the
+// middleware state (request-ID source, per-route metrics). The /v1
+// handlers are thin single-item adapters over the same batch cores the
+// /v2 handlers fan out, so both versions make identical decisions.
+type httpLayer struct {
+	srv *Server
+	mux *http.ServeMux
+
+	// reqNonce spreads request IDs across server instances; reqSeq
+	// orders them within one.
+	reqNonce uint64
+	reqSeq   atomic.Uint64
+
+	stats map[string]*routeStats
+}
+
+// routeStats aggregates one route's middleware counters.
+type routeStats struct {
+	count       atomic.Int64
+	errors      atomic.Int64
+	totalMicros atomic.Int64
+	maxMicros   atomic.Int64
+}
+
+func newHTTPLayer(s *Server) *httpLayer {
+	h := &httpLayer{
+		srv:      s,
+		mux:      http.NewServeMux(),
+		reqNonce: bandit.Mix64(uint64(time.Now().UnixNano())),
+		stats:    make(map[string]*routeStats),
+	}
+	for _, route := range []struct {
+		path    string
+		handler http.HandlerFunc
+	}{
+		{api.RouteV1Rank, h.handleRankV1},
+		{api.RouteV1Reward, h.handleRewardV1},
+		{api.RouteV1Hints, h.handleHints},
+		{api.RouteV1Stats, h.handleStatsV1},
+		{api.RouteV1Snapshot, h.handleSnapshot},
+		{api.RouteV2Rank, h.handleRankV2},
+		{api.RouteV2Reward, h.handleRewardV2},
+		{api.RouteV2Healthz, h.handleHealthz},
+		{api.RouteV2Stats, h.handleStatsV2},
+	} {
+		h.stats[route.path] = &routeStats{}
+		h.mux.HandleFunc(route.path, h.instrument(route.path, route.handler))
+	}
+	// Unmatched paths must still speak the protocol: an envelope with a
+	// request ID, not the mux's plain-text 404 (which a typed client
+	// would misread as a server fault).
+	h.stats[routeUnmatched] = &routeStats{}
+	h.mux.HandleFunc("/", h.instrument(routeUnmatched, h.handleNotFound))
+	return h
+}
+
+// routeUnmatched is the metrics label for requests no route claimed.
+const routeUnmatched = "(unmatched)"
+
+func (h *httpLayer) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, requestID(r), api.Errorf(api.CodeNotFound, "no route %s in /v1 or /v2", r.URL.Path))
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.http.mux.ServeHTTP(w, r) }
+
+// --- middleware: request IDs + per-route metrics ---
+
+type ctxKeyRequestID struct{}
+
+// requestID returns the request's correlation ID, assigned or
+// propagated by the instrument middleware.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+func (h *httpLayer) newRequestID() string {
+	return fmt.Sprintf("%08x-%08x", uint32(h.reqNonce), h.reqSeq.Add(1))
+}
+
+// statusRecorder captures the response status for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with request-ID injection (header in,
+// header out, context through) and latency/count/error metrics.
+func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
+	m := h.stats[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(api.RequestIDHeader)
+		if rid == "" {
+			rid = h.newRequestID()
+		}
+		w.Header().Set(api.RequestIDHeader, rid)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next(rec, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, rid)))
+		el := time.Since(start).Microseconds()
+
+		m.count.Add(1)
+		m.totalMicros.Add(el)
+		if rec.status >= 400 {
+			m.errors.Add(1)
+		}
+		for {
+			max := m.maxMicros.Load()
+			if el <= max || m.maxMicros.CompareAndSwap(max, el) {
+				break
+			}
+		}
+	}
+}
+
+// routeMetrics snapshots the middleware counters for /v2/stats.
+func (h *httpLayer) routeMetrics() map[string]api.RouteStats {
+	out := make(map[string]api.RouteStats, len(h.stats))
+	for route, m := range h.stats {
+		out[route] = api.RouteStats{
+			Count:       m.count.Load(),
+			Errors:      m.errors.Load(),
+			TotalMicros: m.totalMicros.Load(),
+			MaxMicros:   m.maxMicros.Load(),
+		}
+	}
+	return out
+}
+
+// --- encoding helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError emits the structured envelope; the status follows the code.
+func writeError(w http.ResponseWriter, rid string, e *api.Error) {
+	writeJSON(w, api.StatusForCode(e.Code), api.ErrorResponse{Error: *e, RequestID: rid})
+}
+
+// toAPIError coerces any error into the envelope payload: typed errors
+// pass through, everything else becomes an internal error.
+func toAPIError(err error) *api.Error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	return api.Errorf(api.CodeInternal, "%v", err)
+}
+
+// decodeBody decodes a JSON body under a size cap, classifying failures
+// as body_too_large vs invalid_json.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) *api.Error {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit)).Decode(v)
+	if err == nil {
+		return nil
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return api.Errorf(api.CodeBodyTooLarge, "request body exceeds %d bytes", mbe.Limit)
+	}
+	return api.Errorf(api.CodeInvalidJSON, "decoding request: %v", err)
+}
+
+// requireMethod writes the 405 envelope and returns false when the verb
+// does not match.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		writeError(w, requestID(r), api.Errorf(api.CodeMethodNotAllowed, "%s required", method))
+		return false
+	}
+	return true
+}
+
+// --- batch cores (shared by v1 adapters and v2 handlers) ---
+
+// rankBatch fans a job batch out over the rank worker pool. Results
+// align index-for-index with jobs; per-job failures land in the item's
+// Error field so one malformed job cannot void its neighbors.
+func (h *httpLayer) rankBatch(jobs []api.RankRequest) []api.RankResult {
+	results := make([]api.RankResult, len(jobs))
+	par.For(len(jobs), h.srv.rankWorkers, func(i int) {
+		resp, err := h.srv.Rank(jobs[i])
+		if err != nil {
+			results[i].Error = toAPIError(err)
+			return
+		}
+		results[i].RankResponse = resp
+	})
+	return results
+}
+
+// rewardBatch feeds a telemetry batch to the ingestion queue. Events
+// that name no logged rank decision are rejected synchronously
+// (unknown_event) rather than silently dropped on the async path;
+// queue saturation rejects the remainder with queue_full.
+func (h *httpLayer) rewardBatch(events []api.RewardEvent) (queued int, rejected []api.RewardRejection) {
+	reject := func(i int, e *api.Error) {
+		rejected = append(rejected, api.RewardRejection{Index: i, EventID: events[i].EventID, Error: *e})
+	}
+	for i, ev := range events {
+		switch {
+		case ev.EventID == "" || ev.Reward == nil:
+			reject(i, api.Errorf(api.CodeInvalidRequest, "eventId and reward are required"))
+		case !h.srv.bandit.HasEvent(ev.EventID):
+			reject(i, api.Errorf(api.CodeUnknownEvent, "unknown event %q", ev.EventID))
+		case !h.srv.RewardAsync(ev.EventID, *ev.Reward):
+			reject(i, api.Errorf(api.CodeQueueFull, "reward queue full, retry"))
+		default:
+			queued++
+		}
+	}
+	return queued, rejected
+}
+
+// --- v2 handlers ---
+
+func (h *httpLayer) handleRankV2(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req api.BatchRankRequest
+	if e := decodeBody(w, r, maxBatchBody, &req); e != nil {
+		writeError(w, rid, e)
+		return
+	}
+	switch n := len(req.Jobs); {
+	case n == 0:
+		writeError(w, rid, api.Errorf(api.CodeInvalidRequest, "empty jobs batch"))
+		return
+	case n > api.MaxRankBatch:
+		writeError(w, rid, api.Errorf(api.CodeInvalidRequest,
+			"batch of %d jobs exceeds limit %d", n, api.MaxRankBatch))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.BatchRankResponse{
+		RequestID:  rid,
+		Generation: h.srv.cache.Generation(),
+		Results:    h.rankBatch(req.Jobs),
+	})
+}
+
+func (h *httpLayer) handleRewardV2(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req api.BatchRewardRequest
+	if e := decodeBody(w, r, maxBatchBody, &req); e != nil {
+		writeError(w, rid, e)
+		return
+	}
+	switch n := len(req.Events); {
+	case n == 0:
+		writeError(w, rid, api.Errorf(api.CodeInvalidRequest, "empty events batch"))
+		return
+	case n > api.MaxRewardBatch:
+		writeError(w, rid, api.Errorf(api.CodeInvalidRequest,
+			"batch of %d events exceeds limit %d", n, api.MaxRewardBatch))
+		return
+	}
+	queued, rejected := h.rewardBatch(req.Events)
+	// Nothing queued and backpressure was among the reasons: surface
+	// 503 so clients back off and retry the whole batch. That is safe —
+	// no event was accepted, and any malformed/unknown stragglers are
+	// deterministically re-rejected on the retry. Partial acceptance
+	// stays 202 with per-event rejections.
+	if queued == 0 {
+		for _, rej := range rejected {
+			if rej.Error.Code == api.CodeQueueFull {
+				writeError(w, rid, api.Errorf(api.CodeQueueFull, "reward queue full, retry"))
+				return
+			}
+		}
+	}
+	writeJSON(w, http.StatusAccepted, api.BatchRewardResponse{
+		RequestID:  rid,
+		Generation: h.srv.cache.Generation(),
+		Queued:     queued,
+		Rejected:   rejected,
+	})
+}
+
+func (h *httpLayer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := h.srv.Health()
+	resp.RequestID = requestID(r)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *httpLayer) handleStatsV2(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	resp := h.srv.Stats()
+	resp.RequestID = requestID(r)
+	resp.Routes = h.routeMetrics()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- v1 handlers (single-item adapters over the batch cores) ---
+
+func (h *httpLayer) handleRankV1(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var job api.RankRequest
+	if e := decodeBody(w, r, maxJSONBody, &job); e != nil {
+		writeError(w, rid, e)
+		return
+	}
+	res := h.rankBatch([]api.RankRequest{job})[0]
+	if res.Error != nil {
+		writeError(w, rid, res.Error)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.RankResponse)
+}
+
+func (h *httpLayer) handleRewardV1(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var ev api.RewardEvent
+	if e := decodeBody(w, r, maxJSONBody, &ev); e != nil {
+		writeError(w, rid, e)
+		return
+	}
+	if _, rejected := h.rewardBatch([]api.RewardEvent{ev}); len(rejected) > 0 {
+		writeError(w, rid, &rejected[0].Error)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, api.RewardResponse{Status: "queued"})
+}
+
+// handleHints installs a hint table from a SIS exchange-format body —
+// the HTTP face of the pipeline rollover.
+func (h *httpLayer) handleHints(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	// Read the whole body before parsing: sis.Parse runs on a
+	// line scanner, so a MaxBytesReader truncation would otherwise
+	// surface as a bogus mid-line parse error — or, cut exactly on a
+	// line boundary, install a silently truncated table.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxHintBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, rid, api.Errorf(api.CodeBodyTooLarge, "hint file exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, rid, api.Errorf(api.CodeInvalidRequest, "reading hint file: %v", err))
+		return
+	}
+	file, err := sis.Parse(bytes.NewReader(body))
+	if err != nil {
+		writeError(w, rid, api.Errorf(api.CodeInvalidRequest, "%v", err))
+		return
+	}
+	gen, err := h.srv.InstallHints(file.Hints)
+	if err != nil {
+		writeError(w, rid, api.Errorf(api.CodeValidationFailed, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, api.HintsInstallResponse{
+		Installed:  len(file.Hints),
+		Day:        file.Day,
+		Generation: gen,
+	})
+}
+
+func (h *httpLayer) handleStatsV1(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, h.srv.Stats())
+}
+
+// handleSnapshot serves the model state: GET streams the persisted form,
+// POST writes it to the configured snapshot path for restart recovery.
+func (h *httpLayer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := h.srv.SnapshotTo(w); err != nil {
+			// Headers are gone; the truncated body will fail bandit.Load.
+			return
+		}
+	case http.MethodPost:
+		if h.srv.snapshotPath == "" {
+			writeError(w, rid, api.Errorf(api.CodeSnapshotUnconfigured, "no snapshot path configured"))
+			return
+		}
+		n, err := h.srv.SnapshotToPath(h.srv.snapshotPath)
+		if err != nil {
+			writeError(w, rid, api.Errorf(api.CodeInternal, "snapshot failed: %v", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.SnapshotSaveResponse{Path: h.srv.snapshotPath, Bytes: n})
+	default:
+		writeError(w, rid, api.Errorf(api.CodeMethodNotAllowed, "GET or POST required"))
+	}
+}

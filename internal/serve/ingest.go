@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
 )
 
@@ -41,18 +42,6 @@ type Ingestor struct {
 	unknown       atomic.Int64
 	trainRuns     atomic.Int64
 	trainedEvents atomic.Int64
-}
-
-// IngestStats is a point-in-time snapshot of ingestion counters.
-type IngestStats struct {
-	Enqueued      int64 `json:"enqueued"`
-	Dropped       int64 `json:"dropped"`
-	Applied       int64 `json:"applied"`
-	UnknownEvents int64 `json:"unknownEvents"`
-	TrainRuns     int64 `json:"trainRuns"`
-	TrainedEvents int64 `json:"trainedEvents"`
-	QueueDepth    int   `json:"queueDepth"`
-	QueueCap      int   `json:"queueCap"`
 }
 
 // NewIngestor starts an ingestion pipeline over the given bandit
@@ -171,9 +160,10 @@ func (in *Ingestor) Close() {
 	in.train()
 }
 
-// Stats returns a snapshot of the ingestion counters.
-func (in *Ingestor) Stats() IngestStats {
-	return IngestStats{
+// Stats returns a snapshot of the ingestion counters in wire form
+// (api.IngestStats is the protocol type embedded in the stats payload).
+func (in *Ingestor) Stats() api.IngestStats {
+	return api.IngestStats{
 		Enqueued:      in.enqueued.Load(),
 		Dropped:       in.dropped.Load(),
 		Applied:       in.applied.Load(),

@@ -1,16 +1,13 @@
 package serve
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
-	"net/http"
 	"os"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/rules"
@@ -39,6 +36,9 @@ type Config struct {
 	Workers int
 	// TrainEvery is the ingestion training batch size (0 = default).
 	TrainEvery int
+	// RankWorkers bounds the /v2/rank batch fan-out pool (0 = GOMAXPROCS,
+	// 1 = rank batch jobs sequentially).
+	RankWorkers int
 	// MaxLogEvents caps the learner's in-memory event log so an
 	// indefinitely running server does not leak rank events (0 = default
 	// 16384, negative = unbounded). Each logged event retains its full
@@ -50,49 +50,11 @@ type Config struct {
 	SnapshotPath string
 }
 
-// RankRequest is one steering query: "which rule flip for this job?".
-// Span carries the job span's bit positions; RowCount and BytesRead are
-// the coarse input-stream features of the paper's featurization.
-type RankRequest struct {
-	TemplateHash uint64
-	TemplateID   string
-	Span         []int
-	RowCount     float64
-	BytesRead    float64
-}
-
-// RankResponse is the steering decision. Source "hint" means the sharded
-// cache had a validated hint for the template (the production fast path:
-// no bandit call, no event logged). Source "bandit" means the learner
-// picked an action and logged a rank event awaiting a reward.
-type RankResponse struct {
-	Source     string  `json:"source"`
-	Flip       string  `json:"flip,omitempty"`
-	NoOp       bool    `json:"noop"`
-	EventID    string  `json:"eventId,omitempty"`
-	Prob       float64 `json:"prob,omitempty"`
-	Chosen     int     `json:"chosen,omitempty"`
-	HintDay    int     `json:"hintDay,omitempty"`
-	Generation uint64  `json:"generation"`
-}
-
-// Stats is the /v1/stats payload.
-type Stats struct {
-	UptimeSec    float64     `json:"uptimeSec"`
-	RankRequests int64       `json:"rankRequests"`
-	HintHits     int64       `json:"hintHits"`
-	BanditRanks  int64       `json:"banditRanks"`
-	NoOps        int64       `json:"noops"`
-	CacheSize    int         `json:"cacheSize"`
-	CacheGen     uint64      `json:"cacheGeneration"`
-	CacheShards  int         `json:"cacheShards"`
-	BanditLog    int         `json:"banditLogSize"`
-	Ingest       IngestStats `json:"ingest"`
-}
-
 // Server is the embeddable online steering service. It serves hint-cache
 // lookups and bandit ranks, ingests rewards asynchronously, and exposes
-// the whole surface over HTTP via ServeHTTP.
+// the whole surface over HTTP via ServeHTTP. All request/response wire
+// types live in qoadvisor/internal/api; this type carries only domain
+// state.
 type Server struct {
 	cat    *rules.Catalog
 	cache  *HintCache
@@ -100,10 +62,11 @@ type Server struct {
 	ingest *Ingestor
 
 	uniform      bool
+	rankWorkers  int
 	snapshotPath string
 	snapMu       sync.Mutex
 	start        time.Time
-	mux          *http.ServeMux
+	http         *httpLayer
 
 	rankRequests atomic.Int64
 	hintHits     atomic.Int64
@@ -133,21 +96,13 @@ func New(cfg Config) *Server {
 		bandit:       cfg.Bandit,
 		ingest:       NewIngestor(cfg.Bandit, cfg.QueueSize, cfg.Workers, cfg.TrainEvery),
 		uniform:      cfg.Uniform,
+		rankWorkers:  cfg.RankWorkers,
 		snapshotPath: cfg.SnapshotPath,
 		start:        time.Now(),
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/rank", s.handleRank)
-	mux.HandleFunc("/v1/reward", s.handleReward)
-	mux.HandleFunc("/v1/hints", s.handleHints)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/model/snapshot", s.handleSnapshot)
-	s.mux = mux
+	s.http = newHTTPLayer(s)
 	return s
 }
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Cache returns the hint cache (for embedding and diagnostics).
 func (s *Server) Cache() *HintCache { return s.cache }
@@ -175,8 +130,10 @@ func (s *Server) Close() { s.ingest.Close() }
 
 // Rank answers one steering query: a cached validated hint when the
 // template has one, otherwise an epsilon-greedy bandit decision over the
-// job's span actions. This is the embeddable core of POST /v1/rank.
-func (s *Server) Rank(req RankRequest) (RankResponse, error) {
+// job's span actions. This is the embeddable core of POST /v1/rank and
+// the per-job unit of the /v2/rank batch fan-out. Validation failures
+// return *api.Error with api.CodeInvalidRequest.
+func (s *Server) Rank(req api.RankRequest) (api.RankResponse, error) {
 	s.rankRequests.Add(1)
 	// Validate before the cache lookup so a request is accepted or
 	// rejected identically whether or not its template currently has a
@@ -185,18 +142,20 @@ func (s *Server) Rank(req RankRequest) (RankResponse, error) {
 	var span rules.Bitset
 	for _, b := range req.Span {
 		if b < 0 || b >= rules.NumRules {
-			return RankResponse{}, fmt.Errorf("serve: span bit %d out of range [0,%d)", b, rules.NumRules)
+			return api.RankResponse{}, api.Errorf(api.CodeInvalidRequest,
+				"span bit %d out of range [0,%d)", b, rules.NumRules)
 		}
 		span.Set(b)
 	}
 	if span.IsEmpty() {
-		return RankResponse{}, fmt.Errorf("serve: empty span (empty-span jobs are not steered)")
+		return api.RankResponse{}, api.Errorf(api.CodeInvalidRequest,
+			"empty span (empty-span jobs are not steered)")
 	}
 
-	if h, ok := s.cache.Lookup(req.TemplateHash); ok {
+	if h, ok := s.cache.Lookup(uint64(req.TemplateHash)); ok {
 		s.hintHits.Add(1)
-		return RankResponse{
-			Source:     "hint",
+		return api.RankResponse{
+			Source:     api.SourceHint,
 			Flip:       h.Flip.String(),
 			HintDay:    h.Day,
 			Generation: s.cache.Generation(),
@@ -215,11 +174,11 @@ func (s *Server) Rank(req RankRequest) (RankResponse, error) {
 		ranked, err = s.bandit.Rank(ctx, actions)
 	}
 	if err != nil {
-		return RankResponse{}, err
+		return api.RankResponse{}, err
 	}
 	s.banditRanks.Add(1)
-	resp := RankResponse{
-		Source:     "bandit",
+	resp := api.RankResponse{
+		Source:     api.SourceBandit,
 		EventID:    ranked.EventID,
 		Prob:       ranked.Prob,
 		Chosen:     ranked.Chosen,
@@ -240,9 +199,10 @@ func (s *Server) RewardAsync(eventID string, value float64) bool {
 	return s.ingest.Enqueue(eventID, value)
 }
 
-// Stats snapshots the serving counters.
-func (s *Server) Stats() Stats {
-	return Stats{
+// Stats snapshots the serving counters (the /v1/stats field set; the
+// HTTP layer adds request ID and per-route metrics for /v2/stats).
+func (s *Server) Stats() api.StatsResponse {
+	return api.StatsResponse{
 		UptimeSec:    time.Since(s.start).Seconds(),
 		RankRequests: s.rankRequests.Load(),
 		HintHits:     s.hintHits.Load(),
@@ -251,8 +211,21 @@ func (s *Server) Stats() Stats {
 		CacheSize:    s.cache.Size(),
 		CacheGen:     s.cache.Generation(),
 		CacheShards:  s.cache.Shards(),
-		BanditLog:    s.bandit.LogSize(),
+		BanditLog:    int64(s.bandit.LogSize()),
 		Ingest:       s.ingest.Stats(),
+	}
+}
+
+// Health snapshots the cheap liveness view served by /v2/healthz.
+func (s *Server) Health() api.HealthResponse {
+	ing := s.ingest.Stats()
+	return api.HealthResponse{
+		Status:     api.HealthOK,
+		Generation: s.cache.Generation(),
+		UptimeSec:  time.Since(s.start).Seconds(),
+		Hints:      s.cache.Size(),
+		QueueDepth: ing.QueueDepth,
+		QueueCap:   ing.QueueCap,
 	}
 }
 
@@ -302,147 +275,4 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
 	return n, err
-}
-
-// --- HTTP wire layer ---
-
-// rankWire is the JSON form of RankRequest. Template hashes travel as
-// hex strings (64-bit values do not survive JSON number decoding in
-// every client), matching the SIS exchange format.
-type rankWire struct {
-	TemplateHash string  `json:"templateHash"`
-	TemplateID   string  `json:"templateId"`
-	Span         []int   `json:"span"`
-	RowCount     float64 `json:"rowCount"`
-	BytesRead    float64 `json:"bytesRead"`
-}
-
-type rewardWire struct {
-	EventID string   `json:"eventId"`
-	Reward  *float64 `json:"reward"`
-}
-
-// Request body caps: steering queries and rewards are tiny; hint files
-// scale with the template population but stay far below this.
-const (
-	maxJSONBody = 1 << 20  // 1 MiB
-	maxHintBody = 64 << 20 // 64 MiB
-)
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var wire rankWire
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&wire); err != nil {
-		writeError(w, http.StatusBadRequest, "bad rank request: %v", err)
-		return
-	}
-	hash, err := strconv.ParseUint(wire.TemplateHash, 16, 64)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad templateHash %q: want 64-bit hex", wire.TemplateHash)
-		return
-	}
-	resp, err := s.Rank(RankRequest{
-		TemplateHash: hash,
-		TemplateID:   wire.TemplateID,
-		Span:         wire.Span,
-		RowCount:     wire.RowCount,
-		BytesRead:    wire.BytesRead,
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
-}
-
-func (s *Server) handleReward(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	var wire rewardWire
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBody)).Decode(&wire); err != nil {
-		writeError(w, http.StatusBadRequest, "bad reward request: %v", err)
-		return
-	}
-	if wire.EventID == "" || wire.Reward == nil {
-		writeError(w, http.StatusBadRequest, "eventId and reward are required")
-		return
-	}
-	if !s.RewardAsync(wire.EventID, *wire.Reward) {
-		writeError(w, http.StatusServiceUnavailable, "reward queue full, retry")
-		return
-	}
-	writeJSON(w, http.StatusAccepted, map[string]string{"status": "queued"})
-}
-
-// handleHints installs a hint table from a SIS exchange-format body —
-// the HTTP face of the pipeline rollover.
-func (s *Server) handleHints(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
-		return
-	}
-	file, err := sis.Parse(http.MaxBytesReader(w, r.Body, maxHintBody))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	gen, err := s.InstallHints(file.Hints)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"installed":  len(file.Hints),
-		"day":        file.Day,
-		"generation": gen,
-	})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
-		return
-	}
-	writeJSON(w, http.StatusOK, s.Stats())
-}
-
-// handleSnapshot serves the model state: GET streams the persisted form,
-// POST writes it to the configured snapshot path for restart recovery.
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if err := s.SnapshotTo(w); err != nil {
-			// Headers are gone; the truncated body will fail bandit.Load.
-			return
-		}
-	case http.MethodPost:
-		if s.snapshotPath == "" {
-			writeError(w, http.StatusConflict, "no snapshot path configured")
-			return
-		}
-		n, err := s.SnapshotToPath(s.snapshotPath)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "snapshot failed: %v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"path": s.snapshotPath, "bytes": n})
-	default:
-		writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
-	}
 }

@@ -3,13 +3,13 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/sis"
@@ -53,18 +53,18 @@ func TestRankRewardEndToEnd(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Seed: 11, TrainEvery: 4})
 
 	// No hints installed: the bandit path must answer and log an event.
-	rank := postJSON(t, ts.URL+"/v1/rank", map[string]any{
-		"templateHash": "00000000deadbeef",
-		"templateId":   "T0001",
-		"span":         []int{3, 17, 40},
-		"rowCount":     1e6,
-		"bytesRead":    1e9,
+	rank := postJSON(t, ts.URL+api.RouteV1Rank, api.RankRequest{
+		TemplateHash: 0xdeadbeef,
+		TemplateID:   "T0001",
+		Span:         []int{3, 17, 40},
+		RowCount:     1e6,
+		BytesRead:    1e9,
 	})
 	if rank.StatusCode != http.StatusOK {
 		t.Fatalf("rank status = %d", rank.StatusCode)
 	}
-	rr := decodeJSON[RankResponse](t, rank)
-	if rr.Source != "bandit" || rr.EventID == "" {
+	rr := decodeJSON[api.RankResponse](t, rank)
+	if rr.Source != api.SourceBandit || rr.EventID == "" {
 		t.Fatalf("rank response = %+v, want bandit source with event ID", rr)
 	}
 	if rr.Prob <= 0 || rr.Prob > 1 {
@@ -77,14 +77,14 @@ func TestRankRewardEndToEnd(t *testing.T) {
 	}
 
 	// Reward the event asynchronously, then drain and check it landed.
-	reward := postJSON(t, ts.URL+"/v1/reward", map[string]any{"eventId": rr.EventID, "reward": 1.7})
+	reward := postJSON(t, ts.URL+api.RouteV1Reward, map[string]any{"eventId": rr.EventID, "reward": 1.7})
 	if reward.StatusCode != http.StatusAccepted {
 		t.Fatalf("reward status = %d, want 202", reward.StatusCode)
 	}
 	reward.Body.Close()
 	srv.Ingestor().Drain()
 
-	stats := decodeJSON[Stats](t, mustGet(t, ts.URL+"/v1/stats"))
+	stats := decodeJSON[api.StatsResponse](t, mustGet(t, ts.URL+api.RouteV1Stats))
 	if stats.RankRequests != 1 || stats.BanditRanks != 1 || stats.HintHits != 0 {
 		t.Errorf("stats = %+v, want 1 rank, 1 bandit rank, 0 hint hits", stats)
 	}
@@ -93,6 +93,9 @@ func TestRankRewardEndToEnd(t *testing.T) {
 	}
 	if stats.BanditLog != 1 {
 		t.Errorf("bandit log = %d, want 1", stats.BanditLog)
+	}
+	if stats.Routes != nil {
+		t.Errorf("v1 stats carries route metrics %v, want none (v2-only field)", stats.Routes)
 	}
 }
 
@@ -108,22 +111,19 @@ func TestHintsInstallAndServe(t *testing.T) {
 	if err := sis.Serialize(&buf, file); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Post(ts.URL+"/v1/hints", "text/plain", &buf)
+	resp, err := http.Post(ts.URL+api.RouteV1Hints, "text/plain", &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	install := decodeJSON[map[string]any](t, resp)
-	if resp.StatusCode != http.StatusOK || install["installed"].(float64) != 1 {
-		t.Fatalf("hints install: status %d, body %v", resp.StatusCode, install)
+	install := decodeJSON[api.HintsInstallResponse](t, resp)
+	if resp.StatusCode != http.StatusOK || install.Installed != 1 || install.Day != 7 || install.Generation != 1 {
+		t.Fatalf("hints install: status %d, body %+v", resp.StatusCode, install)
 	}
 
 	// A rank for the hinted template must hit the cache — no event logged.
-	rank := postJSON(t, ts.URL+"/v1/rank", map[string]any{
-		"templateHash": fmt.Sprintf("%016x", 0xabc123),
-		"span":         []int{40},
-	})
-	rr := decodeJSON[RankResponse](t, rank)
-	if rr.Source != "hint" || rr.EventID != "" {
+	rank := postJSON(t, ts.URL+api.RouteV1Rank, api.RankRequest{TemplateHash: 0xabc123, Span: []int{40}})
+	rr := decodeJSON[api.RankResponse](t, rank)
+	if rr.Source != api.SourceHint || rr.EventID != "" {
 		t.Fatalf("rank = %+v, want hint-cache hit", rr)
 	}
 	if rr.Flip != cat.FlipFor(40).String() || rr.HintDay != 7 || rr.Generation != 1 {
@@ -131,71 +131,367 @@ func TestHintsInstallAndServe(t *testing.T) {
 	}
 
 	// Unknown template still goes to the bandit.
-	rank2 := postJSON(t, ts.URL+"/v1/rank", map[string]any{
-		"templateHash": "0000000000000001",
-		"span":         []int{40},
-	})
-	if rr2 := decodeJSON[RankResponse](t, rank2); rr2.Source != "bandit" {
+	rank2 := postJSON(t, ts.URL+api.RouteV1Rank, api.RankRequest{TemplateHash: 1, Span: []int{40}})
+	if rr2 := decodeJSON[api.RankResponse](t, rank2); rr2.Source != api.SourceBandit {
 		t.Fatalf("unhinted rank source = %q, want bandit", rr2.Source)
-	}
-
-	// Invalid hint files are rejected by SIS validation.
-	resp, err = http.Post(ts.URL+"/v1/hints", "text/plain",
-		strings.NewReader("qoadvisor-hints v1 day=7\n00000000000abc12,T1,-R000,7\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("required-rule flip install status = %d, want 400", resp.StatusCode)
 	}
 }
 
-func TestRankValidation(t *testing.T) {
-	_, ts := newTestServer(t, Config{Seed: 1})
+// expectError asserts a structured error envelope with the wanted code.
+func expectError(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+	t.Helper()
+	if resp.StatusCode != wantStatus {
+		t.Errorf("status = %d, want %d", resp.StatusCode, wantStatus)
+	}
+	env := decodeJSON[api.ErrorResponse](t, resp)
+	if env.Error.Code != wantCode {
+		t.Errorf("error code = %q, want %q (message %q)", env.Error.Code, wantCode, env.Error.Message)
+	}
+	if env.Error.Message == "" {
+		t.Errorf("error envelope for %s has empty message", wantCode)
+	}
+}
+
+// TestAPIConformanceErrorEnvelopes covers the HTTP error paths of both
+// protocol versions: wrong method, malformed JSON, oversized bodies,
+// unknown reward events, rollover validation failures — all asserting
+// the machine-readable envelope.
+func TestAPIConformanceErrorEnvelopes(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Seed: 3})
+
+	// One real rank event so reward tests can tell unknown from known.
+	known, err := srv.Rank(api.RankRequest{TemplateHash: 9, Span: []int{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	do := func(method, path, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	oversized := `{"templateId":"` + strings.Repeat("A", maxJSONBody) + `"}`
+
 	cases := []struct {
-		name string
-		body string
-		want int
+		name         string
+		method, path string
+		body         string
+		wantStatus   int
+		wantCode     string
 	}{
-		{"bad json", "{", http.StatusBadRequest},
-		{"bad hash", `{"templateHash":"zz","span":[1]}`, http.StatusBadRequest},
-		{"span bit out of range", `{"templateHash":"1","span":[999]}`, http.StatusBadRequest},
-		{"empty span", `{"templateHash":"1","span":[]}`, http.StatusBadRequest},
+		{"GET v1 rank", http.MethodGet, api.RouteV1Rank, "", 405, api.CodeMethodNotAllowed},
+		{"GET v2 rank", http.MethodGet, api.RouteV2Rank, "", 405, api.CodeMethodNotAllowed},
+		{"GET v1 reward", http.MethodGet, api.RouteV1Reward, "", 405, api.CodeMethodNotAllowed},
+		{"DELETE v2 reward", http.MethodDelete, api.RouteV2Reward, "", 405, api.CodeMethodNotAllowed},
+		{"POST v2 healthz", http.MethodPost, api.RouteV2Healthz, "", 405, api.CodeMethodNotAllowed},
+		{"POST v2 stats", http.MethodPost, api.RouteV2Stats, "", 405, api.CodeMethodNotAllowed},
+		{"GET v1 hints", http.MethodGet, api.RouteV1Hints, "", 405, api.CodeMethodNotAllowed},
+		{"DELETE snapshot", http.MethodDelete, api.RouteV1Snapshot, "", 405, api.CodeMethodNotAllowed},
+
+		{"malformed v1 rank", http.MethodPost, api.RouteV1Rank, "{", 400, api.CodeInvalidJSON},
+		{"malformed v2 rank", http.MethodPost, api.RouteV2Rank, "{", 400, api.CodeInvalidJSON},
+		{"malformed v1 reward", http.MethodPost, api.RouteV1Reward, "{", 400, api.CodeInvalidJSON},
+		{"malformed v2 reward", http.MethodPost, api.RouteV2Reward, "{", 400, api.CodeInvalidJSON},
+		{"bad hash", http.MethodPost, api.RouteV1Rank, `{"templateHash":"zz","span":[1]}`, 400, api.CodeInvalidJSON},
+
+		{"oversized v1 rank", http.MethodPost, api.RouteV1Rank, oversized, 413, api.CodeBodyTooLarge},
+		{"oversized v1 reward", http.MethodPost, api.RouteV1Reward, oversized, 413, api.CodeBodyTooLarge},
+
+		{"span out of range v1", http.MethodPost, api.RouteV1Rank,
+			`{"templateHash":"0000000000000001","span":[999]}`, 400, api.CodeInvalidRequest},
+		{"empty span v1", http.MethodPost, api.RouteV1Rank,
+			`{"templateHash":"0000000000000001","span":[]}`, 400, api.CodeInvalidRequest},
+		{"empty batch v2 rank", http.MethodPost, api.RouteV2Rank, `{"jobs":[]}`, 400, api.CodeInvalidRequest},
+		{"empty batch v2 reward", http.MethodPost, api.RouteV2Reward, `{"events":[]}`, 400, api.CodeInvalidRequest},
+
+		{"missing templateHash v1", http.MethodPost, api.RouteV1Rank, `{"span":[1]}`, 400, api.CodeInvalidJSON},
+		{"missing templateHash v2", http.MethodPost, api.RouteV2Rank, `{"jobs":[{"span":[1]}]}`, 400, api.CodeInvalidJSON},
+
+		{"unknown route", http.MethodGet, "/v1/nope", "", 404, api.CodeNotFound},
+		{"root path", http.MethodGet, "/", "", 404, api.CodeNotFound},
+		{"unversioned rank", http.MethodPost, "/rank", `{}`, 404, api.CodeNotFound},
+
+		{"missing reward fields v1", http.MethodPost, api.RouteV1Reward, `{"eventId":""}`, 400, api.CodeInvalidRequest},
+		{"unknown event v1", http.MethodPost, api.RouteV1Reward,
+			`{"eventId":"ev-never-ranked","reward":1.0}`, 404, api.CodeUnknownEvent},
+
+		{"rollover validation failure", http.MethodPost, api.RouteV1Hints,
+			"qoadvisor-hints v1 day=7\n00000000000abc12,T1,-R000,7\n", 400, api.CodeValidationFailed},
+		{"rollover parse failure", http.MethodPost, api.RouteV1Hints,
+			"not a hint file", 400, api.CodeInvalidRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			resp, err := http.Post(ts.URL+"/v1/rank", "application/json", strings.NewReader(tc.body))
-			if err != nil {
-				t.Fatal(err)
-			}
-			resp.Body.Close()
-			if resp.StatusCode != tc.want {
-				t.Errorf("status = %d, want %d", resp.StatusCode, tc.want)
-			}
+			expectError(t, do(tc.method, tc.path, tc.body), tc.wantStatus, tc.wantCode)
 		})
 	}
 
-	resp, err := http.Get(ts.URL + "/v1/rank")
+	// The known event still rewards fine after all that.
+	resp := postJSON(t, ts.URL+api.RouteV1Reward, map[string]any{"eventId": known.EventID, "reward": 0.5})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("known event reward status = %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestAPIConformanceOversizedBatch checks the 8 MiB v2 cap separately
+// (the body is large enough to keep out of the table above).
+func TestAPIConformanceOversizedBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Seed: 3})
+	body := `{"jobs":[{"templateId":"` + strings.Repeat("A", maxBatchBody) + `"}]}`
+	resp, err := http.Post(ts.URL+api.RouteV2Rank, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/rank status = %d, want 405", resp.StatusCode)
+	expectError(t, resp, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge)
+}
+
+// TestAPIConformanceOversizedHintFile checks the 64 MiB rollover cap:
+// the truncation must be reported as body_too_large, not as a bogus
+// parse error at the cut point (and never installed truncated).
+func TestAPIConformanceOversizedHintFile(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Seed: 3})
+	var body strings.Builder
+	body.WriteString("qoadvisor-hints v1 day=1\n")
+	// Valid lines all the way past the cap, so a scanner that parsed
+	// the truncated body would accept it.
+	line := "00000000000abc12,T1,-R040,1\n"
+	for body.Len() <= maxHintBody {
+		body.WriteString(line)
+	}
+	resp, err := http.Post(ts.URL+api.RouteV1Hints, "text/plain", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectError(t, resp, http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge)
+	if srv.Cache().Size() != 0 || srv.Cache().Generation() != 0 {
+		t.Errorf("truncated hint file was installed: size %d gen %d",
+			srv.Cache().Size(), srv.Cache().Generation())
 	}
 }
 
-func TestRewardValidation(t *testing.T) {
-	_, ts := newTestServer(t, Config{Seed: 1})
-	resp, err := http.Post(ts.URL+"/v1/reward", "application/json",
-		strings.NewReader(`{"eventId":""}`))
+// TestAPIConformanceV1V2Rank proves the two protocol versions return
+// identical steering decisions for the same job: the hint path on one
+// server (deterministic), and the bandit path across two servers with
+// identical seeds (same rng sequence), ranked via /v1 on one and /v2 on
+// the other.
+func TestAPIConformanceV1V2Rank(t *testing.T) {
+	cat := rules.NewCatalog()
+
+	t.Run("hint path", func(t *testing.T) {
+		srv, ts := newTestServer(t, Config{Catalog: cat, Seed: 5})
+		if _, err := srv.InstallHints([]sis.Hint{
+			{TemplateHash: 0x77, TemplateID: "T7", Flip: cat.FlipFor(52), Day: 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		job := api.RankRequest{TemplateHash: 0x77, Span: []int{52}}
+
+		v1 := decodeJSON[api.RankResponse](t, postJSON(t, ts.URL+api.RouteV1Rank, job))
+		v2 := decodeJSON[api.BatchRankResponse](t, postJSON(t, ts.URL+api.RouteV2Rank,
+			api.BatchRankRequest{Jobs: []api.RankRequest{job}}))
+		if len(v2.Results) != 1 || v2.Results[0].Error != nil {
+			t.Fatalf("v2 batch = %+v", v2)
+		}
+		if v1 != v2.Results[0].RankResponse {
+			t.Errorf("v1 = %+v\nv2 = %+v, want identical hint decisions", v1, v2.Results[0].RankResponse)
+		}
+		if v2.Generation != 1 || v2.RequestID == "" {
+			t.Errorf("v2 envelope generation=%d requestId=%q", v2.Generation, v2.RequestID)
+		}
+	})
+
+	t.Run("bandit path", func(t *testing.T) {
+		// Same seed, sequential batch fan-out: the rng sequences align,
+		// so decision i of the v1 stream must equal decision i of the v2
+		// batch (event IDs carry a per-instance nonce and are excluded).
+		_, ts1 := newTestServer(t, Config{Catalog: cat, Seed: 9, RankWorkers: 1})
+		_, ts2 := newTestServer(t, Config{Catalog: cat, Seed: 9, RankWorkers: 1})
+		jobs := make([]api.RankRequest, 6)
+		for i := range jobs {
+			jobs[i] = api.RankRequest{
+				TemplateHash: api.TemplateHash(i + 1),
+				Span:         []int{3 + i, 40, 100 + i},
+				RowCount:     float64(1000 * (i + 1)),
+				BytesRead:    float64(int64(1) << (10 + i)),
+			}
+		}
+		var fromV1 []api.RankResponse
+		for _, job := range jobs {
+			fromV1 = append(fromV1, decodeJSON[api.RankResponse](t, postJSON(t, ts1.URL+api.RouteV1Rank, job)))
+		}
+		batch := decodeJSON[api.BatchRankResponse](t, postJSON(t, ts2.URL+api.RouteV2Rank,
+			api.BatchRankRequest{Jobs: jobs}))
+		if len(batch.Results) != len(jobs) {
+			t.Fatalf("v2 returned %d results for %d jobs", len(batch.Results), len(jobs))
+		}
+		for i, res := range batch.Results {
+			if res.Error != nil {
+				t.Fatalf("job %d: v2 error %v", i, res.Error)
+			}
+			got, want := res.RankResponse, fromV1[i]
+			got.EventID, want.EventID = "", ""
+			if got != want {
+				t.Errorf("job %d: v1 = %+v\n          v2 = %+v, want identical decisions", i, want, got)
+			}
+		}
+	})
+}
+
+func TestV2BatchRankMixedResults(t *testing.T) {
+	cat := rules.NewCatalog()
+	srv, ts := newTestServer(t, Config{Catalog: cat, Seed: 21})
+	if _, err := srv.InstallHints([]sis.Hint{
+		{TemplateHash: 0x10, TemplateID: "T0", Flip: cat.FlipFor(44), Day: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := api.BatchRankRequest{Jobs: []api.RankRequest{
+		{TemplateHash: 0x10, Span: []int{44}},             // hint hit
+		{TemplateHash: 0x11, Span: []int{44, 60}},         // bandit
+		{TemplateHash: 0x12, Span: []int{}},               // invalid: empty span
+		{TemplateHash: 0x13, Span: []int{rules.NumRules}}, // invalid: out of range
+	}}
+	resp := postJSON(t, ts.URL+api.RouteV2Rank, batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200 (per-job errors ride inside)", resp.StatusCode)
+	}
+	if rid := resp.Header.Get(api.RequestIDHeader); rid == "" {
+		t.Error("missing X-Request-Id response header")
+	}
+	out := decodeJSON[api.BatchRankResponse](t, resp)
+	if len(out.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(out.Results))
+	}
+	if out.Results[0].Source != api.SourceHint || out.Results[0].Error != nil {
+		t.Errorf("job 0 = %+v, want hint hit", out.Results[0])
+	}
+	if out.Results[1].Source != api.SourceBandit || out.Results[1].EventID == "" {
+		t.Errorf("job 1 = %+v, want bandit decision", out.Results[1])
+	}
+	for i := 2; i < 4; i++ {
+		if out.Results[i].Error == nil || out.Results[i].Error.Code != api.CodeInvalidRequest {
+			t.Errorf("job %d error = %+v, want %s", i, out.Results[i].Error, api.CodeInvalidRequest)
+		}
+	}
+}
+
+func TestV2BatchReward(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Seed: 8, TrainEvery: 2})
+
+	var events []api.RewardEvent
+	val := 1.25
+	for i := 0; i < 3; i++ {
+		rr, err := srv.Rank(api.RankRequest{TemplateHash: api.TemplateHash(i + 1), Span: []int{7 + i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, api.RewardEvent{EventID: rr.EventID, Reward: &val})
+	}
+	events = append(events,
+		api.RewardEvent{EventID: "ev-nope", Reward: &val}, // unknown
+		api.RewardEvent{EventID: events[0].EventID},       // missing reward
+	)
+
+	resp := postJSON(t, ts.URL+api.RouteV2Reward, api.BatchRewardRequest{Events: events})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch reward status = %d, want 202", resp.StatusCode)
+	}
+	out := decodeJSON[api.BatchRewardResponse](t, resp)
+	if out.Queued != 3 || len(out.Rejected) != 2 {
+		t.Fatalf("batch reward = %+v, want 3 queued 2 rejected", out)
+	}
+	if out.Rejected[0].Index != 3 || out.Rejected[0].Error.Code != api.CodeUnknownEvent {
+		t.Errorf("rejection 0 = %+v, want unknown_event at index 3", out.Rejected[0])
+	}
+	if out.Rejected[1].Index != 4 || out.Rejected[1].Error.Code != api.CodeInvalidRequest {
+		t.Errorf("rejection 1 = %+v, want invalid_request at index 4", out.Rejected[1])
+	}
+
+	srv.Ingestor().Drain()
+	if st := srv.Ingestor().Stats(); st.Applied != 3 {
+		t.Errorf("applied = %d, want 3", st.Applied)
+	}
+}
+
+func TestV2RewardQueueFull(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Seed: 8})
+	rr, err := srv.Rank(api.RankRequest{TemplateHash: 1, Span: []int{7}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Errorf("missing fields status = %d, want 400", resp.StatusCode)
+	// Closing the ingestor makes every enqueue report backpressure —
+	// the same path a saturated queue takes.
+	srv.Close()
+	val := 1.0
+	resp := postJSON(t, ts.URL+api.RouteV2Reward,
+		api.BatchRewardRequest{Events: []api.RewardEvent{{EventID: rr.EventID, Reward: &val}}})
+	expectError(t, resp, http.StatusServiceUnavailable, api.CodeQueueFull)
+
+	v1 := postJSON(t, ts.URL+api.RouteV1Reward, map[string]any{"eventId": rr.EventID, "reward": 1.0})
+	expectError(t, v1, http.StatusServiceUnavailable, api.CodeQueueFull)
+
+	// A malformed straggler must not mask the backpressure: nothing was
+	// queued and queue_full is among the rejections, so the batch still
+	// 503s (a 202 here would defeat the client's retry and silently
+	// drop every reward that would succeed on retry).
+	mixed := postJSON(t, ts.URL+api.RouteV2Reward,
+		api.BatchRewardRequest{Events: []api.RewardEvent{
+			{EventID: ""}, // invalid_request
+			{EventID: rr.EventID, Reward: &val},
+		}})
+	expectError(t, mixed, http.StatusServiceUnavailable, api.CodeQueueFull)
+}
+
+func TestV2HealthzAndStats(t *testing.T) {
+	cat := rules.NewCatalog()
+	srv, ts := newTestServer(t, Config{Catalog: cat, Seed: 2})
+	if _, err := srv.InstallHints([]sis.Hint{
+		{TemplateHash: 0x42, TemplateID: "T", Flip: cat.FlipFor(41), Day: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Propagate a caller-chosen correlation ID.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+api.RouteV2Healthz, nil)
+	req.Header.Set(api.RequestIDHeader, "corr-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get(api.RequestIDHeader); got != "corr-123" {
+		t.Errorf("request-id header = %q, want propagated corr-123", got)
+	}
+	health := decodeJSON[api.HealthResponse](t, resp)
+	if health.Status != api.HealthOK || health.Generation != 1 || health.Hints != 1 || health.RequestID != "corr-123" {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// Drive one rank and one 405 so the route metrics have content.
+	postJSON(t, ts.URL+api.RouteV1Rank, api.RankRequest{TemplateHash: 0x42, Span: []int{41}}).Body.Close()
+	mustGet(t, ts.URL+api.RouteV1Rank).Body.Close()
+
+	stats := decodeJSON[api.StatsResponse](t, mustGet(t, ts.URL+api.RouteV2Stats))
+	if stats.RequestID == "" {
+		t.Error("v2 stats missing requestId")
+	}
+	rank := stats.Routes[api.RouteV1Rank]
+	if rank.Count != 2 || rank.Errors != 1 {
+		t.Errorf("route metrics for v1 rank = %+v, want count 2 errors 1", rank)
+	}
+	if hz := stats.Routes[api.RouteV2Healthz]; hz.Count != 1 || hz.Errors != 0 {
+		t.Errorf("route metrics for healthz = %+v, want count 1", hz)
+	}
+	if stats.HintHits != 1 {
+		t.Errorf("hint hits = %d, want 1", stats.HintHits)
 	}
 }
 
@@ -205,7 +501,7 @@ func TestModelSnapshotOverHTTP(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Seed: 11, SnapshotPath: path})
 
 	// Learn something first so the snapshot carries weights.
-	rr, err := srv.Rank(RankRequest{TemplateHash: 1, Span: []int{3, 17}, RowCount: 10})
+	rr, err := srv.Rank(api.RankRequest{TemplateHash: 1, Span: []int{3, 17}, RowCount: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +509,7 @@ func TestModelSnapshotOverHTTP(t *testing.T) {
 	srv.Ingestor().Drain()
 
 	// GET streams a loadable model.
-	get := mustGet(t, ts.URL+"/v1/model/snapshot")
+	get := mustGet(t, ts.URL+api.RouteV1Snapshot)
 	defer get.Body.Close()
 	loaded, err := bandit.Load(get.Body, 1)
 	if err != nil {
@@ -222,10 +518,10 @@ func TestModelSnapshotOverHTTP(t *testing.T) {
 
 	// POST persists to the configured path; the file round-trips to the
 	// same scores as the in-memory learner.
-	post := postJSON(t, ts.URL+"/v1/model/snapshot", nil)
-	body := decodeJSON[map[string]any](t, post)
-	if post.StatusCode != http.StatusOK || body["path"] != path {
-		t.Fatalf("POST snapshot: status %d body %v", post.StatusCode, body)
+	post := postJSON(t, ts.URL+api.RouteV1Snapshot, nil)
+	body := decodeJSON[api.SnapshotSaveResponse](t, post)
+	if post.StatusCode != http.StatusOK || body.Path != path || body.Bytes <= 0 {
+		t.Fatalf("POST snapshot: status %d body %+v", post.StatusCode, body)
 	}
 	var mem, file bytes.Buffer
 	if err := srv.SnapshotTo(&mem); err != nil {
@@ -241,11 +537,18 @@ func TestModelSnapshotOverHTTP(t *testing.T) {
 
 func TestSnapshotPostWithoutPath(t *testing.T) {
 	_, ts := newTestServer(t, Config{Seed: 1})
-	resp := postJSON(t, ts.URL+"/v1/model/snapshot", nil)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Errorf("snapshot POST without path status = %d, want 409", resp.StatusCode)
+	resp := postJSON(t, ts.URL+api.RouteV1Snapshot, nil)
+	expectError(t, resp, http.StatusConflict, api.CodeSnapshotUnconfigured)
+}
+
+func TestBatchRankTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{Seed: 1})
+	jobs := make([]api.RankRequest, api.MaxRankBatch+1)
+	for i := range jobs {
+		jobs[i] = api.RankRequest{TemplateHash: api.TemplateHash(i), Span: []int{1}}
 	}
+	resp := postJSON(t, ts.URL+api.RouteV2Rank, api.BatchRankRequest{Jobs: jobs})
+	expectError(t, resp, http.StatusBadRequest, api.CodeInvalidRequest)
 }
 
 func mustGet(t *testing.T, url string) *http.Response {
