@@ -31,6 +31,7 @@ import (
 	"qoadvisor/internal/serve"
 	"qoadvisor/internal/sis"
 	"qoadvisor/internal/span"
+	"qoadvisor/internal/wal"
 	"qoadvisor/internal/workload"
 )
 
@@ -744,4 +745,164 @@ func BenchmarkBanditRank(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkWALAppend measures the durable reward journal's raw append
+// path per durability mode: off (buffer only), async (group-commit
+// window in the background), and sync (the caller waits for the group
+// fsync — run with -cpu to see group commit amortize concurrent
+// committers into shared syncs).
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 128)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, mode := range []wal.Mode{wal.ModeOff, wal.ModeAsync, wal.ModeSync} {
+		b.Run("mode="+mode.String(), func(b *testing.B) {
+			w, err := wal.Open(wal.Options{Dir: b.TempDir(), Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					lsn, err := w.Append(payload)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := w.Commit(lsn); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := w.Stats()
+			b.ReportMetric(float64(st.Appends)/b.Elapsed().Seconds(), "appends/s")
+			if st.Appends > 0 {
+				b.ReportMetric(float64(st.Syncs)/float64(st.Appends), "syncs/append")
+			}
+		})
+	}
+}
+
+// BenchmarkRewardDurable measures the full batch-rank/reward serving
+// cycle end to end — one /v2/rank batch through the typed client, the
+// matching /v2/reward batch, and the drain into IPS training — per
+// journal durability mode, against the in-memory baseline (wal=none,
+// the PR 3 configuration). This is the production steady state every
+// reward implies (a reward only exists for a ranked event), so the
+// journal's cost — rank records under the event-log mutex, the reward
+// batch record journaled before the 202, and the group-commit fsyncs
+// timesharing the host — is charged against the whole cycle, not
+// smuggled into an idle window. The acceptance bar for the WAL
+// subsystem is async group-commit sustaining >= 80% of the in-memory
+// pairs/s.
+func BenchmarkRewardDurable(b *testing.B) {
+	const batch = 256
+	run := func(b *testing.B, j *wal.WAL) {
+		srv := serve.New(serve.Config{Seed: 1, QueueSize: 4 * batch, TrainEvery: 64, WAL: j})
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		cl := client.New(ts.URL)
+		ctx := context.Background()
+
+		jobs := make([]api.RankRequest, batch)
+		for i := range jobs {
+			jobs[i] = api.RankRequest{
+				TemplateHash: api.TemplateHash(uint64(i)<<20 | 0xd00d), // no hints: bandit path
+				Span:         []int{3 + i%40, 60 + i%50, 120 + i%30},
+				RowCount:     float64(1000 * (i + 1)),
+			}
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			ranked, err := cl.RankBatch(ctx, jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			events := make([]api.RewardEvent, batch)
+			for i, res := range ranked.Results {
+				if res.Error != nil || res.EventID == "" {
+					b.Fatalf("job %d: %+v", i, res)
+				}
+				v := 1.5
+				events[i] = api.RewardEvent{EventID: res.EventID, Reward: &v}
+			}
+			resp, err := cl.RewardBatch(ctx, events)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Queued != batch {
+				b.Fatalf("queued %d of %d: %+v", resp.Queued, batch, resp.Rejected)
+			}
+			srv.Ingestor().Drain()
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "pairs/s")
+		if j != nil {
+			st := j.Stats()
+			b.ReportMetric(float64(st.Syncs)/float64(b.N), "syncs/batch")
+			b.ReportMetric(float64(st.AppendedBytes)/float64(b.N*batch), "walB/pair")
+		}
+	}
+
+	b.Run("wal=none", func(b *testing.B) { run(b, nil) })
+	for _, mode := range []wal.Mode{wal.ModeOff, wal.ModeAsync, wal.ModeSync} {
+		b.Run("wal="+mode.String(), func(b *testing.B) {
+			j, err := wal.Open(wal.Options{Dir: b.TempDir(), Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			run(b, j)
+		})
+	}
+}
+
+// BenchmarkWALRecovery measures rebuilding a model from the journal —
+// the startup cost a crash adds — per 10k-record journal.
+func BenchmarkWALRecovery(b *testing.B) {
+	dir := b.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Mode: wal.ModeOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc := bandit.New(bandit.DefaultConfig(1))
+	svc.AttachJournal(j)
+	ctx := bandit.Context{IDs: []uint64{0x11, 0x22, 0x33}}
+	actions := []bandit.Action{{IDs: []uint64{1}}, {IDs: []uint64{2}}, {IDs: []uint64{3}}}
+	var entries []bandit.RewardEntry
+	for i := 0; i < 5000; i++ {
+		r, err := svc.Rank(ctx, actions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = append(entries, bandit.RewardEntry{EventID: r.EventID, Value: 1.0})
+		if len(entries) == 64 {
+			if _, err := j.Append(bandit.EncodeRewardBatch(entries)); err != nil {
+				b.Fatal(err)
+			}
+			entries = entries[:0]
+		}
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	records := 5000 + 5000/64
+
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		rec, err := serve.Recover(wal.DirSource{Dir: dir}, "", 256, 0, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.Journal.Records != int64(records) {
+			b.Fatalf("replayed %d records, want %d", rec.Journal.Records, records)
+		}
+	}
+	b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
 }

@@ -11,20 +11,33 @@
 // -model is set, persists the learner so a restart resumes from the
 // learned state.
 //
+// With -wal-dir set the server runs durably: every rank decision and
+// accepted reward batch is journaled to a segmented write-ahead log
+// (group-commit fsync per -wal-sync), a checkpoint ticker
+// (-snapshot-every) snapshots the model with its covering WAL offset
+// and truncates sealed segments, and startup replays the journal
+// suffix above the snapshot watermark — so a crash loses at most the
+// last unsynced group-commit window instead of every reward since
+// boot.
+//
 // Usage:
 //
 //	qoserved [-addr :8080] [-bootstrap-days 5] [-templates 24] [-seed 42]
 //	         [-hints file] [-model file] [-shards 32] [-queue 4096]
 //	         [-workers 0] [-train-every 256] [-rank-workers 0] [-uniform]
+//	         [-wal-dir dir] [-wal-sync async] [-wal-segment-mb 64]
+//	         [-snapshot-every 5m]
 //
 // It doubles as the protocol's ops CLI via the typed client
-// (qoadvisor/internal/api/client):
+// (qoadvisor/internal/api/client) and the journal's offline tooling:
 //
 //	qoserved -check http://host:8080              # /v2/healthz + /v2/stats
 //	qoserved -push-hints http://host:8080 -hints f.hints   # rollover upload
+//	qoserved -replay out.model -wal-dir dir [-model snap]  # offline rebuild
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -33,7 +46,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -46,6 +61,7 @@ import (
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/serve"
 	"qoadvisor/internal/sis"
+	"qoadvisor/internal/wal"
 	"qoadvisor/internal/workload"
 )
 
@@ -63,6 +79,11 @@ func main() {
 	rankWorkers := flag.Int("rank-workers", 0, "/v2/rank batch fan-out pool size (0 = GOMAXPROCS)")
 	maxLog := flag.Int("max-log", 0, "cap on retained rank events (0 = default, negative = unbounded)")
 	uniform := flag.Bool("uniform", false, "rank with the uniform-at-random logging policy")
+	walDir := flag.String("wal-dir", "", "durable reward journal directory (empty = in-memory only)")
+	walSync := flag.String("wal-sync", "async", "journal durability mode: sync (fsync before ack), async (group-commit window), off (never fsync)")
+	walSegMB := flag.Int64("wal-segment-mb", 64, "journal segment size in MiB before rolling to a new file")
+	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "checkpoint interval: snapshot the model and truncate covered journal segments (0 = only on shutdown)")
+	replayOut := flag.String("replay", "", "ops mode: rebuild a model offline from -wal-dir (+ optional -model snapshot), write it to this path, exit")
 	check := flag.String("check", "", "client mode: probe a running server's /v2/healthz and /v2/stats, print, exit")
 	pushHints := flag.String("push-hints", "", "client mode: upload the -hints file to a running server and exit")
 	flag.Parse()
@@ -79,13 +100,51 @@ func main() {
 		}
 		return
 	}
+	if *replayOut != "" {
+		if err := runReplay(*replayOut, *walDir, *modelPath, *trainEvery, *maxLog, *seed); err != nil {
+			log.Fatalf("qoserved: replay: %v", err)
+		}
+		return
+	}
 
 	cat := rules.NewCatalog()
 
-	// Model precedence: an existing snapshot wins (restart recovery);
-	// otherwise the bootstrap pipeline's trained bandit; otherwise fresh.
+	mode, err := wal.ParseMode(*walSync)
+	if err != nil {
+		log.Fatalf("qoserved: %v", err)
+	}
+	// A WAL without a snapshot path would replay the whole journal on
+	// every boot and never compact; default the snapshot next to it.
+	if *walDir != "" && *modelPath == "" {
+		*modelPath = filepath.Join(*walDir, "model.snap")
+	}
+
+	// Model precedence: recovered durable state wins (snapshot + WAL
+	// suffix, or snapshot alone); otherwise the bootstrap pipeline's
+	// trained bandit; otherwise fresh.
 	var svc *bandit.Service
-	if *modelPath != "" {
+	var journal *wal.WAL
+	if *walDir != "" {
+		journal, err = wal.Open(wal.Options{Dir: *walDir, Mode: mode, SegmentBytes: *walSegMB << 20})
+		if err != nil {
+			log.Fatalf("qoserved: opening WAL: %v", err)
+		}
+		if torn, reason := journal.TailDamage(); torn > 0 {
+			// Open already cut the damage away; tell the operator that a
+			// crash discarded records past the last durable group commit.
+			log.Printf("journal tail damaged (crash artifact): %d bytes truncated (%v)", torn, reason)
+		}
+		rec, err := serve.Recover(journal, *modelPath, *trainEvery, *maxLog, *seed)
+		if err != nil {
+			log.Fatalf("qoserved: recovering from %s: %v", *walDir, err)
+		}
+		if rec.Recovered() {
+			svc = rec.Service
+			log.Printf("recovered model: snapshot=%v (watermark %d), journal replayed %d records (%d ranks, %d rewards, %d trained)",
+				rec.SnapshotLoaded, rec.FromLSN, rec.Journal.Records,
+				rec.Replay.Ranks, rec.Replay.Rewards, rec.Replay.TrainedEvents)
+		}
+	} else if *modelPath != "" {
 		if f, err := os.Open(*modelPath); err == nil {
 			loaded, lerr := bandit.Load(f, *seed)
 			f.Close()
@@ -141,7 +200,19 @@ func main() {
 		RankWorkers:  *rankWorkers,
 		MaxLogEvents: *maxLog,
 		SnapshotPath: *modelPath,
+		WAL:          journal,
 	})
+	if journal != nil && *modelPath != "" {
+		// Checkpoint immediately so pre-journal state (bootstrap training,
+		// replayed suffix) is covered by a snapshot: a crash before the
+		// first ticker fire must not lose it.
+		info, err := srv.Checkpoint(*modelPath)
+		if err != nil {
+			log.Fatalf("qoserved: initial checkpoint: %v", err)
+		}
+		log.Printf("checkpoint: %d bytes at WAL offset %d (%d segments compacted, %v)",
+			info.Bytes, info.LSN, info.SegmentsRemoved, info.Duration.Round(time.Microsecond))
+	}
 	if len(hints) > 0 {
 		gen, err := srv.InstallHints(hints)
 		if err != nil {
@@ -161,6 +232,34 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Periodic checkpoints: persist the model off the SIGTERM path so a
+	// crash loses at most one interval of training (and, with a WAL,
+	// nothing that was journaled durably), and compact covered journal
+	// segments.
+	var snapWG sync.WaitGroup
+	if *snapshotEvery > 0 && *modelPath != "" {
+		snapWG.Add(1)
+		go func() {
+			defer snapWG.Done()
+			t := time.NewTicker(*snapshotEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					info, err := srv.Checkpoint(*modelPath)
+					if err != nil {
+						log.Printf("qoserved: checkpoint: %v", err)
+						continue
+					}
+					log.Printf("checkpoint: %d bytes in %v at WAL offset %d (%d segments compacted)",
+						info.Bytes, info.Duration.Round(time.Microsecond), info.LSN, info.SegmentsRemoved)
+				}
+			}
+		}()
+	}
 
 	// ListenAndServe returns as soon as Shutdown begins; in-flight
 	// requests keep running until Shutdown itself returns, so the drain
@@ -182,15 +281,54 @@ func main() {
 
 	// Graceful teardown: drain pending rewards into the model, then
 	// persist it for the next start.
+	snapWG.Wait()
 	srv.Close()
 	if *modelPath != "" {
-		n, err := srv.SnapshotToPath(*modelPath)
+		info, err := srv.Checkpoint(*modelPath)
 		if err != nil {
 			log.Fatalf("qoserved: final snapshot: %v", err)
 		}
-		log.Printf("model persisted to %s (%d bytes)", *modelPath, n)
+		log.Printf("model persisted to %s (%d bytes, WAL offset %d)", *modelPath, info.Bytes, info.LSN)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("qoserved: closing WAL: %v", err)
+		}
 	}
 	log.Printf("qoserved stopped")
+}
+
+// runReplay is the offline recovery tool: rebuild a model from a
+// journal directory (plus an optional snapshot to start from), write
+// it to outPath, and report what the journal contributed. The rebuild
+// is deterministic — running it twice produces byte-identical output —
+// and read-only with respect to the journal.
+func runReplay(outPath, walDir, snapshotPath string, trainEvery, maxLog int, seed int64) error {
+	if walDir == "" {
+		return fmt.Errorf("-replay needs -wal-dir <journal directory>")
+	}
+	rec, err := serve.Recover(wal.DirSource{Dir: walDir}, snapshotPath, trainEvery, maxLog, seed)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := rec.Service.Save(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot:  loaded=%v watermark=%d\n", rec.SnapshotLoaded, rec.FromLSN)
+	fmt.Printf("journal:   %d records replayed, %d skipped (covered by snapshot)\n",
+		rec.Journal.Records, rec.Journal.Skipped)
+	if rec.Journal.Truncated {
+		fmt.Printf("tail:      damaged record skipped cleanly (%v)\n", rec.Journal.TailError)
+	}
+	fmt.Printf("rebuilt:   %d ranks, %d rewards (%d unknown), %d training runs over %d events\n",
+		rec.Replay.Ranks, rec.Replay.Rewards, rec.Replay.UnknownRewards,
+		rec.Replay.TrainRuns, rec.Replay.TrainedEvents)
+	fmt.Printf("model:     %d bytes -> %s (WAL watermark %d)\n", buf.Len(), outPath, rec.Service.WALWatermark())
+	return nil
 }
 
 // runCheck probes a running server through the typed client: healthz
@@ -218,6 +356,13 @@ func runCheck(base string) error {
 	fmt.Printf("ingest:     %d enqueued, %d applied, %d dropped, %d unknown, %d train runs\n",
 		stats.Ingest.Enqueued, stats.Ingest.Applied, stats.Ingest.Dropped,
 		stats.Ingest.UnknownEvents, stats.Ingest.TrainRuns)
+	if stats.WAL != nil {
+		w := stats.WAL
+		fmt.Printf("wal:        mode=%s lsn %d..%d (synced %d), %d appends / %d syncs, %d segments (%d compacted)\n",
+			w.Mode, w.FirstLSN, w.LastLSN, w.SyncedLSN, w.Appends, w.Syncs, w.Segments, w.TruncatedSegments)
+		fmt.Printf("checkpoint: %d taken, last at offset %d (%d bytes, %dus)\n",
+			w.Checkpoints, w.LastCheckpointLSN, w.LastCheckpointB, w.LastCheckpointUs)
+	}
 
 	routes := make([]string, 0, len(stats.Routes))
 	for r := range stats.Routes {

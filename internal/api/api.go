@@ -225,6 +225,30 @@ type IngestStats struct {
 	TrainedEvents int64 `json:"trainedEvents"`
 	QueueDepth    int   `json:"queueDepth"`
 	QueueCap      int   `json:"queueCap"`
+	// JournalErrors counts failed durable-journal writes (0 when the
+	// server runs without a WAL).
+	JournalErrors int64 `json:"journalErrors,omitempty"`
+}
+
+// WALStats is a point-in-time snapshot of the durable reward journal,
+// embedded in StatsResponse when the server runs with a WAL. Mode is
+// the group-commit durability discipline ("sync", "async", or "off");
+// LSNs are journal positions (FirstLSN..LastLSN is the retained
+// window, SyncedLSN the durable frontier).
+type WALStats struct {
+	Mode              string `json:"mode"`
+	FirstLSN          uint64 `json:"firstLsn"`
+	LastLSN           uint64 `json:"lastLsn"`
+	SyncedLSN         uint64 `json:"syncedLsn"`
+	Appends           int64  `json:"appends"`
+	AppendedBytes     int64  `json:"appendedBytes"`
+	Syncs             int64  `json:"syncs"`
+	Segments          int    `json:"segments"`
+	TruncatedSegments int64  `json:"truncatedSegments"`
+	Checkpoints       int64  `json:"checkpoints"`
+	LastCheckpointLSN uint64 `json:"lastCheckpointLsn"`
+	LastCheckpointB   int64  `json:"lastCheckpointBytes"`
+	LastCheckpointUs  int64  `json:"lastCheckpointMicros"`
 }
 
 // RouteStats aggregates the middleware's per-route counters.
@@ -249,6 +273,8 @@ type StatsResponse struct {
 	CacheShards  int         `json:"cacheShards"`
 	BanditLog    int64       `json:"banditLogSize"`
 	Ingest       IngestStats `json:"ingest"`
+	// WAL is present when the server journals rewards durably.
+	WAL *WALStats `json:"wal,omitempty"`
 
 	RequestID string                `json:"requestId,omitempty"`
 	Routes    map[string]RouteStats `json:"routes,omitempty"`

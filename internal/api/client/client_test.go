@@ -17,6 +17,7 @@ import (
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/serve"
 	"qoadvisor/internal/sis"
+	"qoadvisor/internal/wal"
 )
 
 // TestAPIConformanceClientEndToEnd drives every client method against a
@@ -199,5 +200,73 @@ func TestRankAllChunksBatches(t *testing.T) {
 	}
 	if len(batchSizes) != 2 || batchSizes[0] != api.MaxRankBatch || batchSizes[1] != 5 {
 		t.Errorf("batch sizes = %v, want [%d 5]", batchSizes, api.MaxRankBatch)
+	}
+}
+
+// TestClientWALStatsPassthrough pins the durable-journal fields of the
+// stats payload through the typed client: a WAL-backed server reports
+// its sync mode, journal positions, and checkpoint counters in
+// /v2/stats, and a server without a WAL omits the block entirely.
+func TestClientWALStatsPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Mode: wal.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	srv := serve.New(serve.Config{Seed: 4, TrainEvery: 4, WAL: j})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	// Rank + reward so the journal has records, then checkpoint.
+	r, err := cl.Rank(ctx, api.RankRequest{TemplateHash: 1, Span: []int{3, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Reward(ctx, r.EventID, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	srv.Ingestor().Drain()
+	if _, err := srv.Checkpoint(dir + "/model.snap"); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.WAL == nil {
+		t.Fatal("WAL stats missing from /v2/stats on a journaled server")
+	}
+	if stats.WAL.Mode != "sync" {
+		t.Errorf("WAL mode = %q, want sync", stats.WAL.Mode)
+	}
+	if stats.WAL.LastLSN == 0 || stats.WAL.Appends == 0 {
+		t.Errorf("journal looks empty after traffic: %+v", stats.WAL)
+	}
+	if stats.WAL.SyncedLSN != stats.WAL.LastLSN {
+		t.Errorf("sync mode left unsynced tail: synced %d, last %d", stats.WAL.SyncedLSN, stats.WAL.LastLSN)
+	}
+	if stats.WAL.Checkpoints != 1 || stats.WAL.LastCheckpointLSN == 0 {
+		t.Errorf("checkpoint counters = %+v", stats.WAL)
+	}
+	if stats.Ingest.JournalErrors != 0 {
+		t.Errorf("JournalErrors = %d on a healthy disk", stats.Ingest.JournalErrors)
+	}
+
+	// No WAL: the block is omitted (omitempty pointer).
+	srv2 := serve.New(serve.Config{Seed: 5})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	defer srv2.Close()
+	stats2, err := client.New(ts2.URL).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.WAL != nil {
+		t.Errorf("WAL stats present on an in-memory server: %+v", stats2.WAL)
 	}
 }

@@ -187,8 +187,21 @@ type Service struct {
 	// nonce makes event IDs unique across Service instances (and hence
 	// process restarts), so a reward held across a model-restore restart
 	// fails loudly as unknown instead of silently training the wrong
-	// event.
+	// event. (Events restored from a v3 snapshot or journal replay keep
+	// their original IDs, so rewards for them do survive restarts.)
 	nonce string
+
+	// journal, when attached, receives a RecRank record for every logged
+	// rank decision, appended under evMu so journal order equals
+	// event-log order. walLSN is the journal position the current model
+	// state covers (set by checkpoints and replay; persisted by Save so
+	// recovery replays only the suffix). Both guarded by evMu.
+	journal Journal
+	walLSN  uint64
+
+	// journalErrs counts failed journal appends (fail-stop disk); the
+	// serve layer surfaces it through stats.
+	journalErrs atomic.Int64
 }
 
 // instanceSeq disambiguates services created in the same nanosecond.
@@ -219,6 +232,48 @@ func New(cfg Config) *Service {
 		maxLog: cfg.MaxLogEvents,
 		nonce:  fmt.Sprintf("%x", uint64(time.Now().UnixNano())^uint64(instanceSeq.Add(1))<<48),
 	}
+}
+
+// AttachJournal wires a durable journal into the service: every
+// subsequent rank decision is appended as a RecRank record. Attach
+// after any snapshot load and journal replay — an attached journal
+// during replay would re-journal the replayed state.
+func (s *Service) AttachJournal(j Journal) {
+	s.evMu.Lock()
+	s.journal = j
+	s.evMu.Unlock()
+}
+
+// JournalErrors reports how many journal appends have failed.
+func (s *Service) JournalErrors() int64 { return s.journalErrs.Load() }
+
+// SetWALWatermark records the journal position the model state covers.
+// Recovery replays only records above it.
+func (s *Service) SetWALWatermark(lsn uint64) {
+	s.evMu.Lock()
+	s.walLSN = lsn
+	s.evMu.Unlock()
+}
+
+// WALWatermark returns the journal position the model state covers.
+func (s *Service) WALWatermark() uint64 {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return s.walLSN
+}
+
+// restoreEvent reinstates a rank event without ranking — the snapshot
+// load and journal replay path. The event keeps its original ID, so
+// rewards issued against the pre-crash process still apply.
+func (s *Service) restoreEvent(ev *Event) {
+	s.evMu.Lock()
+	s.events[ev.EventID] = ev
+	s.log = append(s.log, ev)
+	if ev.Rewarded && !ev.Trained {
+		s.pending = append(s.pending, ev)
+	}
+	s.evictLocked()
+	s.evMu.Unlock()
 }
 
 // SetMaxLog adjusts the event-log cap at runtime (0 = unbounded) — the
@@ -413,6 +468,15 @@ func (s *Service) rank(ctx Context, actions []Action, uniform bool) (Ranked, err
 	s.events[ev.EventID] = ev
 	s.log = append(s.log, ev)
 	s.evictLocked()
+	if s.journal != nil {
+		// Journal under evMu so record order equals event-log order
+		// (replay rebuilds the log in journal order). Append only
+		// buffers — no disk wait on the rank path.
+		rec := EncodeRankRecord(ev.EventID, prob, ctxIDs, actions[chosen].featureIDs())
+		if _, err := s.journal.Append(rec); err != nil {
+			s.journalErrs.Add(1)
+		}
+	}
 	s.evMu.Unlock()
 	return Ranked{EventID: ev.EventID, Chosen: chosen, Prob: prob, Scores: scores}, nil
 }

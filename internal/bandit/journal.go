@@ -1,0 +1,302 @@
+package bandit
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Journal is the durable log the service writes its replayable state
+// transitions to (qoadvisor/internal/wal satisfies it). Append buffers
+// one record and returns its log sequence number; LastLSN reports the
+// newest appended position. Durability (group-commit fsync) is the
+// journal's concern — the service never waits on the disk.
+type Journal interface {
+	Append(payload []byte) (uint64, error)
+	LastLSN() uint64
+}
+
+// Journal record types. The journal carries exactly the transitions
+// replay needs to rebuild the model bit-identically:
+//
+//   - RecRank: one logged rank decision in resolved form (event ID,
+//     propensity, context feature IDs, chosen action's feature IDs) —
+//     everything a later reward needs to become a training example.
+//     Written by Service.Rank under the event-log mutex, so journal
+//     order equals event-log order.
+//   - RecRewardBatch: the accepted slice of one reward batch, written
+//     by the serve layer's ingestor before acknowledging the client.
+//   - RecTrainMark: an out-of-band training flush (drain, shutdown,
+//     checkpoint barrier). Periodic threshold training is NOT marked —
+//     replay reproduces it by counting applied rewards exactly as the
+//     single-worker ingestor does.
+const (
+	RecRank        byte = 1
+	RecRewardBatch byte = 2
+	RecTrainMark   byte = 3
+)
+
+// RewardEntry is one (event, reward) observation inside a journaled
+// reward batch.
+type RewardEntry struct {
+	EventID string
+	Value   float64
+}
+
+// RankRecord is the decoded form of a RecRank payload.
+type RankRecord struct {
+	EventID string
+	Prob    float64
+	CtxIDs  []uint64
+	ActIDs  []uint64
+}
+
+// appendUint64 and friends: records are little-endian, fixed 8-byte
+// words for hashes/floats (feature IDs span the full 64-bit space, so
+// varints would inflate them) and uvarints for lengths and counts.
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bandit: journal record truncated at varint")
+	}
+	return v, b[n:], nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, fmt.Errorf("bandit: journal record truncated at string")
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func takeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("bandit: journal record truncated at word")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+func takeIDs(b []byte) ([]uint64, []byte, error) {
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(b)) < n*8 {
+		return nil, nil, fmt.Errorf("bandit: journal record truncated at ID list")
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return ids, b[n*8:], nil
+}
+
+// EncodeRankRecord frames one rank decision for the journal.
+func EncodeRankRecord(eventID string, prob float64, ctxIDs, actIDs []uint64) []byte {
+	b := make([]byte, 0, 1+len(eventID)+4+8+(len(ctxIDs)+len(actIDs))*8+8)
+	b = append(b, RecRank)
+	b = appendString(b, eventID)
+	b = appendUint64(b, math.Float64bits(prob))
+	b = binary.AppendUvarint(b, uint64(len(ctxIDs)))
+	for _, id := range ctxIDs {
+		b = appendUint64(b, id)
+	}
+	b = binary.AppendUvarint(b, uint64(len(actIDs)))
+	for _, id := range actIDs {
+		b = appendUint64(b, id)
+	}
+	return b
+}
+
+// DecodeRankRecord parses a RecRank payload (including the type tag).
+func DecodeRankRecord(p []byte) (RankRecord, error) {
+	var rec RankRecord
+	if len(p) == 0 || p[0] != RecRank {
+		return rec, fmt.Errorf("bandit: not a rank record")
+	}
+	b := p[1:]
+	var err error
+	if rec.EventID, b, err = takeString(b); err != nil {
+		return rec, err
+	}
+	var bits uint64
+	if bits, b, err = takeUint64(b); err != nil {
+		return rec, err
+	}
+	rec.Prob = math.Float64frombits(bits)
+	if rec.CtxIDs, b, err = takeIDs(b); err != nil {
+		return rec, err
+	}
+	if rec.ActIDs, _, err = takeIDs(b); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// EncodeRewardBatch frames the accepted slice of one reward batch.
+func EncodeRewardBatch(entries []RewardEntry) []byte {
+	size := 2
+	for _, e := range entries {
+		size += len(e.EventID) + 4 + 8
+	}
+	b := make([]byte, 0, size)
+	b = append(b, RecRewardBatch)
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = appendString(b, e.EventID)
+		b = appendUint64(b, math.Float64bits(e.Value))
+	}
+	return b
+}
+
+// DecodeRewardBatch parses a RecRewardBatch payload.
+func DecodeRewardBatch(p []byte) ([]RewardEntry, error) {
+	if len(p) == 0 || p[0] != RecRewardBatch {
+		return nil, fmt.Errorf("bandit: not a reward-batch record")
+	}
+	b := p[1:]
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]RewardEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e RewardEntry
+		if e.EventID, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		var bits uint64
+		if bits, b, err = takeUint64(b); err != nil {
+			return nil, err
+		}
+		e.Value = math.Float64frombits(bits)
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// EncodeTrainMark frames an out-of-band training flush.
+func EncodeTrainMark() []byte { return []byte{RecTrainMark} }
+
+// ReplayStats counts what a replay pass consumed and rebuilt.
+type ReplayStats struct {
+	Records        int64
+	Ranks          int64
+	RewardBatches  int64
+	Rewards        int64
+	UnknownRewards int64
+	TrainMarks     int64
+	TrainRuns      int64
+	TrainedEvents  int64
+}
+
+// Replayer rebuilds a Service's state from journal records. Feed it
+// every record after the snapshot watermark via Apply, in order, then
+// call Finish for the drain-equivalent tail flush.
+//
+// Replay is deterministic — the rebuilt model is bit-identical to the
+// live one — under the serving defaults: a single ingestion worker
+// (apply order equals journal order) and the same trainEvery used
+// when the records were written. The replayer must be the only user
+// of the service while it runs, and the service must not have a
+// journal attached (attach it after, or replay would re-journal).
+type Replayer struct {
+	svc        *Service
+	trainEvery int
+	applied    int
+	Stats      ReplayStats
+}
+
+// NewReplayer wraps svc for replay. trainEvery must match the
+// ingestor's training batch size from the journaled run (0 selects the
+// shared default, 256).
+func NewReplayer(svc *Service, trainEvery int) *Replayer {
+	if trainEvery <= 0 {
+		trainEvery = DefaultTrainEvery
+	}
+	return &Replayer{svc: svc, trainEvery: trainEvery}
+}
+
+// DefaultTrainEvery is the ingestion training batch size both the
+// serve layer and journal replay default to — they must agree or
+// replay would train on different boundaries than the live run.
+const DefaultTrainEvery = 256
+
+// Apply consumes one journal record.
+func (r *Replayer) Apply(lsn uint64, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("bandit: empty journal record at lsn %d", lsn)
+	}
+	r.Stats.Records++
+	switch payload[0] {
+	case RecRank:
+		rec, err := DecodeRankRecord(payload)
+		if err != nil {
+			return fmt.Errorf("bandit: lsn %d: %w", lsn, err)
+		}
+		r.svc.restoreEvent(&Event{
+			EventID: rec.EventID,
+			Context: Context{IDs: rec.CtxIDs},
+			Actions: []Action{{IDs: rec.ActIDs}},
+			Chosen:  0,
+			Prob:    rec.Prob,
+		})
+		r.Stats.Ranks++
+	case RecRewardBatch:
+		entries, err := DecodeRewardBatch(payload)
+		if err != nil {
+			return fmt.Errorf("bandit: lsn %d: %w", lsn, err)
+		}
+		r.Stats.RewardBatches++
+		for _, e := range entries {
+			if err := r.svc.Reward(e.EventID, e.Value); err != nil {
+				r.Stats.UnknownRewards++
+				continue
+			}
+			r.Stats.Rewards++
+			r.applied++
+			if r.applied >= r.trainEvery {
+				r.applied = 0
+				r.train()
+			}
+		}
+	case RecTrainMark:
+		r.Stats.TrainMarks++
+		r.applied = 0
+		r.train()
+	default:
+		return fmt.Errorf("bandit: unknown journal record type %d at lsn %d", payload[0], lsn)
+	}
+	r.svc.SetWALWatermark(lsn)
+	return nil
+}
+
+// Finish runs the drain-equivalent tail flush: rewards journaled after
+// the last training boundary train now, exactly as a graceful shutdown
+// would have trained them.
+func (r *Replayer) Finish() {
+	r.applied = 0
+	r.train()
+}
+
+func (r *Replayer) train() {
+	n := r.svc.Train()
+	r.Stats.TrainRuns++
+	r.Stats.TrainedEvents += int64(n)
+}

@@ -57,6 +57,17 @@ func TestSaveLoadPreservesScoresAndPropensities(t *testing.T) {
 		}
 	}
 
+	// A second save of the loaded service reproduces the same bytes.
+	// (Checked before any new ranks: v3 snapshots carry open events, so
+	// ranking would legitimately grow the saved state.)
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("save(load(save(x))) != save(x)")
+	}
+
 	// Propensities must round-trip too: with the same epsilon and action
 	// count, greedy and exploratory ranks report the same probabilities.
 	k := float64(len(actions))
@@ -83,15 +94,6 @@ func TestSaveLoadPreservesScoresAndPropensities(t *testing.T) {
 	}
 	if u.Prob != 1/k {
 		t.Errorf("RankUniform prob = %v, want %v", u.Prob, 1/k)
-	}
-
-	// A second save of the loaded service reproduces the same bytes.
-	var buf2 bytes.Buffer
-	if err := loaded.Save(&buf2); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
-		t.Error("save(load(save(x))) != save(x)")
 	}
 }
 
@@ -127,7 +129,7 @@ func TestLoadSkipsBlankLinesAndRestoresConfig(t *testing.T) {
 	if err := svc.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	wantHeader := "qoadvisor-bandit v2 dim=1024 epsilon=0.25 lr=0.07 clip=30"
+	wantHeader := "qoadvisor-bandit v3 dim=1024 epsilon=0.25 lr=0.07 clip=30 wal=0"
 	if got := strings.SplitN(buf.String(), "\n", 2)[0]; got != wantHeader {
 		t.Errorf("resaved header = %q, want %q", got, wantHeader)
 	}
@@ -175,14 +177,21 @@ func TestLoadMigratesV1Snapshots(t *testing.T) {
 	if err := svc.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), "qoadvisor-bandit v2 ") {
-		t.Errorf("resave after migration must write v2, got %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	if !strings.HasPrefix(buf.String(), "qoadvisor-bandit v3 ") {
+		t.Errorf("resave after migration must write v3, got %q", strings.SplitN(buf.String(), "\n", 2)[0])
 	}
 }
 
 func TestLoadRejectsUnknownVersion(t *testing.T) {
+	data := "qoadvisor-bandit v4 dim=1024 epsilon=0.25 lr=0.07 clip=30 wal=0\n"
+	if _, err := Load(strings.NewReader(data), 1); err == nil {
+		t.Error("v4 snapshot should be rejected")
+	}
+}
+
+func TestLoadRejectsV3WithoutWALField(t *testing.T) {
 	data := "qoadvisor-bandit v3 dim=1024 epsilon=0.25 lr=0.07 clip=30\n"
 	if _, err := Load(strings.NewReader(data), 1); err == nil {
-		t.Error("v3 snapshot should be rejected")
+		t.Error("v3 snapshot without wal= field should be rejected")
 	}
 }

@@ -228,22 +228,44 @@ func (h *httpLayer) rankBatch(jobs []api.RankRequest) []api.RankResult {
 
 // rewardBatch feeds a telemetry batch to the ingestion queue. Events
 // that name no logged rank decision are rejected synchronously
-// (unknown_event) rather than silently dropped on the async path;
-// queue saturation rejects the remainder with queue_full.
+// (unknown_event) rather than silently dropped on the async path; the
+// valid remainder is accepted as one batch — journaled before this
+// call returns when the server runs with a WAL, so a 202 means the
+// telemetry is as durable as the configured sync mode promises — with
+// queue saturation rejecting the overflow as queue_full.
 func (h *httpLayer) rewardBatch(events []api.RewardEvent) (queued int, rejected []api.RewardRejection) {
 	reject := func(i int, e *api.Error) {
 		rejected = append(rejected, api.RewardRejection{Index: i, EventID: events[i].EventID, Error: *e})
 	}
+	entries := make([]bandit.RewardEntry, 0, len(events))
+	idxs := make([]int, 0, len(events))
 	for i, ev := range events {
 		switch {
 		case ev.EventID == "" || ev.Reward == nil:
 			reject(i, api.Errorf(api.CodeInvalidRequest, "eventId and reward are required"))
 		case !h.srv.bandit.HasEvent(ev.EventID):
 			reject(i, api.Errorf(api.CodeUnknownEvent, "unknown event %q", ev.EventID))
-		case !h.srv.RewardAsync(ev.EventID, *ev.Reward):
-			reject(i, api.Errorf(api.CodeQueueFull, "reward queue full, retry"))
 		default:
-			queued++
+			entries = append(entries, bandit.RewardEntry{EventID: ev.EventID, Value: *ev.Reward})
+			idxs = append(idxs, i)
+		}
+	}
+	if len(entries) == 0 {
+		return 0, rejected
+	}
+	accepted, err := h.srv.ingest.EnqueueBatch(entries)
+	queued = accepted
+	for k := accepted; k < len(entries); k++ {
+		// A journal failure with nothing accepted means the append
+		// itself failed — those events were never queued (internal). Any
+		// other shortfall is queue capacity, the retryable condition
+		// (including a post-queue Commit failure: the overflow entries
+		// were dropped for capacity before the journal was involved, so
+		// they must keep the backpressure signal).
+		if err != nil && accepted == 0 {
+			reject(idxs[k], api.Errorf(api.CodeInternal, "journaling reward: %v", err))
+		} else {
+			reject(idxs[k], api.Errorf(api.CodeQueueFull, "reward queue full, retry"))
 		}
 	}
 	return queued, rejected

@@ -3,10 +3,10 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/wal"
 )
 
 // reward is one queued reward observation.
@@ -21,8 +21,16 @@ type reward struct {
 // rewards. Keeping reward application and SGD off the request path is
 // what lets /v1/reward return in microseconds while the model still
 // learns continuously.
+//
+// When a WAL is attached, every accepted batch is journaled before the
+// caller is acknowledged (the durability barrier the journal's Commit
+// mode defines), and journal order equals apply order — the invariant
+// deterministic crash replay rests on — because the journal append and
+// the queue hand-off happen atomically under seqMu and the default
+// single worker drains the queue in FIFO order.
 type Ingestor struct {
 	svc        *bandit.Service
+	wal        *wal.WAL // nil = in-memory only
 	ch         chan reward
 	trainEvery int64
 
@@ -31,10 +39,18 @@ type Ingestor struct {
 	closed  bool
 	wg      sync.WaitGroup
 
-	// queued counts accepted-but-not-yet-applied rewards; Drain spins on
-	// it reaching zero.
-	queued  atomic.Int64
-	pending atomic.Int64 // applied since the last training pass
+	// seqMu makes journal-append + channel-send atomic so WAL record
+	// order equals queue (and hence apply) order. The checkpoint
+	// barrier holds it to fence new intake.
+	seqMu sync.Mutex
+
+	// queued counts accepted-but-not-yet-applied rewards; drainMu/
+	// drainCond let Drain sleep until it reaches zero instead of
+	// busy-polling.
+	queued    atomic.Int64
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+	pending   atomic.Int64 // applied since the last training pass
 
 	enqueued      atomic.Int64
 	dropped       atomic.Int64
@@ -42,17 +58,19 @@ type Ingestor struct {
 	unknown       atomic.Int64
 	trainRuns     atomic.Int64
 	trainedEvents atomic.Int64
+	journalErrs   atomic.Int64
 }
 
 // NewIngestor starts an ingestion pipeline over the given bandit
-// service. queueSize bounds the reward backlog (default 4096); workers
-// is the drain pool size; trainEvery is the training batch size in
-// applied rewards (default 256). The default pool size is 1: reward
-// application serializes on the bandit's event-log mutex anyway, so
-// extra workers only add contention against the Rank hot path — raise
-// it only when reward application itself stops being the bottleneck
-// (e.g. a future sharded learner).
-func NewIngestor(svc *bandit.Service, queueSize, workers, trainEvery int) *Ingestor {
+// service. j, when non-nil, is the durable reward journal. queueSize
+// bounds the reward backlog (default 4096); workers is the drain pool
+// size; trainEvery is the training batch size in applied rewards
+// (default bandit.DefaultTrainEvery). The default pool size is 1:
+// reward application serializes on the bandit's event-log mutex
+// anyway, so extra workers only add contention against the Rank hot
+// path — and with a journal attached, a single worker is also what
+// keeps apply order equal to journal order for deterministic replay.
+func NewIngestor(svc *bandit.Service, j *wal.WAL, queueSize, workers, trainEvery int) *Ingestor {
 	if queueSize <= 0 {
 		queueSize = 4096
 	}
@@ -60,18 +78,23 @@ func NewIngestor(svc *bandit.Service, queueSize, workers, trainEvery int) *Inges
 		workers = 1
 	}
 	if trainEvery <= 0 {
-		trainEvery = 256
+		trainEvery = bandit.DefaultTrainEvery
 	}
 	in := &Ingestor{
 		svc:        svc,
+		wal:        j,
 		ch:         make(chan reward, queueSize),
 		trainEvery: int64(trainEvery),
 	}
+	in.drainCond = sync.NewCond(&in.drainMu)
 	in.start(workers)
 	return in
 }
 
 func (in *Ingestor) start(workers int) {
+	if in.drainCond == nil {
+		in.drainCond = sync.NewCond(&in.drainMu)
+	}
 	for i := 0; i < workers; i++ {
 		in.wg.Add(1)
 		go in.worker()
@@ -98,7 +121,13 @@ func (in *Ingestor) apply(r reward) {
 			}
 		}
 	}
-	in.queued.Add(-1)
+	if in.queued.Add(-1) == 0 {
+		// Pair the broadcast with the drain lock so a Drain caller
+		// between its counter check and cond.Wait cannot miss the wake.
+		in.drainMu.Lock()
+		in.drainMu.Unlock()
+		in.drainCond.Broadcast()
+	}
 }
 
 func (in *Ingestor) train() {
@@ -107,40 +136,116 @@ func (in *Ingestor) train() {
 	in.trainedEvents.Add(int64(n))
 }
 
-// Enqueue submits a reward without blocking. It returns false when the
-// queue is full or the ingestor is closed — backpressure the HTTP layer
-// surfaces as 503 so callers can retry.
+// Enqueue submits one reward without blocking — the single-event
+// adapter over EnqueueBatch. It returns false when the queue is full
+// or the ingestor is closed (backpressure the HTTP layer surfaces as
+// 503 so callers can retry), or when the journal rejected the write.
 func (in *Ingestor) Enqueue(eventID string, value float64) bool {
+	n, err := in.EnqueueBatch([]bandit.RewardEntry{{EventID: eventID, Value: value}})
+	return n == 1 && err == nil
+}
+
+// EnqueueBatch submits a reward batch without blocking. A prefix of
+// the batch sized to the queue's free capacity is accepted — journaled
+// (when a WAL is attached) and queued, in that order, atomically with
+// respect to other batches — and the remainder is dropped for the
+// caller to reject with backpressure. The returned error reports a
+// journal failure: when it is non-nil and accepted is 0 nothing was
+// queued; a non-nil error with accepted > 0 means the rewards were
+// queued but their durability could not be confirmed (fail-stop disk).
+func (in *Ingestor) EnqueueBatch(entries []bandit.RewardEntry) (accepted int, err error) {
 	in.closeMu.RLock()
 	defer in.closeMu.RUnlock()
 	if in.closed {
-		in.dropped.Add(1)
-		return false
+		in.dropped.Add(int64(len(entries)))
+		return 0, nil
 	}
-	// Count before handing off: a worker can pick the item up and apply
+
+	in.seqMu.Lock()
+	// Workers only drain the channel, and seqMu serializes senders, so
+	// this free-capacity read is a safe lower bound: the sends below
+	// cannot block.
+	free := cap(in.ch) - len(in.ch)
+	n := len(entries)
+	if n > free {
+		n = free
+	}
+	var lsn uint64
+	if n > 0 && in.wal != nil {
+		lsn, err = in.wal.Append(bandit.EncodeRewardBatch(entries[:n]))
+		if err != nil {
+			in.seqMu.Unlock()
+			in.journalErrs.Add(1)
+			in.dropped.Add(int64(len(entries)))
+			return 0, err
+		}
+	}
+	// Count before handing off: a worker can pick an item up and apply
 	// it before this goroutine resumes, and Drain must never observe
 	// queued==0 while an accepted reward is still in flight.
-	in.queued.Add(1)
-	select {
-	case in.ch <- reward{eventID: eventID, value: value}:
-		in.enqueued.Add(1)
-		return true
-	default:
-		in.queued.Add(-1)
-		in.dropped.Add(1)
-		return false
+	in.queued.Add(int64(n))
+	for i := 0; i < n; i++ {
+		in.ch <- reward{eventID: entries[i].EventID, value: entries[i].Value}
 	}
+	in.seqMu.Unlock()
+
+	in.enqueued.Add(int64(n))
+	in.dropped.Add(int64(len(entries) - n))
+	if n > 0 && in.wal != nil {
+		// The durability barrier: sync mode waits for the group fsync
+		// covering this batch, async returns immediately, off never
+		// syncs. Held outside seqMu so concurrent batches share fsyncs.
+		if cerr := in.wal.Commit(lsn); cerr != nil {
+			in.journalErrs.Add(1)
+			return n, cerr
+		}
+	}
+	return n, nil
 }
 
-// Drain blocks until every accepted reward has been applied, then runs a
-// final training pass over whatever remains below the batch threshold.
-// It is a test/shutdown aid, not a hot-path call.
-func (in *Ingestor) Drain() {
+// waitDrained blocks until every accepted reward has been applied.
+func (in *Ingestor) waitDrained() {
+	in.drainMu.Lock()
 	for in.queued.Load() > 0 {
-		time.Sleep(100 * time.Microsecond)
+		in.drainCond.Wait()
+	}
+	in.drainMu.Unlock()
+}
+
+// trainFlush journals a train mark (so replay reproduces this
+// boundary) and runs a training pass over whatever is pending below
+// the batch threshold.
+func (in *Ingestor) trainFlush() {
+	if in.wal != nil {
+		if _, err := in.wal.Append(bandit.EncodeTrainMark()); err != nil {
+			in.journalErrs.Add(1)
+		}
 	}
 	in.pending.Store(0)
 	in.train()
+}
+
+// Drain blocks until every accepted reward has been applied, then runs
+// a final training pass over whatever remains below the batch
+// threshold. It holds the intake fence (seqMu) across the wait and the
+// flush so the journaled train mark cannot land after a reward batch
+// that the flush did not train — the ordering deterministic replay
+// depends on. It is a test/shutdown aid, not a hot-path call.
+func (in *Ingestor) Drain() {
+	in.seqMu.Lock()
+	in.waitDrained()
+	in.trainFlush()
+	in.seqMu.Unlock()
+}
+
+// Quiesce fences the ingestion pipeline for a checkpoint barrier: new
+// batches block at seqMu, and the call returns once every already
+// accepted reward has been applied. The caller runs its critical
+// section (train flush, snapshot encode) and then releases.
+func (in *Ingestor) Quiesce() (release func()) {
+	in.seqMu.Lock()
+	in.waitDrained()
+	return in.seqMu.Unlock
 }
 
 // Close stops accepting rewards, drains the queue, applies a final
@@ -156,8 +261,8 @@ func (in *Ingestor) Close() {
 	in.closeMu.Unlock()
 	in.wg.Wait()
 	in.queued.Store(0)
-	in.pending.Store(0)
-	in.train()
+	in.drainCond.Broadcast()
+	in.trainFlush()
 }
 
 // Stats returns a snapshot of the ingestion counters in wire form
@@ -172,5 +277,6 @@ func (in *Ingestor) Stats() api.IngestStats {
 		TrainedEvents: in.trainedEvents.Load(),
 		QueueDepth:    len(in.ch),
 		QueueCap:      cap(in.ch),
+		JournalErrors: in.journalErrs.Load() + in.svc.JournalErrors(),
 	}
 }

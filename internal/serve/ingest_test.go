@@ -26,7 +26,7 @@ func rankEvents(t *testing.T, svc *bandit.Service, n int) []string {
 
 func TestIngestorAppliesAndTrains(t *testing.T) {
 	svc := bandit.New(bandit.DefaultConfig(5))
-	in := NewIngestor(svc, 128, 2, 16)
+	in := NewIngestor(svc, nil, 128, 2, 16)
 	defer in.Close()
 
 	ids := rankEvents(t, svc, 64)
@@ -60,7 +60,7 @@ func TestIngestorAppliesAndTrains(t *testing.T) {
 
 func TestIngestorUnknownEvents(t *testing.T) {
 	svc := bandit.New(bandit.DefaultConfig(5))
-	in := NewIngestor(svc, 16, 1, 4)
+	in := NewIngestor(svc, nil, 16, 1, 4)
 	defer in.Close()
 	in.Enqueue("ev-no-such", 1.0)
 	in.Drain()
@@ -97,7 +97,7 @@ func TestIngestorBackpressure(t *testing.T) {
 
 func TestIngestorCloseRejectsAndDrains(t *testing.T) {
 	svc := bandit.New(bandit.DefaultConfig(5))
-	in := NewIngestor(svc, 64, 2, 1000) // batch too large to trigger mid-run
+	in := NewIngestor(svc, nil, 64, 2, 1000) // batch too large to trigger mid-run
 	ids := rankEvents(t, svc, 32)
 	for _, id := range ids {
 		in.Enqueue(id, 2.0)

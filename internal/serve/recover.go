@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/wal"
+)
+
+// RecoverResult reports what Recover rebuilt.
+type RecoverResult struct {
+	// Service is the reconstructed learner (never nil on success).
+	Service *bandit.Service
+	// SnapshotLoaded reports whether a snapshot file seeded the model.
+	SnapshotLoaded bool
+	// FromLSN is the snapshot's WAL watermark replay started after.
+	FromLSN uint64
+	// Replay counts what the journal suffix contributed.
+	Replay bandit.ReplayStats
+	// Journal describes the replay pass (tail truncation etc).
+	Journal wal.ReplayInfo
+}
+
+// Recovered reports whether any persisted state was found — when
+// false the caller should fall back to its bootstrap path (the model
+// is a fresh, untrained learner).
+func (r RecoverResult) Recovered() bool {
+	return r.SnapshotLoaded || r.Journal.Records > 0
+}
+
+// Recover rebuilds a bandit model from a snapshot plus the journal
+// suffix above its watermark: the startup path of a WAL-backed server
+// and the offline "-replay" ops mode. snapshotPath may be empty or
+// name a file that does not exist yet (first boot) — the journal is
+// then replayed from the beginning into a fresh learner built with
+// DefaultConfig(seed). trainEvery and maxLogEvents must match the
+// serving configuration (both with Config's 0-default / negative-
+// unbounded semantics) or replay would train on different boundaries —
+// or evict different events — than the live run did.
+//
+// Recovery is deterministic: replaying the same snapshot and journal
+// yields a bit-identical model, and under the single-worker ingestion
+// default it is also bit-identical to the model the crashed process
+// had built (modulo rewards that were never journaled durably, and
+// modulo event-log eviction: under cap pressure the live interleaving
+// of ranks and reward applies is not recorded, so replay may evict on
+// slightly different boundaries). A torn or corrupt journal tail —
+// the signature of a crash mid-append — is skipped cleanly and
+// reported in the result; damage before the tail fails loudly instead,
+// because that is data loss, not a crash artifact.
+func Recover(src wal.Source, snapshotPath string, trainEvery, maxLogEvents int, seed int64) (RecoverResult, error) {
+	var res RecoverResult
+	if snapshotPath != "" {
+		f, err := os.Open(snapshotPath)
+		switch {
+		case err == nil:
+			res.Service, err = bandit.Load(f, seed)
+			f.Close()
+			if err != nil {
+				return res, fmt.Errorf("loading snapshot %s: %w", snapshotPath, err)
+			}
+			res.SnapshotLoaded = true
+			res.FromLSN = res.Service.WALWatermark()
+		case errors.Is(err, os.ErrNotExist):
+			// first boot: no snapshot yet
+		default:
+			return res, err
+		}
+	}
+	if res.Service == nil {
+		res.Service = bandit.New(bandit.DefaultConfig(seed))
+	}
+	// Apply the serving event-log cap before replay so eviction behaves
+	// as it did live (serve.New applies the same rule to the learner).
+	switch {
+	case maxLogEvents == 0:
+		res.Service.SetMaxLog(1 << 14)
+	case maxLogEvents > 0:
+		res.Service.SetMaxLog(maxLogEvents)
+	default:
+		res.Service.SetMaxLog(0)
+	}
+
+	rp := bandit.NewReplayer(res.Service, trainEvery)
+	info, err := src.Replay(res.FromLSN, rp.Apply)
+	res.Journal = info
+	res.Replay = rp.Stats
+	if err != nil {
+		return res, fmt.Errorf("replaying journal: %w", err)
+	}
+	if info.Records > 0 {
+		// Drain-equivalent tail flush: rewards past the last training
+		// boundary train now, exactly as a graceful shutdown would have
+		// trained them.
+		rp.Finish()
+		res.Replay = rp.Stats
+	}
+	return res, nil
+}

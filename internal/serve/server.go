@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"io"
 	"os"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/sis"
+	"qoadvisor/internal/wal"
 )
 
 // Config parameterizes the steering server.
@@ -48,6 +50,13 @@ type Config struct {
 	MaxLogEvents int
 	// SnapshotPath is where POST /v1/model/snapshot persists the model.
 	SnapshotPath string
+	// WAL, when non-nil, is the durable reward journal: rank decisions
+	// are journaled by the learner, reward batches are journaled before
+	// acknowledgment, and Checkpoint snapshots the model with a WAL
+	// watermark and truncates covered segments. The server takes
+	// ownership of journaling but not of the WAL's lifecycle — the
+	// caller still closes it (after Close and the final Checkpoint).
+	WAL *wal.WAL
 }
 
 // Server is the embeddable online steering service. It serves hint-cache
@@ -60,6 +69,12 @@ type Server struct {
 	cache  *HintCache
 	bandit *bandit.Service
 	ingest *Ingestor
+	wal    *wal.WAL
+
+	checkpoints    atomic.Int64
+	lastCkptLSN    atomic.Uint64
+	lastCkptBytes  atomic.Int64
+	lastCkptMicros atomic.Int64
 
 	uniform      bool
 	rankWorkers  int
@@ -94,11 +109,17 @@ func New(cfg Config) *Server {
 		cat:          cfg.Catalog,
 		cache:        NewHintCache(cfg.Shards),
 		bandit:       cfg.Bandit,
-		ingest:       NewIngestor(cfg.Bandit, cfg.QueueSize, cfg.Workers, cfg.TrainEvery),
+		wal:          cfg.WAL,
+		ingest:       NewIngestor(cfg.Bandit, cfg.WAL, cfg.QueueSize, cfg.Workers, cfg.TrainEvery),
 		uniform:      cfg.Uniform,
 		rankWorkers:  cfg.RankWorkers,
 		snapshotPath: cfg.SnapshotPath,
 		start:        time.Now(),
+	}
+	if cfg.WAL != nil {
+		// Attach after any snapshot load / journal replay the caller did:
+		// from here on every rank decision is journaled.
+		cfg.Bandit.AttachJournal(cfg.WAL)
 	}
 	s.http = newHTTPLayer(s)
 	return s
@@ -202,6 +223,25 @@ func (s *Server) RewardAsync(eventID string, value float64) bool {
 // Stats snapshots the serving counters (the /v1/stats field set; the
 // HTTP layer adds request ID and per-route metrics for /v2/stats).
 func (s *Server) Stats() api.StatsResponse {
+	var walStats *api.WALStats
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		walStats = &api.WALStats{
+			Mode:              ws.Mode,
+			FirstLSN:          ws.FirstLSN,
+			LastLSN:           ws.LastLSN,
+			SyncedLSN:         ws.SyncedLSN,
+			Appends:           ws.Appends,
+			AppendedBytes:     ws.AppendedBytes,
+			Syncs:             ws.Syncs,
+			Segments:          ws.Segments,
+			TruncatedSegments: ws.TruncatedSegs,
+			Checkpoints:       s.checkpoints.Load(),
+			LastCheckpointLSN: s.lastCkptLSN.Load(),
+			LastCheckpointB:   s.lastCkptBytes.Load(),
+			LastCheckpointUs:  s.lastCkptMicros.Load(),
+		}
+	}
 	return api.StatsResponse{
 		UptimeSec:    time.Since(s.start).Seconds(),
 		RankRequests: s.rankRequests.Load(),
@@ -213,6 +253,7 @@ func (s *Server) Stats() api.StatsResponse {
 		CacheShards:  s.cache.Shards(),
 		BanditLog:    int64(s.bandit.LogSize()),
 		Ingest:       s.ingest.Stats(),
+		WAL:          walStats,
 	}
 }
 
@@ -232,47 +273,103 @@ func (s *Server) Health() api.HealthResponse {
 // SnapshotTo streams the learner's persisted form (bandit.Save).
 func (s *Server) SnapshotTo(w io.Writer) error { return s.bandit.Save(w) }
 
-// SnapshotToPath persists the model to the given path atomically
-// (write to temp file, rename) and returns the byte count.
-func (s *Server) SnapshotToPath(path string) (int64, error) {
+// CheckpointInfo reports one checkpoint's outcome.
+type CheckpointInfo struct {
+	// Bytes is the snapshot size written.
+	Bytes int64
+	// LSN is the WAL watermark the snapshot covers (0 without a WAL).
+	LSN uint64
+	// SegmentsRemoved counts WAL segments compacted away.
+	SegmentsRemoved int
+	// Duration is the end-to-end checkpoint time, including the barrier.
+	Duration time.Duration
+}
+
+// Checkpoint persists the model to path atomically and, when a WAL is
+// attached, runs the full durability barrier first: reward intake is
+// fenced, the queue drains, a train mark flushes pending telemetry
+// into the weights, and the snapshot records the WAL watermark it
+// covers — so recovery replays only the suffix. Sealed segments wholly
+// below the watermark are then truncated (snapshot compaction).
+//
+// This is the one snapshot entry point for recovery-grade state:
+// SIGTERM, the -snapshot-every ticker, and POST /v1/model/snapshot all
+// land here.
+func (s *Server) Checkpoint(path string) (CheckpointInfo, error) {
+	start := time.Now()
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+
+	var info CheckpointInfo
+	var buf bytes.Buffer
+	if s.wal != nil {
+		release := s.ingest.Quiesce()
+		s.ingest.trainFlush()
+		err := s.bandit.CheckpointTo(&buf)
+		release()
+		if err != nil {
+			return info, err
+		}
+		// Make the journal durable up to the watermark (covers the train
+		// mark) before the snapshot that claims to supersede it can be
+		// promoted.
+		if err := s.wal.Sync(); err != nil {
+			return info, err
+		}
+	} else {
+		if err := s.bandit.Save(&buf); err != nil {
+			return info, err
+		}
+	}
+	if err := writeFileAtomic(path, buf.Bytes()); err != nil {
+		return info, err
+	}
+	info.Bytes = int64(buf.Len())
+	if s.wal != nil {
+		info.LSN = s.bandit.WALWatermark()
+		info.SegmentsRemoved = s.wal.TruncateBefore(info.LSN)
+	}
+	info.Duration = time.Since(start)
+	s.checkpoints.Add(1)
+	s.lastCkptLSN.Store(info.LSN)
+	s.lastCkptBytes.Store(info.Bytes)
+	s.lastCkptMicros.Store(info.Duration.Microseconds())
+	return info, nil
+}
+
+// SnapshotToPath persists the model to the given path atomically and
+// returns the byte count. It is Checkpoint under the covers, so the
+// snapshot is always recovery-grade.
+func (s *Server) SnapshotToPath(path string) (int64, error) {
+	info, err := s.Checkpoint(path)
+	return info.Bytes, err
+}
+
+// writeFileAtomic writes data via a temp file, fsync, and rename:
+// a crash mid-write can never promote an empty or truncated snapshot.
+func writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
-		return 0, err
+		return err
 	}
-	cw := &countingWriter{w: f}
-	if err := s.bandit.Save(cw); err != nil {
+	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, err
+		return err
 	}
-	// Sync before rename: otherwise a crash can promote an empty or
-	// truncated snapshot, and the next start fails loading it.
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return 0, err
+		return err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return 0, err
+		return err
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
-		return 0, err
+		return err
 	}
-	return cw.n, nil
-}
-
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	return nil
 }

@@ -1,0 +1,340 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/wal"
+)
+
+// walTestRig is a WAL-backed server driven over real HTTP, plus the
+// journal and snapshot paths crash-recovery tests poke at.
+type walTestRig struct {
+	srv  *Server
+	ts   *httptest.Server
+	cl   *client.Client
+	j    *wal.WAL
+	dir  string
+	snap string
+}
+
+const walTestTrainEvery = 8
+
+func newWALRig(t *testing.T, segBytes int64) *walTestRig {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Mode: wal.ModeSync, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Seed: 42, TrainEvery: walTestTrainEvery, QueueSize: 1024, WAL: j})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return &walTestRig{
+		srv:  srv,
+		ts:   ts,
+		cl:   client.New(ts.URL),
+		j:    j,
+		dir:  dir,
+		snap: filepath.Join(dir, "model.snap"),
+	}
+}
+
+// rankSome steers n bandit-path jobs over /v2/rank and returns their
+// event IDs.
+func (r *walTestRig) rankSome(t *testing.T, n, salt int) []string {
+	t.Helper()
+	jobs := make([]api.RankRequest, n)
+	for i := range jobs {
+		jobs[i] = api.RankRequest{
+			TemplateHash: api.TemplateHash(uint64(salt)<<32 | uint64(i)),
+			Span:         []int{3 + (i+salt)%50, 60 + (i*7+salt)%50, 120 + i%30},
+			RowCount:     float64(1000 * (i + 1)),
+		}
+	}
+	resp, err := r.cl.RankBatch(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]string, 0, n)
+	for i, res := range resp.Results {
+		if res.Error != nil {
+			t.Fatalf("job %d rejected: %v", i, res.Error)
+		}
+		if res.EventID == "" {
+			t.Fatalf("job %d took the hint path in a hintless server", i)
+		}
+		ids = append(ids, res.EventID)
+	}
+	return ids
+}
+
+// rewardAll posts one /v2/reward batch for the given events and
+// requires full acceptance.
+func (r *walTestRig) rewardAll(t *testing.T, ids []string, v float64) {
+	t.Helper()
+	events := make([]api.RewardEvent, len(ids))
+	for i, id := range ids {
+		val := v + float64(i)*0.01
+		events[i] = api.RewardEvent{EventID: id, Reward: &val}
+	}
+	resp, err := r.cl.RewardBatch(context.Background(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Queued != len(ids) {
+		t.Fatalf("queued %d of %d rewards: %+v", resp.Queued, len(ids), resp.Rejected)
+	}
+}
+
+// captureLive drains the pipeline, syncs the journal, and returns the
+// live model's persisted form with its watermark at the journal end —
+// the reference a crash recovery must reproduce byte for byte.
+func (r *walTestRig) captureLive(t *testing.T) []byte {
+	t.Helper()
+	r.srv.Ingestor().Drain()
+	if err := r.j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Bandit().SetWALWatermark(r.j.LastLSN())
+	var buf bytes.Buffer
+	if err := r.srv.Bandit().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// recoverBytes rebuilds a model from the rig's snapshot + journal
+// directory (the crashed-process view) and returns its persisted form.
+func (r *walTestRig) recoverBytes(t *testing.T, seed int64) ([]byte, RecoverResult) {
+	t.Helper()
+	rec, err := Recover(wal.DirSource{Dir: r.dir}, r.snap, walTestTrainEvery, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.Service.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), rec
+}
+
+// TestCrashRecoveryEquivalence is the acceptance core: a model rebuilt
+// from snapshot + WAL suffix must be byte-identical to the live
+// model's Save output, through the real HTTP serving path — including
+// rewards that straddle the checkpoint (ranked before it, rewarded
+// after) and events that were never rewarded at all.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	r := newWALRig(t, 2048)
+
+	// Phase 1: traffic, partially rewarded.
+	ids1 := r.rankSome(t, 60, 1)
+	r.rewardAll(t, ids1[:20], 1.0)
+	r.rewardAll(t, ids1[20:40], 0.5)
+
+	// Mid-run checkpoint: quiesce, train-flush, snapshot with
+	// watermark, compact covered segments.
+	info, err := r.srv.Checkpoint(r.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LSN == 0 || info.Bytes == 0 {
+		t.Fatalf("checkpoint info = %+v", info)
+	}
+	if info.SegmentsRemoved == 0 {
+		t.Errorf("no segments compacted at 2 KiB segment size (info %+v, wal %+v)", info, r.j.Stats())
+	}
+
+	// Phase 2: more traffic, including rewards for phase-1 events that
+	// were open at checkpoint time (they travel in the snapshot).
+	ids2 := r.rankSome(t, 40, 2)
+	r.rewardAll(t, append(append([]string{}, ids1[40:55]...), ids2[:25]...), 0.75)
+
+	want := r.captureLive(t)
+
+	// "Crash": nothing is closed gracefully; recovery reads the
+	// snapshot and journal exactly as a restarted process would.
+	got, rec := r.recoverBytes(t, 777)
+	if !rec.SnapshotLoaded || rec.Journal.Skipped == 0 || rec.Journal.Records == 0 {
+		t.Fatalf("recovery did not use snapshot + suffix: %+v", rec)
+	}
+	if rec.Journal.Truncated {
+		t.Fatalf("clean journal reported truncated: %v", rec.Journal.TailError)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recovered model differs from live model\nlive %d bytes, recovered %d bytes\nlive head:\n%s\nrecovered head:\n%s",
+			len(want), len(got), head(want), head(got))
+	}
+
+	// Determinism: a second recovery from the same state is identical.
+	got2, _ := r.recoverBytes(t, 31337)
+	if !bytes.Equal(got, got2) {
+		t.Fatal("two recoveries from identical state diverged")
+	}
+
+	// The recovered model still serves: an event left open across the
+	// crash accepts its reward.
+	openID := ids1[59] // never rewarded
+	if !rec.Service.HasEvent(openID) {
+		t.Fatalf("open event %s lost in recovery", openID)
+	}
+	if err := rec.Service.Reward(openID, 1.25); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryTornTail kills the journal mid-record — the
+// signature of a crash during an append — and requires recovery to
+// skip the torn tail cleanly, reproducing the pre-tail state exactly.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	r := newWALRig(t, 1<<20) // one segment: the torn record is in it
+
+	ids := r.rankSome(t, 30, 9)
+	r.rewardAll(t, ids[:12], 1.0)
+	if _, err := r.srv.Checkpoint(r.snap); err != nil {
+		t.Fatal(err)
+	}
+	r.rewardAll(t, ids[12:20], 0.5)
+
+	// Reference point: everything up to here is durable and captured.
+	want := r.captureLive(t)
+	segs, err := filepath.Glob(filepath.Join(r.dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	lastSeg := segs[len(segs)-1]
+	fi, err := os.Stat(lastSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizeAtCapture := fi.Size()
+
+	// One more durable reward batch after the capture...
+	r.rewardAll(t, ids[20:25], 0.25)
+	r.srv.Ingestor().Drain()
+	if err := r.j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// ...then tear it: cut the file a few bytes into the record that
+	// follows the captured state, as a crash mid-write would.
+	if err := os.Truncate(lastSeg, sizeAtCapture+5); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rec := r.recoverBytes(t, 5)
+	if !rec.Journal.Truncated {
+		t.Fatal("torn tail not reported")
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recovery from torn tail differs from pre-tail state\nwant head:\n%s\ngot head:\n%s",
+			head(want), head(got))
+	}
+
+	// A server restarted on the damaged directory opens cleanly (Open
+	// truncates the tail) and keeps journaling from the valid end.
+	lastGood := rec.Service.WALWatermark()
+	j2, err := wal.Open(wal.Options{Dir: r.dir, Mode: wal.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.LastLSN() != lastGood {
+		t.Fatalf("reopened journal at LSN %d, recovery ended at %d", j2.LastLSN(), lastGood)
+	}
+	srv2 := New(Config{Seed: 7, TrainEvery: walTestTrainEvery, WAL: j2, Bandit: rec.Service})
+	defer srv2.Close()
+	resp, err := srv2.Rank(api.RankRequest{TemplateHash: 99, Span: []int{5, 80}})
+	if err != nil || resp.EventID == "" {
+		t.Fatalf("recovered server cannot rank: %+v %v", resp, err)
+	}
+	if !srv2.RewardAsync(resp.EventID, 1.0) {
+		t.Fatal("recovered server cannot ingest rewards")
+	}
+	srv2.Ingestor().Drain()
+}
+
+// TestCheckpointCompactsAndRestartsFromSuffix covers the compactor
+// contract end to end: after a checkpoint truncates covered segments,
+// a recovery that can no longer see the old records still reproduces
+// the live model (the snapshot carries everything below the
+// watermark).
+func TestCheckpointCompactsAndRestartsFromSuffix(t *testing.T) {
+	r := newWALRig(t, 1024)
+
+	for round := 0; round < 3; round++ {
+		ids := r.rankSome(t, 25, 10+round)
+		r.rewardAll(t, ids[:20], 0.6)
+		if _, err := r.srv.Checkpoint(r.snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.j.Stats()
+	if st.TruncatedSegs == 0 {
+		t.Fatalf("no compaction after 3 checkpoints at 1 KiB segments: %+v", st)
+	}
+	if st.FirstLSN <= 1 {
+		t.Fatalf("journal still starts at LSN %d after compaction", st.FirstLSN)
+	}
+
+	ids := r.rankSome(t, 10, 99)
+	r.rewardAll(t, ids[:5], 0.9)
+	want := r.captureLive(t)
+	got, rec := r.recoverBytes(t, 1)
+	if !bytes.Equal(want, got) {
+		t.Fatal("recovery after compaction differs from live model")
+	}
+	if rec.Journal.Skipped != 0 && rec.FromLSN < st.FirstLSN-1 {
+		t.Fatalf("replay started below the retained window: from %d, first retained %d", rec.FromLSN, st.FirstLSN)
+	}
+}
+
+// TestQuiesceFencesIntake pins the checkpoint barrier semantics: while
+// quiesced, new reward batches block (rather than slipping past the
+// snapshot's watermark) and resume after release.
+func TestQuiesceFencesIntake(t *testing.T) {
+	svc := bandit.New(bandit.DefaultConfig(3))
+	in := NewIngestor(svc, nil, 16, 1, 4)
+	defer in.Close()
+	ids := rankEvents(t, svc, 2)
+
+	release := in.Quiesce()
+	done := make(chan bool, 1)
+	go func() {
+		ok := in.Enqueue(ids[0], 1.0)
+		done <- ok
+	}()
+	select {
+	case <-done:
+		t.Fatal("Enqueue completed while quiesced")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("Enqueue failed after release")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Enqueue still blocked after release")
+	}
+	in.Drain()
+	if st := in.Stats(); st.Applied != 1 {
+		t.Fatalf("Applied = %d, want 1", st.Applied)
+	}
+}
+
+func head(b []byte) string {
+	const n = 400
+	if len(b) < n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

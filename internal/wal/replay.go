@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ReplayInfo summarizes one replay pass.
+type ReplayInfo struct {
+	// Records is how many records were delivered to the callback.
+	Records int64
+	// Skipped is how many records were below or at the requested start
+	// LSN and not delivered.
+	Skipped int64
+	// Truncated reports that the final segment ended in a torn or
+	// corrupt record; everything before the damage was delivered, the
+	// damaged tail was skipped (the crash-recovery contract).
+	Truncated bool
+	// TailError describes the damage when Truncated is set.
+	TailError error
+}
+
+// Source is anything a model can be replayed from: an open *WAL or an
+// offline DirSource.
+type Source interface {
+	// Replay calls fn for every record with LSN > afterLSN, in order. A
+	// torn or corrupt tail on the final segment ends the replay cleanly
+	// (reported in ReplayInfo); the same damage mid-log is an error —
+	// that is real data loss, not a crash artifact.
+	Replay(afterLSN uint64, fn func(lsn uint64, payload []byte) error) (ReplayInfo, error)
+}
+
+// DirSource replays a journal directory read-only, without opening it
+// for appends — the offline "-replay" ops path.
+type DirSource struct {
+	Dir string
+}
+
+// Replay implements Source.
+func (d DirSource) Replay(afterLSN uint64, fn func(lsn uint64, payload []byte) error) (ReplayInfo, error) {
+	segs, err := scanDir(d.Dir)
+	if err != nil {
+		return ReplayInfo{}, err
+	}
+	return replaySegments(segs, afterLSN, fn)
+}
+
+// Replay implements Source on the open journal. It flushes buffered
+// appends first so every appended record is visible; intended for the
+// startup window before concurrent appends begin.
+func (w *WAL) Replay(afterLSN uint64, fn func(lsn uint64, payload []byte) error) (ReplayInfo, error) {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return ReplayInfo{}, err
+	}
+	if w.bw != nil {
+		if err := w.bw.Flush(); err != nil {
+			w.err = err
+			w.mu.Unlock()
+			return ReplayInfo{}, err
+		}
+	}
+	segs := append([]segment(nil), w.segs...)
+	w.mu.Unlock()
+	return replaySegments(segs, afterLSN, fn)
+}
+
+func replaySegments(segs []segment, afterLSN uint64, fn func(lsn uint64, payload []byte) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	cb := func(lsn uint64, payload []byte) error {
+		if lsn <= afterLSN {
+			info.Skipped++
+			return nil
+		}
+		info.Records++
+		return fn(lsn, payload)
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		// The next segment's first LSN bounds this one: a sealed segment
+		// wholly at or below the start point is skipped without reading.
+		if !last && segs[i+1].firstLSN > seg.firstLSN && segs[i+1].firstLSN-1 <= afterLSN {
+			info.Skipped += int64(segs[i+1].firstLSN - seg.firstLSN)
+			continue
+		}
+		_, _, tailErr, err := scanSegment(seg.path, seg.firstLSN, cb)
+		if err != nil {
+			return info, err
+		}
+		if tailErr != nil {
+			if !last {
+				return info, fmt.Errorf("wal: segment %s damaged mid-log: %w", seg.path, tailErr)
+			}
+			info.Truncated = true
+			info.TailError = tailErr
+		}
+	}
+	return info, nil
+}
+
+// scanSegment walks one segment file. It returns how many whole, valid
+// records the segment holds and the byte offset just past the last one.
+// tailErr describes a torn or corrupt tail (nil for a clean end); fn,
+// when non-nil, receives every record in order.
+func scanSegment(path string, firstLSN uint64, fn func(lsn uint64, payload []byte) error) (count int, validEnd int64, tailErr error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("wal: %s: short segment header: %w", path, err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return 0, 0, nil, fmt.Errorf("wal: %s: bad segment magic %q", path, hdr[:8])
+	}
+	if got := binary.LittleEndian.Uint64(hdr[8:]); got != firstLSN {
+		return 0, 0, nil, fmt.Errorf("wal: %s: header first LSN %d, directory scan said %d", path, got, firstLSN)
+	}
+	validEnd = segHeaderSize
+	var rec [recHeaderSize]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return count, validEnd, nil, nil // clean end
+			}
+			return count, validEnd, fmt.Errorf("torn record header at offset %d: %w", validEnd, err), nil
+		}
+		length := binary.LittleEndian.Uint32(rec[:4])
+		crc := binary.LittleEndian.Uint32(rec[4:])
+		if length == 0 || length > MaxRecordSize {
+			return count, validEnd, fmt.Errorf("corrupt record length %d at offset %d", length, validEnd), nil
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return count, validEnd, fmt.Errorf("torn record payload at offset %d: %w", validEnd, err), nil
+		}
+		if got := crc32.Checksum(payload, crcTable); got != crc {
+			return count, validEnd, fmt.Errorf("CRC mismatch at offset %d: stored %08x, computed %08x", validEnd, crc, got), nil
+		}
+		lsn := firstLSN + uint64(count)
+		count++
+		validEnd += int64(recHeaderSize) + int64(length)
+		if fn != nil {
+			if err := fn(lsn, payload); err != nil {
+				return count, validEnd, nil, err
+			}
+		}
+	}
+}

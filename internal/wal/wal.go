@@ -1,0 +1,685 @@
+// Package wal implements the durable reward journal: a segmented
+// append-only log with CRC32-framed binary records, group-commit
+// fsync batching, tail-corruption recovery, and prefix truncation for
+// snapshot compaction. The package is payload-agnostic — record
+// semantics (rank events, reward batches, train marks) live in
+// qoadvisor/internal/bandit — so the log can carry any telemetry the
+// serving stack needs to survive a crash.
+//
+// On-disk layout: the journal is a directory of numbered segment
+// files, wal-<index>.seg. Each segment starts with a 16-byte header
+// (8-byte magic, 8-byte little-endian first LSN) followed by records
+// framed as
+//
+//	[uint32 payload length][uint32 CRC32-Castagnoli of payload][payload]
+//
+// Log sequence numbers (LSNs) are assigned densely from 1 at append
+// time; a record's LSN is the segment's first LSN plus its index in
+// the segment, so positions never need to be stored per record.
+//
+// Durability model: Append always just buffers (so hot paths — the
+// bandit's rank logging under its event-log mutex — never wait on the
+// disk); Commit(lsn) applies the configured mode. ModeSync blocks the
+// caller until a group fsync covers lsn (concurrent committers share
+// one fsync — the group-commit window is what keeps per-record sync
+// cost amortized). ModeAsync returns immediately and lets the
+// background committer flush on its time/count window. ModeOff never
+// fsyncs at all (buffers still flush so readers see the data).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mode selects the durability discipline Commit applies.
+type Mode int
+
+const (
+	// ModeAsync (default): Commit returns immediately; the background
+	// committer fsyncs on the group-commit window. A crash can lose at
+	// most the last window of acknowledged records.
+	ModeAsync Mode = iota
+	// ModeSync: Commit blocks until the record is fsynced. Concurrent
+	// commits share one fsync (group commit).
+	ModeSync
+	// ModeOff: no fsync ever — durability is whatever the OS page cache
+	// survives. For benchmarks and tests.
+	ModeOff
+)
+
+// String renders the flag form.
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeOff:
+		return "off"
+	default:
+		return "async"
+	}
+}
+
+// ParseMode parses the flag form ("sync", "async", "off").
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "sync":
+		return ModeSync, nil
+	case "async", "":
+		return ModeAsync, nil
+	case "off":
+		return ModeOff, nil
+	}
+	return ModeAsync, fmt.Errorf("wal: unknown sync mode %q (want sync, async, or off)", s)
+}
+
+const (
+	segMagic      = "QOWAL001"
+	segHeaderSize = 16
+	recHeaderSize = 8
+	segPrefix     = "wal-"
+	segSuffix     = ".seg"
+
+	// MaxRecordSize bounds one payload; a length prefix beyond it is
+	// treated as corruption, not an allocation request.
+	MaxRecordSize = 16 << 20
+
+	// DefaultSegmentBytes rolls segments at 64 MiB.
+	DefaultSegmentBytes = 64 << 20
+	// DefaultFlushEvery is the group-commit window: in async mode the
+	// crash-loss bound for acknowledged records, in sync mode the
+	// latency floor idle commits can wait. 5ms trades a slightly wider
+	// async loss window for ~4x fewer fsyncs under rank-heavy load
+	// (each in-window fsync steals ~0.2-0.4ms from the serving path on
+	// a small host).
+	DefaultFlushEvery = 5 * time.Millisecond
+	// DefaultFlushBatch forces a flush after this many buffered records
+	// even inside the window, bounding buffered bytes under burst load.
+	DefaultFlushBatch = 1024
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir is the journal directory (created if absent).
+	Dir string
+	// Mode is the Commit durability discipline.
+	Mode Mode
+	// SegmentBytes rolls to a new segment once the active one exceeds
+	// this size (0 = DefaultSegmentBytes).
+	SegmentBytes int64
+	// FlushEvery is the group-commit window (0 = DefaultFlushEvery).
+	FlushEvery time.Duration
+	// FlushBatch forces a flush after this many buffered records
+	// (0 = DefaultFlushBatch).
+	FlushBatch int
+}
+
+// Stats is a point-in-time snapshot of the journal counters.
+type Stats struct {
+	Mode          string
+	FirstLSN      uint64 // oldest retained record (0 when empty)
+	LastLSN       uint64 // newest appended record (0 when empty)
+	SyncedLSN     uint64 // newest record covered by a flush (+fsync outside ModeOff)
+	Appends       int64
+	AppendedBytes int64
+	Syncs         int64
+	Segments      int
+	TruncatedSegs int64
+}
+
+// segment is one on-disk file of the journal.
+type segment struct {
+	path     string
+	index    uint64
+	firstLSN uint64
+}
+
+// WAL is an open journal. Safe for concurrent use.
+type WAL struct {
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when syncedLSN advances or the WAL closes
+	f    *os.File   // active segment
+	bw   *bufio.Writer
+	segs []segment // ascending; last is active
+
+	nextLSN   uint64
+	syncedLSN uint64
+	segBytes  int64 // bytes written to the active segment
+	unflushed int   // records buffered since the last flush kick
+	syncing   bool  // an fsync is in flight outside mu (single-flight)
+	closed    bool
+	err       error // latched fatal I/O error: the journal is fail-stop
+
+	// tornBytes/tornErr record tail damage Open truncated away (a crash
+	// mid-append); immutable after Open.
+	tornBytes int64
+	tornErr   error
+
+	appends       int64
+	appendedBytes int64
+	syncs         int64
+	truncatedSegs int64
+
+	flushCh chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// Open opens (or creates) the journal in opts.Dir, recovering from a
+// torn tail: a final record cut mid-write is truncated away so appends
+// resume at a clean boundary. Returns the WAL positioned after the
+// last valid record.
+func Open(opts Options) (*WAL, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = DefaultFlushEvery
+	}
+	if opts.FlushBatch <= 0 {
+		opts.FlushBatch = DefaultFlushBatch
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := scanDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{
+		opts:    opts,
+		segs:    segs,
+		flushCh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+
+	if len(segs) == 0 {
+		w.nextLSN = 1
+		if err := w.openSegmentLocked(1, 1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		count, validEnd, tailErr, serr := scanSegment(last.path, last.firstLSN, nil)
+		if serr != nil {
+			return nil, serr
+		}
+		fi, err := os.Stat(last.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if fi.Size() > validEnd {
+			// Torn tail from a crash mid-append: cut back to the last
+			// whole record so new appends start at a clean frame. The
+			// damage is recorded so the operator can be told data past
+			// the durable frontier was discarded (TailDamage).
+			if err := os.Truncate(last.path, validEnd); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", last.path, err)
+			}
+			w.tornBytes = fi.Size() - validEnd
+			w.tornErr = tailErr
+		}
+		f, err := os.OpenFile(last.path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		w.f = f
+		w.bw = bufio.NewWriterSize(f, 1<<16)
+		w.segBytes = validEnd
+		w.nextLSN = last.firstLSN + uint64(count)
+	}
+	w.syncedLSN = w.nextLSN - 1
+
+	w.wg.Add(1)
+	go w.committer()
+	return w, nil
+}
+
+// scanDir lists and orders the journal's segment files.
+func scanDir(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		path := filepath.Join(dir, name)
+		first, err := readSegmentHeader(path)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, segment{path: path, index: idx, firstLSN: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].firstLSN < segs[i-1].firstLSN {
+			return nil, fmt.Errorf("wal: segment %s first LSN %d below predecessor's %d",
+				segs[i].path, segs[i].firstLSN, segs[i-1].firstLSN)
+		}
+	}
+	return segs, nil
+}
+
+func readSegmentHeader(path string) (firstLSN uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [segHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: %s: short segment header: %w", path, err)
+	}
+	if string(hdr[:8]) != segMagic {
+		return 0, fmt.Errorf("wal: %s: bad segment magic %q", path, hdr[:8])
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+// openSegmentLocked creates and switches to a fresh segment; callers
+// hold mu (or are inside Open before the WAL is shared).
+func (w *WAL) openSegmentLocked(index, firstLSN uint64) error {
+	path := filepath.Join(w.opts.Dir, fmt.Sprintf("%s%016d%s", segPrefix, index, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], firstLSN)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 1<<16)
+	w.segBytes = segHeaderSize
+	if len(w.segs) == 0 || w.segs[len(w.segs)-1].index != index {
+		w.segs = append(w.segs, segment{path: path, index: index, firstLSN: firstLSN})
+	}
+	return nil
+}
+
+// maybeRoll seals the active segment and opens the next one when the
+// size threshold is crossed. It runs on the committer goroutine, never
+// on an appender: the swap to the fresh segment happens under mu (a
+// few file-table operations, no disk sync), and the sealed file's
+// fsync runs OUTSIDE the lock — appends continue into the new segment
+// while the old one is made durable, so a segment roll never stalls
+// the rank path. Overshoot past SegmentBytes is bounded by one
+// group-commit window of appends (Append kicks the committer as soon
+// as the threshold is crossed).
+func (w *WAL) maybeRoll() error {
+	w.mu.Lock()
+	for w.syncing && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil || w.closed || w.f == nil || w.segBytes < w.opts.SegmentBytes {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return err
+	}
+	old := w.f
+	sealedLast := w.nextLSN - 1 // every record in the sealed segment
+	next := w.segs[len(w.segs)-1].index + 1
+	if err := w.openSegmentLocked(next, w.nextLSN); err != nil {
+		// openSegmentLocked leaves w.f/w.bw untouched on failure, so
+		// appends keep landing in the (oversized) old segment.
+		w.err = err
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return err
+	}
+	w.unflushed = 0
+	w.syncing = true
+	w.mu.Unlock()
+
+	var serr error
+	if w.opts.Mode != ModeOff {
+		serr = old.Sync()
+	}
+	syncDir(w.opts.Dir)
+	if cerr := old.Close(); serr == nil {
+		serr = cerr
+	}
+
+	w.mu.Lock()
+	w.syncing = false
+	if serr != nil {
+		w.err = serr
+	} else if sealedLast > w.syncedLSN {
+		w.syncedLSN = sealedLast
+		if w.opts.Mode != ModeOff {
+			w.syncs++
+		}
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return serr
+}
+
+// Append frames and buffers one record, returning its LSN. It never
+// waits for the disk — pair it with Commit for durability. After a
+// latched I/O error every Append fails: the journal is fail-stop so a
+// sick disk surfaces as rejected writes, not silent data loss.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if len(payload) == 0 {
+		return 0, errors.New("wal: empty record")
+	}
+	if len(payload) > MaxRecordSize {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecordSize)
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, errors.New("wal: closed")
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	var hdr [recHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	if _, err := w.bw.Write(hdr[:]); err == nil {
+		_, err = w.bw.Write(payload)
+		if err != nil {
+			w.err = err
+		}
+	} else {
+		w.err = err
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	n := int64(recHeaderSize + len(payload))
+	w.segBytes += n
+	w.appends++
+	w.appendedBytes += n
+	w.unflushed++
+	// Kick the committer on a full flush batch or a segment crossing
+	// the roll threshold; both are handled off the append path.
+	kick := w.unflushed >= w.opts.FlushBatch || w.segBytes >= w.opts.SegmentBytes
+	if w.unflushed >= w.opts.FlushBatch {
+		w.unflushed = 0
+	}
+	w.mu.Unlock()
+	if kick {
+		w.kick()
+	}
+	return lsn, nil
+}
+
+// kick nudges the committer without blocking.
+func (w *WAL) kick() {
+	select {
+	case w.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// Commit makes the record at lsn durable per the configured mode:
+// ModeSync waits for a (group) fsync to cover it, ModeAsync and
+// ModeOff return immediately.
+func (w *WAL) Commit(lsn uint64) error {
+	switch w.opts.Mode {
+	case ModeOff, ModeAsync:
+		w.mu.Lock()
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.kick()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncedLSN < lsn && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.syncedLSN < lsn {
+		return errors.New("wal: closed before commit")
+	}
+	return nil
+}
+
+// Sync forces an immediate flush (+fsync outside ModeOff) of
+// everything appended so far — the checkpoint barrier's durability
+// point.
+func (w *WAL) Sync() error { return w.syncNow() }
+
+// committer is the group-commit loop: it batches fsyncs on a
+// time/count window so concurrent committers amortize sync cost.
+func (w *WAL) committer() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.opts.FlushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-w.flushCh:
+		case <-t.C:
+		}
+		w.maybeRoll()
+		w.syncNow()
+	}
+}
+
+// syncNow flushes the buffer and (outside ModeOff) fsyncs the active
+// segment, then wakes Commit waiters. The fsync itself runs OUTSIDE
+// mu — only the cheap buffer flush holds the lock — so a slow disk
+// never stalls the append hot path (the bandit journals rank records
+// under its event-log mutex; an fsync-under-mu would transitively
+// freeze ranking for the sync's duration). A single-flight flag keeps
+// one fsync in flight; later callers wait and re-check coverage.
+func (w *WAL) syncNow() error {
+	w.mu.Lock()
+	for w.syncing && w.err == nil && !w.closed {
+		w.cond.Wait()
+	}
+	if w.err != nil || w.f == nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	target := w.nextLSN - 1
+	if target <= w.syncedLSN {
+		w.mu.Unlock()
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = err
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return err
+	}
+	w.unflushed = 0
+	if w.opts.Mode == ModeOff {
+		w.syncedLSN = target
+		w.syncs++
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return nil
+	}
+	f := w.f
+	w.syncing = true
+	w.mu.Unlock()
+
+	serr := f.Sync()
+
+	w.mu.Lock()
+	w.syncing = false
+	if serr != nil {
+		w.err = serr
+	} else if target > w.syncedLSN {
+		w.syncedLSN = target
+		w.syncs++
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return serr
+}
+
+// TailDamage reports the torn or corrupt tail Open found and truncated
+// away (0, nil when the journal ended cleanly). A non-zero result
+// means a crash cut an append short: records past the last durable
+// group commit were discarded — the bounded loss the sync mode
+// contract allows, but worth an operator's log line.
+func (w *WAL) TailDamage() (bytes int64, reason error) {
+	return w.tornBytes, w.tornErr
+}
+
+// FirstLSN returns the oldest retained LSN (0 when the log is empty).
+func (w *WAL) FirstLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.segs) == 0 || w.nextLSN == w.segs[0].firstLSN {
+		return 0
+	}
+	return w.segs[0].firstLSN
+}
+
+// LastLSN returns the newest appended LSN (0 when the log is empty).
+func (w *WAL) LastLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// TruncateBefore removes sealed segments every record of which has
+// LSN <= lsn — the compaction step after a snapshot covers them. The
+// active segment is never removed. Returns how many segments were
+// deleted.
+func (w *WAL) TruncateBefore(lsn uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	removed := 0
+	for len(w.segs) > 1 && w.segs[1].firstLSN <= lsn+1 {
+		if err := os.Remove(w.segs[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		w.segs = w.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		w.truncatedSegs += int64(removed)
+		syncDir(w.opts.Dir)
+	}
+	return removed
+}
+
+// Stats snapshots the journal counters.
+func (w *WAL) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := Stats{
+		Mode:          w.opts.Mode.String(),
+		LastLSN:       w.nextLSN - 1,
+		SyncedLSN:     w.syncedLSN,
+		Appends:       w.appends,
+		AppendedBytes: w.appendedBytes,
+		Syncs:         w.syncs,
+		Segments:      len(w.segs),
+		TruncatedSegs: w.truncatedSegs,
+	}
+	if len(w.segs) > 0 && w.nextLSN > w.segs[0].firstLSN {
+		st.FirstLSN = w.segs[0].firstLSN
+	}
+	return st
+}
+
+// Close stops the committer, flushes, fsyncs (outside ModeOff), and
+// closes the active segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	w.mu.Unlock()
+	close(w.done)
+	w.wg.Wait()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		w.cond.Wait()
+	}
+	var err error
+	if w.f != nil {
+		if ferr := w.bw.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+		if w.opts.Mode != ModeOff {
+			if serr := w.f.Sync(); serr != nil && err == nil {
+				err = serr
+			}
+		}
+		if err == nil && w.syncedLSN < w.nextLSN-1 {
+			w.syncedLSN = w.nextLSN - 1
+		}
+		if cerr := w.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	w.cond.Broadcast()
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so segment create/remove survives a
+// crash; best-effort (not every filesystem supports it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,329 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTest(t *testing.T, dir string, mode Mode, segBytes int64) *WAL {
+	t.Helper()
+	w, err := Open(Options{Dir: dir, Mode: mode, SegmentBytes: segBytes, FlushEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func appendN(t *testing.T, w *WAL, n int, tag string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		lsn, err := w.Append([]byte(fmt.Sprintf("%s-%04d", tag, i)))
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		if err := w.Commit(lsn); err != nil {
+			t.Fatalf("Commit %d: %v", lsn, err)
+		}
+	}
+}
+
+func collect(t *testing.T, src Source, after uint64) ([]uint64, []string, ReplayInfo) {
+	t.Helper()
+	var lsns []uint64
+	var recs []string
+	info, err := src.Replay(after, func(lsn uint64, p []byte) error {
+		lsns = append(lsns, lsn)
+		recs = append(recs, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return lsns, recs, info
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, ModeSync, 0)
+	appendN(t, w, 10, "rec")
+	if got := w.LastLSN(); got != 10 {
+		t.Errorf("LastLSN = %d, want 10", got)
+	}
+
+	lsns, recs, info := collect(t, w, 0)
+	if len(recs) != 10 || info.Records != 10 {
+		t.Fatalf("replayed %d records (info %d), want 10", len(recs), info.Records)
+	}
+	for i, lsn := range lsns {
+		if lsn != uint64(i+1) {
+			t.Errorf("record %d has LSN %d, want %d (dense from 1)", i, lsn, i+1)
+		}
+		if want := fmt.Sprintf("rec-%04d", i); recs[i] != want {
+			t.Errorf("record %d = %q, want %q", i, recs[i], want)
+		}
+	}
+
+	// Suffix replay: afterLSN is exclusive.
+	lsns, _, info = collect(t, w, 7)
+	if len(lsns) != 3 || lsns[0] != 8 || info.Skipped != 7 {
+		t.Errorf("replay after 7: lsns=%v skipped=%d, want [8 9 10] skipped=7", lsns, info.Skipped)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenContinuesLSNs(t *testing.T) {
+	dir := t.TempDir()
+	w := openTest(t, dir, ModeAsync, 0)
+	appendN(t, w, 5, "a")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w = openTest(t, dir, ModeAsync, 0)
+	if got := w.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN after reopen = %d, want 5", got)
+	}
+	appendN(t, w, 5, "b")
+	w.Close()
+
+	lsns, recs, _ := collect(t, DirSource{Dir: dir}, 0)
+	if len(lsns) != 10 || recs[5] != "b-0000" || lsns[9] != 10 {
+		t.Fatalf("after reopen: %d records, recs[5]=%q lsns[9]=%d", len(lsns), recs[5], lsns[9])
+	}
+}
+
+func TestSegmentRollAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every ~3 records rolls.
+	w := openTest(t, dir, ModeSync, 64)
+	appendN(t, w, 20, "seg")
+
+	st := w.Stats()
+	if st.Segments < 4 {
+		t.Fatalf("Segments = %d, want several with 64-byte segment cap", st.Segments)
+	}
+	// All records must survive rolling.
+	lsns, _, _ := collect(t, w, 0)
+	if len(lsns) != 20 {
+		t.Fatalf("replayed %d records across segments, want 20", len(lsns))
+	}
+
+	// Truncation below LSN 10 must keep every record above 10 and
+	// remove at least one sealed segment.
+	removed := w.TruncateBefore(10)
+	if removed == 0 {
+		t.Fatal("TruncateBefore(10) removed nothing with 64-byte segments")
+	}
+	lsns, _, _ = collect(t, w, 0)
+	if len(lsns) == 0 || lsns[len(lsns)-1] != 20 {
+		t.Fatalf("post-truncate replay lost the tail: %v", lsns)
+	}
+	for _, lsn := range lsns {
+		if lsn > 10 {
+			break
+		}
+	}
+	if first := w.FirstLSN(); first == 0 || first > 11 {
+		t.Errorf("FirstLSN after truncate = %d, want in (0,11]", first)
+	}
+	// The active segment never goes away even if fully covered.
+	if got := w.TruncateBefore(1 << 62); w.Stats().Segments < 1 {
+		t.Errorf("active segment removed (removed %d)", got)
+	}
+	w.Close()
+
+	// Reopen after truncation: LSNs still continue.
+	w = openTest(t, dir, ModeSync, 64)
+	defer w.Close()
+	if got := w.LastLSN(); got != 20 {
+		t.Errorf("LastLSN after truncated reopen = %d, want 20", got)
+	}
+}
+
+// corruptTail exercises the crash-recovery contract: a torn or corrupt
+// final record is skipped cleanly, records before it survive.
+func TestTornAndCorruptTail(t *testing.T) {
+	build := func(t *testing.T) (string, string) {
+		dir := t.TempDir()
+		w := openTest(t, dir, ModeSync, 0)
+		appendN(t, w, 6, "tail")
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if err != nil || len(segs) != 1 {
+			t.Fatalf("want 1 segment, got %v (%v)", segs, err)
+		}
+		return dir, segs[0]
+	}
+
+	t.Run("torn final record", func(t *testing.T) {
+		dir, seg := build(t)
+		fi, _ := os.Stat(seg)
+		if err := os.Truncate(seg, fi.Size()-5); err != nil {
+			t.Fatal(err)
+		}
+		lsns, _, info := collect(t, DirSource{Dir: dir}, 0)
+		if len(lsns) != 5 || !info.Truncated {
+			t.Fatalf("torn tail: got %d records (truncated=%v), want 5 with truncation flagged", len(lsns), info.Truncated)
+		}
+		// Open must recover the same way and accept new appends.
+		w := openTest(t, dir, ModeSync, 0)
+		defer w.Close()
+		if got := w.LastLSN(); got != 5 {
+			t.Fatalf("LastLSN after torn-tail open = %d, want 5", got)
+		}
+		appendN(t, w, 1, "post")
+		lsns, recs, info := collect(t, w, 0)
+		if len(lsns) != 6 || recs[5] != "post-0000" || info.Truncated {
+			t.Fatalf("append after torn-tail recovery: lsns=%v recs[5]=%q truncated=%v", lsns, recs[5], info.Truncated)
+		}
+	})
+
+	t.Run("corrupt CRC in final record", func(t *testing.T) {
+		dir, seg := build(t)
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)-1] ^= 0xff // flip a payload byte of the last record
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lsns, _, info := collect(t, DirSource{Dir: dir}, 0)
+		if len(lsns) != 5 || !info.Truncated {
+			t.Fatalf("corrupt CRC: got %d records (truncated=%v), want 5 with truncation flagged", len(lsns), info.Truncated)
+		}
+	})
+
+	t.Run("garbage length prefix", func(t *testing.T) {
+		dir, seg := build(t)
+		f, err := os.OpenFile(seg, os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A fake record header claiming an absurd length, then noise.
+		f.Write([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6})
+		f.Close()
+		lsns, _, info := collect(t, DirSource{Dir: dir}, 0)
+		if len(lsns) != 6 || !info.Truncated {
+			t.Fatalf("garbage tail: got %d records (truncated=%v), want 6 with truncation flagged", len(lsns), info.Truncated)
+		}
+	})
+
+	t.Run("damage mid-log is an error", func(t *testing.T) {
+		dir := t.TempDir()
+		w := openTest(t, dir, ModeSync, 64) // roll often: several segments
+		appendN(t, w, 12, "mid")
+		w.Close()
+		segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if len(segs) < 3 {
+			t.Fatalf("want >=3 segments, got %d", len(segs))
+		}
+		data, _ := os.ReadFile(segs[0])
+		data[len(data)-1] ^= 0xff
+		os.WriteFile(segs[0], data, 0o644)
+		_, err := DirSource{Dir: dir}.Replay(0, func(uint64, []byte) error { return nil })
+		if err == nil {
+			t.Fatal("corruption in a non-final segment replayed without error")
+		}
+	})
+}
+
+func TestGroupCommitConcurrentSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(Options{Dir: dir, Mode: ModeSync, FlushEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				lsn, err := w.Append([]byte(fmt.Sprintf("g%d-%d", g, i)))
+				if err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+				if err := w.Commit(lsn); err != nil {
+					t.Errorf("Commit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := w.Stats()
+	if st.Appends != writers*per {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*per)
+	}
+	if st.SyncedLSN != uint64(writers*per) {
+		t.Fatalf("SyncedLSN = %d, want %d (every committed record durable)", st.SyncedLSN, writers*per)
+	}
+	// The point of group commit: far fewer fsyncs than commits.
+	if st.Syncs >= int64(writers*per) {
+		t.Errorf("Syncs = %d for %d commits — group commit is not batching", st.Syncs, writers*per)
+	}
+	lsns, _, _ := collect(t, w, 0)
+	if len(lsns) != writers*per {
+		t.Fatalf("replayed %d, want %d", len(lsns), writers*per)
+	}
+}
+
+func TestModeParseAndStats(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Mode
+	}{{"sync", ModeSync}, {"async", ModeAsync}, {"off", ModeOff}, {"", ModeAsync}} {
+		m, err := ParseMode(tc.in)
+		if err != nil || m != tc.want {
+			t.Errorf("ParseMode(%q) = %v, %v", tc.in, m, err)
+		}
+	}
+	if _, err := ParseMode("fsync-maybe"); err == nil {
+		t.Error("ParseMode accepted garbage")
+	}
+
+	dir := t.TempDir()
+	w := openTest(t, dir, ModeOff, 0)
+	defer w.Close()
+	lsn, err := w.Append(bytes.Repeat([]byte("x"), 100))
+	if err != nil || lsn != 1 {
+		t.Fatalf("Append = %d, %v", lsn, err)
+	}
+	if err := w.Commit(lsn); err != nil {
+		t.Fatalf("Commit in ModeOff: %v", err)
+	}
+	st := w.Stats()
+	if st.Mode != "off" || st.LastLSN != 1 || st.AppendedBytes == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	w := openTest(t, t.TempDir(), ModeOff, 0)
+	defer w.Close()
+	if _, err := w.Append(nil); err == nil {
+		t.Error("empty record accepted")
+	}
+	if _, err := w.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Error("oversized record accepted")
+	}
+	w.Close()
+	if _, err := w.Append([]byte("x")); err == nil {
+		t.Error("append after Close accepted")
+	}
+}
