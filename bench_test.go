@@ -12,12 +12,15 @@ package qoadvisor_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"qoadvisor/internal/api"
 	"qoadvisor/internal/api/client"
@@ -27,6 +30,7 @@ import (
 	"qoadvisor/internal/experiments"
 	"qoadvisor/internal/flighting"
 	"qoadvisor/internal/optimizer"
+	"qoadvisor/internal/replicate"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/serve"
 	"qoadvisor/internal/sis"
@@ -905,4 +909,241 @@ func BenchmarkWALRecovery(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(records*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkWALStream measures the replication ship path: a follower
+// catching up over HTTP from a journal of framed rank/reward records.
+// One op = one full catch-up of the journal (reconnect + stream +
+// CRC-verify every frame); records/s is the shipping rate a follower
+// can ingest from a primary on this host.
+func BenchmarkWALStream(b *testing.B) {
+	dir := b.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Mode: wal.ModeOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	srv := serve.New(serve.Config{Seed: 3, WAL: j})
+	defer srv.Close()
+
+	// A realistic record mix: rank records with resolved feature IDs,
+	// reward batches every 64 ranks.
+	svc := srv.Bandit()
+	ctx := bandit.Context{IDs: []uint64{0x11, 0x22, 0x33, 0x44}}
+	actions := []bandit.Action{{IDs: []uint64{1}}, {IDs: []uint64{2}}, {IDs: []uint64{3}}}
+	var entries []bandit.RewardEntry
+	const ranks = 20000
+	for i := 0; i < ranks; i++ {
+		r, err := svc.Rank(ctx, actions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		entries = append(entries, bandit.RewardEntry{EventID: r.EventID, Value: 1.0})
+		if len(entries) == 64 {
+			if _, err := j.Append(bandit.EncodeRewardBatch(entries)); err != nil {
+				b.Fatal(err)
+			}
+			entries = entries[:0]
+		}
+	}
+	if err := j.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	records := j.LastLSN()
+
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	hc := &http.Client{}
+	var bytesShipped int64
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		resp, err := hc.Get(fmt.Sprintf("%s%s?from=0&wait=1", ts.URL, api.RouteV2WAL))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var got uint64
+		for {
+			lsn, payload, err := api.ReadWALFrame(resp.Body)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			got = lsn
+			bytesShipped += int64(len(payload) + api.WALFrameHeaderSize)
+		}
+		resp.Body.Close()
+		if got != records {
+			b.Fatalf("stream ended at LSN %d, journal has %d", got, records)
+		}
+	}
+	b.ReportMetric(float64(uint64(b.N)*records)/b.Elapsed().Seconds(), "records/s")
+	b.ReportMetric(float64(bytesShipped)/b.Elapsed().Seconds()/(1<<20), "MiB/s")
+}
+
+// BenchmarkFollowerRank measures the read-scaled serving path this PR
+// exists for: /v2/rank batches answered by a live follower from its
+// replicated hint table and model, compared head-to-head with the
+// primary answering the identical batch. The follower's bandit path is
+// RankGreedy — no event log append, no rng — so its rank cost bounds
+// the fleet's per-replica read capacity.
+func BenchmarkFollowerRank(b *testing.B) {
+	const batch = 256
+	cat := rules.NewCatalog()
+
+	setup := func(b *testing.B) (*httptest.Server, *httptest.Server, func()) {
+		dir := b.TempDir()
+		j, err := wal.Open(wal.Options{Dir: dir, Mode: wal.ModeAsync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		primary := serve.New(serve.Config{Catalog: cat, Seed: 5, WAL: j})
+		pts := httptest.NewServer(primary)
+		hints := make([]sis.Hint, 512)
+		for i := range hints {
+			hints[i] = sis.Hint{TemplateHash: uint64(0x4000 + i), TemplateID: fmt.Sprintf("T%d", i), Flip: cat.FlipFor(40 + i%40), Day: 1}
+		}
+		if _, err := primary.InstallHints(hints); err != nil {
+			b.Fatal(err)
+		}
+		f, err := replicate.Start(replicate.Config{Primary: pts.URL, Catalog: cat, Seed: 6, PollWait: 100 * time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.WaitCaughtUp(context.Background(), 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		fts := httptest.NewServer(f)
+		return pts, fts, func() {
+			fts.Close()
+			f.Close()
+			pts.Close()
+			primary.Close()
+			j.Close()
+		}
+	}
+
+	jobs := make([]api.RankRequest, batch)
+	for i := range jobs {
+		hash := uint64(0x4000 + i%512) // hint hits
+		if i%4 == 3 {
+			hash = uint64(0xdead0000 + i) // bandit path
+		}
+		jobs[i] = api.RankRequest{
+			TemplateHash: api.TemplateHash(hash),
+			Span:         []int{2 + i%40, 60 + i%50, 130 + i%40},
+			RowCount:     float64(300 * (i + 1)),
+		}
+	}
+
+	pts, fts, cleanup := setup(b)
+	defer cleanup()
+	for _, node := range []struct {
+		name string
+		url  string
+	}{{"node=primary", pts.URL}, {"node=follower", fts.URL}} {
+		b.Run(node.name, func(b *testing.B) {
+			cl := client.New(node.url)
+			ctx := context.Background()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				resp, err := cl.RankBatch(ctx, jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(resp.Results) != batch {
+					b.Fatalf("got %d results", len(resp.Results))
+				}
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "ranks/s")
+		})
+	}
+}
+
+// BenchmarkClusterRank measures aggregate rank throughput as serving
+// nodes are added: the same batch workload pushed through a 1-node
+// client and through a rotation over primary + follower. On a
+// multi-core host the second node adds capacity; on a single-CPU
+// container the nodes timeshare one core and the benchmark records the
+// rotation's distribution overhead instead (see BENCH_replicate.json's
+// host note).
+func BenchmarkClusterRank(b *testing.B) {
+	const batch = 256
+	cat := rules.NewCatalog()
+	dir := b.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Mode: wal.ModeAsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	primary := serve.New(serve.Config{Catalog: cat, Seed: 5, WAL: j})
+	defer primary.Close()
+	pts := httptest.NewServer(primary)
+	defer pts.Close()
+	hints := make([]sis.Hint, 512)
+	for i := range hints {
+		hints[i] = sis.Hint{TemplateHash: uint64(0x4000 + i), TemplateID: fmt.Sprintf("T%d", i), Flip: cat.FlipFor(40 + i%40), Day: 1}
+	}
+	if _, err := primary.InstallHints(hints); err != nil {
+		b.Fatal(err)
+	}
+	f, err := replicate.Start(replicate.Config{Primary: pts.URL, Catalog: cat, Seed: 6, PollWait: 100 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.WaitCaughtUp(context.Background(), 10*time.Second); err != nil {
+		b.Fatal(err)
+	}
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+
+	jobs := make([]api.RankRequest, batch)
+	for i := range jobs {
+		jobs[i] = api.RankRequest{
+			TemplateHash: api.TemplateHash(uint64(0x4000 + i%512)),
+			Span:         []int{2 + i%40, 60 + i%50},
+			RowCount:     float64(100 * (i + 1)),
+		}
+	}
+
+	for _, tc := range []struct {
+		name      string
+		endpoints []string
+	}{
+		{"nodes=1", []string{pts.URL}},
+		{"nodes=2", []string{pts.URL, fts.URL}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cc, err := client.NewCluster(tc.endpoints)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			// Concurrent submitters, as a fleet of SCOPE compile frontends
+			// would drive the cluster.
+			workers := 4
+			b.ResetTimer()
+			var total atomic.Int64
+			var wg sync.WaitGroup
+			per := b.N/workers + 1
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for n := 0; n < per; n++ {
+						resp, err := cc.RankBatch(ctx, jobs)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						total.Add(int64(len(resp.Results)))
+					}
+				}()
+			}
+			wg.Wait()
+			b.ReportMetric(float64(total.Load())/b.Elapsed().Seconds(), "ranks/s")
+		})
+	}
 }

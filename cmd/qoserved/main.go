@@ -11,14 +11,24 @@
 // -model is set, persists the learner so a restart resumes from the
 // learned state.
 //
-// With -wal-dir set the server runs durably: every rank decision and
-// accepted reward batch is journaled to a segmented write-ahead log
-// (group-commit fsync per -wal-sync), a checkpoint ticker
-// (-snapshot-every) snapshots the model with its covering WAL offset
-// and truncates sealed segments, and startup replays the journal
-// suffix above the snapshot watermark — so a crash loses at most the
-// last unsynced group-commit window instead of every reward since
-// boot.
+// With -wal-dir set the server runs durably: every rank decision,
+// accepted reward batch, and hint-table rollover is journaled to a
+// segmented write-ahead log (group-commit fsync per -wal-sync), a
+// checkpoint ticker (-snapshot-every) snapshots the model with its
+// covering WAL offset and truncates sealed segments, and startup
+// replays the journal suffix above the snapshot watermark — so a
+// crash loses at most the last unsynced group-commit window instead
+// of every reward since boot. A WAL-backed server is also a
+// replication primary: followers bootstrap from GET /v2/wal/snapshot
+// and tail GET /v2/wal.
+//
+// With -follow set the server runs as a read-scaled follower instead:
+// it bootstraps a replica of the primary's learner and hint table,
+// tails the primary's WAL to stay current, serves /v2/rank (greedy,
+// deterministic), /v2/healthz and /v2/stats locally, and rejects
+// writes with a structured not_primary error carrying the primary's
+// URL. If the primary compacts past the follower's position, the
+// follower re-bootstraps on its own.
 //
 // Usage:
 //
@@ -27,6 +37,7 @@
 //	         [-workers 0] [-train-every 256] [-rank-workers 0] [-uniform]
 //	         [-wal-dir dir] [-wal-sync async] [-wal-segment-mb 64]
 //	         [-snapshot-every 5m]
+//	qoserved -follow http://primary:8080 [-addr :8081] [-train-every 256]
 //
 // It doubles as the protocol's ops CLI via the typed client
 // (qoadvisor/internal/api/client) and the journal's offline tooling:
@@ -58,6 +69,7 @@ import (
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/flighting"
+	"qoadvisor/internal/replicate"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/serve"
 	"qoadvisor/internal/sis"
@@ -86,6 +98,7 @@ func main() {
 	replayOut := flag.String("replay", "", "ops mode: rebuild a model offline from -wal-dir (+ optional -model snapshot), write it to this path, exit")
 	check := flag.String("check", "", "client mode: probe a running server's /v2/healthz and /v2/stats, print, exit")
 	pushHints := flag.String("push-hints", "", "client mode: upload the -hints file to a running server and exit")
+	follow := flag.String("follow", "", "follower mode: primary base URL to replicate from (serves reads locally, rejects writes)")
 	flag.Parse()
 
 	if *check != "" {
@@ -103,6 +116,39 @@ func main() {
 	if *replayOut != "" {
 		if err := runReplay(*replayOut, *walDir, *modelPath, *trainEvery, *maxLog, *seed); err != nil {
 			log.Fatalf("qoserved: replay: %v", err)
+		}
+		return
+	}
+	if *follow != "" {
+		if *walDir != "" {
+			log.Fatalf("qoserved: -follow and -wal-dir are mutually exclusive (a follower's durable state IS the primary's journal)")
+		}
+		// A follower serves only the primary's replicated model and hint
+		// table; fail loudly on primary-only flags rather than silently
+		// ignoring an operator's hint file or bootstrap config.
+		primaryOnly := map[string]string{
+			"hints":          "hint tables reach a cluster via -push-hints to the primary",
+			"model":          "a follower's state is the primary's snapshot + journal",
+			"bootstrap-days": "followers bootstrap from the primary, not the offline pipeline",
+			"templates":      "followers bootstrap from the primary, not the offline pipeline",
+			"uniform":        "the ranking policy is the primary's; followers serve it greedily",
+			"queue":          "followers have no reward ingestion queue (writes are redirected)",
+			"workers":        "followers have no reward ingestion workers (writes are redirected)",
+			"wal-sync":       "followers do not journal (the primary's WAL is the journal)",
+			"wal-segment-mb": "followers do not journal (the primary's WAL is the journal)",
+			"snapshot-every": "followers do not checkpoint (the primary owns durability)",
+		}
+		var conflict string
+		flag.Visit(func(f *flag.Flag) {
+			if why, ok := primaryOnly[f.Name]; ok && conflict == "" {
+				conflict = fmt.Sprintf("-%s has no effect in -follow mode: %s", f.Name, why)
+			}
+		})
+		if conflict != "" {
+			log.Fatalf("qoserved: %s", conflict)
+		}
+		if err := runFollower(*addr, *follow, *shards, *rankWorkers, *trainEvery, *maxLog, *seed); err != nil {
+			log.Fatalf("qoserved: follow: %v", err)
 		}
 		return
 	}
@@ -124,6 +170,9 @@ func main() {
 	// trained bandit; otherwise fresh.
 	var svc *bandit.Service
 	var journal *wal.WAL
+	var recoveredHints []sis.Hint
+	var recoveredGen uint64
+	var recoveredRollovers int64
 	if *walDir != "" {
 		journal, err = wal.Open(wal.Options{Dir: *walDir, Mode: mode, SegmentBytes: *walSegMB << 20})
 		if err != nil {
@@ -140,9 +189,10 @@ func main() {
 		}
 		if rec.Recovered() {
 			svc = rec.Service
-			log.Printf("recovered model: snapshot=%v (watermark %d), journal replayed %d records (%d ranks, %d rewards, %d trained)",
+			recoveredHints, recoveredGen, recoveredRollovers = rec.Hints, rec.HintGen, rec.HintRollovers
+			log.Printf("recovered model: snapshot=%v (watermark %d), journal replayed %d records (%d ranks, %d rewards, %d trained, %d hint rollovers)",
 				rec.SnapshotLoaded, rec.FromLSN, rec.Journal.Records,
-				rec.Replay.Ranks, rec.Replay.Rewards, rec.Replay.TrainedEvents)
+				rec.Replay.Ranks, rec.Replay.Rewards, rec.Replay.TrainedEvents, rec.HintRollovers)
 		}
 	} else if *modelPath != "" {
 		if f, err := os.Open(*modelPath); err == nil {
@@ -158,7 +208,7 @@ func main() {
 		}
 	}
 
-	var hints []sis.Hint
+	var hints, fileHints []sis.Hint
 	if *bootstrapDays > 0 {
 		adv, bootHints, err := bootstrap(cat, *seed, *templates, *bootstrapDays)
 		if err != nil {
@@ -185,7 +235,8 @@ func main() {
 		}
 		// Merge with the bootstrap table, file hints winning on conflict:
 		// both describe the same workload, so template overlap is normal.
-		hints = mergeHints(hints, file.Hints)
+		fileHints = file.Hints
+		hints = mergeHints(hints, fileHints)
 	}
 
 	srv := serve.New(serve.Config{
@@ -202,6 +253,24 @@ func main() {
 		SnapshotPath: *modelPath,
 		WAL:          journal,
 	})
+	// Gate on rollovers seen, not table size: a journaled rollover to an
+	// EMPTY table is a legitimate retirement and must win over the
+	// bootstrap pipeline's regenerated hints, at its journaled generation.
+	if recoveredRollovers > 0 {
+		// Restore the journaled hint table — at its journaled generation,
+		// without re-journaling — BEFORE the initial checkpoint, whose
+		// hint re-journal would otherwise persist an empty table over it.
+		srv.RestoreHints(recoveredHints, recoveredGen)
+		log.Printf("hint cache: %d hints recovered from the journal (generation %d)",
+			len(recoveredHints), recoveredGen)
+		// The recovered table is authoritative over the bootstrap
+		// pipeline's regenerated one; an explicit -hints file still
+		// overlays below (as a fresh journaled rollover).
+		hints = nil
+		if *hintsPath != "" {
+			hints = mergeHints(recoveredHints, fileHints)
+		}
+	}
 	if journal != nil && *modelPath != "" {
 		// Checkpoint immediately so pre-journal state (bootstrap training,
 		// replayed suffix) is covered by a snapshot: a crash before the
@@ -222,62 +291,39 @@ func main() {
 			srv.Cache().Size(), gen, srv.Cache().Shards())
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	// Periodic checkpoints: persist the model off the SIGTERM path so a
 	// crash loses at most one interval of training (and, with a WAL,
 	// nothing that was journaled durably), and compact covered journal
-	// segments.
+	// segments. The ticker stops with the serve context.
 	var snapWG sync.WaitGroup
-	if *snapshotEvery > 0 && *modelPath != "" {
-		snapWG.Add(1)
-		go func() {
-			defer snapWG.Done()
-			t := time.NewTicker(*snapshotEvery)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					info, err := srv.Checkpoint(*modelPath)
-					if err != nil {
-						log.Printf("qoserved: checkpoint: %v", err)
-						continue
+	serveErr := serveUntilSignal(*addr, srv, func(ctx context.Context) {
+		if *snapshotEvery > 0 && *modelPath != "" {
+			snapWG.Add(1)
+			go func() {
+				defer snapWG.Done()
+				t := time.NewTicker(*snapshotEvery)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						info, err := srv.Checkpoint(*modelPath)
+						if err != nil {
+							log.Printf("qoserved: checkpoint: %v", err)
+							continue
+						}
+						log.Printf("checkpoint: %d bytes in %v at WAL offset %d (%d segments compacted)",
+							info.Bytes, info.Duration.Round(time.Microsecond), info.LSN, info.SegmentsRemoved)
 					}
-					log.Printf("checkpoint: %d bytes in %v at WAL offset %d (%d segments compacted)",
-						info.Bytes, info.Duration.Round(time.Microsecond), info.LSN, info.SegmentsRemoved)
 				}
-			}
-		}()
+			}()
+		}
+		log.Printf("qoserved listening on %s", *addr)
+	})
+	if serveErr != nil {
+		log.Fatalf("qoserved: %v", serveErr)
 	}
-
-	// ListenAndServe returns as soon as Shutdown begins; in-flight
-	// requests keep running until Shutdown itself returns, so the drain
-	// must be awaited before closing the ingestor behind those handlers.
-	shutdownDone := make(chan struct{})
-	go func() {
-		defer close(shutdownDone)
-		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(shutdownCtx)
-	}()
-
-	log.Printf("qoserved listening on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("qoserved: %v", err)
-	}
-	<-shutdownDone
 
 	// Graceful teardown: drain pending rewards into the model, then
 	// persist it for the next start.
@@ -327,7 +373,80 @@ func runReplay(outPath, walDir, snapshotPath string, trainEvery, maxLog int, see
 	fmt.Printf("rebuilt:   %d ranks, %d rewards (%d unknown), %d training runs over %d events\n",
 		rec.Replay.Ranks, rec.Replay.Rewards, rec.Replay.UnknownRewards,
 		rec.Replay.TrainRuns, rec.Replay.TrainedEvents)
+	if rec.HintRollovers > 0 {
+		fmt.Printf("hints:     %d rollovers replayed; active table has %d hints (generation %d)\n",
+			rec.HintRollovers, len(rec.Hints), rec.HintGen)
+	}
 	fmt.Printf("model:     %d bytes -> %s (WAL watermark %d)\n", buf.Len(), outPath, rec.Service.WALWatermark())
+	return nil
+}
+
+// runFollower runs the read-scaled replica mode: bootstrap from the
+// primary, tail its WAL, serve reads locally until SIGINT/SIGTERM.
+// The replicate.Follower re-bootstraps itself if the primary compacts
+// past its position, so there is nothing to babysit here.
+func runFollower(addr, primary string, shards, rankWorkers, trainEvery, maxLog int, seed int64) error {
+	f, err := replicate.Start(replicate.Config{
+		Primary:      primary,
+		Seed:         seed,
+		TrainEvery:   trainEvery,
+		MaxLogEvents: maxLog,
+		Shards:       shards,
+		RankWorkers:  rankWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	st := f.Stats()
+	log.Printf("follower bootstrapped from %s at LSN %d", primary, st.AppliedLSN)
+
+	if err := serveUntilSignal(addr, f, func(context.Context) {
+		log.Printf("qoserved following %s, listening on %s", primary, addr)
+	}); err != nil {
+		return err
+	}
+	st = f.Stats()
+	log.Printf("follower stopping at LSN %d (lag %d, %d records applied, %d reconnects, %d resyncs)",
+		st.AppliedLSN, st.LagRecords, st.RecordsApplied, st.Reconnects, st.Resyncs)
+	f.Close()
+	return nil
+}
+
+// serveUntilSignal runs one HTTP server with the shared production
+// timeouts until SIGINT/SIGTERM, then shuts it down gracefully —
+// primary and follower modes serve through this one scaffold so their
+// timeout and shutdown behavior cannot drift apart. onUp runs before
+// serving begins with a context that cancels at the signal, for
+// goroutines that must stop with the server (the checkpoint ticker).
+// ListenAndServe returns as soon as Shutdown begins while in-flight
+// requests keep running until Shutdown itself returns, so this waits
+// for the full drain: when it returns, no handler is running.
+func serveUntilSignal(addr string, handler http.Handler, onUp func(ctx context.Context)) error {
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if onUp != nil {
+		onUp(ctx)
+	}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	<-shutdownDone
 	return nil
 }
 
@@ -339,9 +458,12 @@ func runCheck(base string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	health, err := cl.Health(ctx)
-	if err != nil {
-		return err
+	// A degraded node still decodes its health body — print the
+	// diagnosis, but keep the error for the exit code: -check is a
+	// gate, and a stale follower must fail it.
+	health, healthErr := cl.Health(ctx)
+	if healthErr != nil && health.Status == "" {
+		return healthErr
 	}
 	fmt.Printf("health:     %s (generation %d, %d hints, queue %d/%d, up %.1fs)\n",
 		health.Status, health.Generation, health.Hints,
@@ -377,7 +499,7 @@ func runCheck(base string) error {
 		fmt.Printf("route %-20s %6d calls, %d errors, avg %.0fus, max %dus\n",
 			r, m.Count, m.Errors, float64(m.TotalMicros)/float64(m.Count), m.MaxMicros)
 	}
-	return nil
+	return healthErr
 }
 
 // runPushHints uploads a SIS hint file to a running server — the

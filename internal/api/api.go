@@ -44,6 +44,13 @@ const (
 	RouteV2Reward  = "/v2/reward"
 	RouteV2Healthz = "/v2/healthz"
 	RouteV2Stats   = "/v2/stats"
+
+	// Replication surface (primary only). RouteV2WAL streams framed
+	// journal records from ?from=<lsn> with a long-poll tail;
+	// RouteV2WALSnapshot streams a checkpoint-consistent model snapshot
+	// whose embedded watermark is where a follower starts tailing.
+	RouteV2WAL         = "/v2/wal"
+	RouteV2WALSnapshot = "/v2/wal/snapshot"
 )
 
 // RequestIDHeader carries the request ID on every instrumented route.
@@ -251,6 +258,42 @@ type WALStats struct {
 	LastCheckpointUs  int64  `json:"lastCheckpointMicros"`
 }
 
+// Replication roles, as reported in ReplicationStats.Role.
+const (
+	RolePrimary  = "primary"
+	RoleFollower = "follower"
+)
+
+// ReplicationStats describes a node's place in a WAL-shipped serving
+// cluster, embedded in StatsResponse. A primary (a WAL-backed server)
+// reports how many followers are tailing it and how much log it has
+// shipped; a follower reports how far it has applied, its lag behind
+// the primary frontier it last observed, and the age of its last tail
+// activity.
+type ReplicationStats struct {
+	Role string `json:"role"`
+	// LeaderURL is where writes must go (set on followers; it is the
+	// same URL carried by not_primary error envelopes).
+	LeaderURL string `json:"leaderUrl,omitempty"`
+
+	// Primary-side counters.
+	Followers      int   `json:"followers"`
+	StreamsServed  int64 `json:"streamsServed,omitempty"`
+	RecordsShipped int64 `json:"recordsShipped,omitempty"`
+	BytesShipped   int64 `json:"bytesShipped,omitempty"`
+
+	// Follower-side counters. AppliedLSN is the newest journal record
+	// applied locally; FrontierLSN is the newest durable primary LSN the
+	// follower has observed; LagRecords is their difference.
+	AppliedLSN     uint64  `json:"appliedLsn,omitempty"`
+	FrontierLSN    uint64  `json:"frontierLsn,omitempty"`
+	LagRecords     int64   `json:"lagRecords"`
+	LastTailSec    float64 `json:"lastTailSec,omitempty"`
+	RecordsApplied int64   `json:"recordsApplied,omitempty"`
+	Reconnects     int64   `json:"reconnects,omitempty"`
+	Resyncs        int64   `json:"resyncs,omitempty"`
+}
+
 // RouteStats aggregates the middleware's per-route counters.
 type RouteStats struct {
 	Count       int64 `json:"count"`
@@ -275,6 +318,9 @@ type StatsResponse struct {
 	Ingest       IngestStats `json:"ingest"`
 	// WAL is present when the server journals rewards durably.
 	WAL *WALStats `json:"wal,omitempty"`
+	// Replication is present on cluster nodes: a WAL-backed primary or a
+	// log-tailing follower.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 
 	RequestID string                `json:"requestId,omitempty"`
 	Routes    map[string]RouteStats `json:"routes,omitempty"`
@@ -293,8 +339,13 @@ type HealthResponse struct {
 	QueueCap   int     `json:"queueCap"`
 }
 
-// HealthOK is the Status value of a healthy server.
-const HealthOK = "ok"
+// Health Status values. A follower whose replication tail has gone
+// stale reports HealthDegraded (served with HTTP 503) so load
+// balancers stop routing reads to a replica serving outdated state.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+)
 
 // Machine-readable error codes. Codes are the stable contract — clients
 // branch on Code, never on Message text.
@@ -320,6 +371,24 @@ const (
 	CodeValidationFailed = "validation_failed"
 	// CodeSnapshotUnconfigured: POST snapshot with no path configured.
 	CodeSnapshotUnconfigured = "snapshot_unconfigured"
+	// CodeNotPrimary: the request mutates state but this node is a
+	// read-only follower. The envelope's Leader field carries the
+	// primary's base URL; clients re-issue the write there.
+	CodeNotPrimary = "not_primary"
+	// CodeWALDisabled: a replication route on a server that runs without
+	// a write-ahead log (no -wal-dir); there is nothing to ship.
+	CodeWALDisabled = "wal_disabled"
+	// CodeWALGap: the requested resume LSN predates the oldest retained
+	// journal record (snapshot compaction removed it). The follower must
+	// re-bootstrap from /v2/wal/snapshot.
+	CodeWALGap = "wal_gap"
+	// CodeDegraded: synthesized by the typed client when a health probe
+	// answers 503 with a HealthResponse body (a follower whose
+	// replication tail has gone stale). The server deliberately ships
+	// the health body — not an envelope — so LB checks act on the
+	// status code while the decoded response still carries the
+	// diagnosis; it never appears on the wire as an envelope code.
+	CodeDegraded = "degraded"
 	// CodeInternal: the server failed; the request may be retried.
 	CodeInternal = "internal"
 )
@@ -329,6 +398,9 @@ const (
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Leader carries the primary's base URL on not_primary errors so a
+	// client can chase the redirect without a discovery round-trip.
+	Leader string `json:"leader,omitempty"`
 	// HTTPStatus is the transport status the error traveled with. It is
 	// not serialized; the client fills it in for callers that want to
 	// branch on status rather than code.
@@ -341,6 +413,16 @@ func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message)
 // Errorf builds an *Error with a formatted message.
 func Errorf(code, format string, args ...any) *Error {
 	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// NotPrimary builds the write-rejection envelope a follower returns,
+// carrying the leader URL writes must be re-issued against.
+func NotPrimary(leader string) *Error {
+	return &Error{
+		Code:    CodeNotPrimary,
+		Message: "this node is a read-only follower; send writes to the primary",
+		Leader:  leader,
+	}
 }
 
 // ErrorResponse is the envelope every non-2xx response carries.
@@ -362,10 +444,14 @@ func StatusForCode(code string) int {
 		return http.StatusRequestEntityTooLarge
 	case CodeUnknownEvent, CodeNotFound:
 		return http.StatusNotFound
-	case CodeQueueFull:
+	case CodeQueueFull, CodeDegraded:
 		return http.StatusServiceUnavailable
-	case CodeSnapshotUnconfigured:
+	case CodeSnapshotUnconfigured, CodeWALDisabled:
 		return http.StatusConflict
+	case CodeNotPrimary:
+		return http.StatusMisdirectedRequest
+	case CodeWALGap:
+		return http.StatusGone
 	default:
 		return http.StatusInternalServerError
 	}

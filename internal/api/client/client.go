@@ -1,6 +1,6 @@
 // Package client is the typed Go client for QO-Advisor's steering
 // protocol (qoadvisor/internal/api): one implementation of timeouts,
-// retry-on-503 (reward-queue backpressure), error envelope decoding,
+// retry-on-queue_full (reward-queue backpressure), error envelope decoding,
 // and batch helpers, shared by the server CLI, the examples, and the
 // benchmarks instead of hand-rolled JSON.
 package client
@@ -42,9 +42,12 @@ func WithTimeout(d time.Duration) Option {
 	}
 }
 
-// WithRetries sets how many times a 503 (queue backpressure, rollover
-// in progress) is retried and the base backoff between attempts, which
-// doubles per retry. retries <= 0 disables retrying.
+// WithRetries sets how many times a queue_full 503 (reward-queue
+// backpressure; nothing was accepted, retrying the whole batch is
+// safe) is retried and the base backoff between attempts, which
+// doubles per retry. Other 503s — a degraded follower's healthz, a
+// proxy shedding load — fail immediately so rotations can move on.
+// retries <= 0 disables retrying.
 func WithRetries(retries int, backoff time.Duration) Option {
 	return func(c *Client) {
 		c.retries = retries
@@ -68,10 +71,10 @@ func New(base string, opts ...Option) *Client {
 	return c
 }
 
-// do runs one protocol call: marshal in (nil = no body), retry 503s,
-// decode either the typed response into out or the error envelope into
-// an *api.Error. The request body is re-sent from the encoded bytes on
-// each retry, so retries are never partial.
+// do runs one protocol call: marshal in (nil = no body), retry
+// queue_full 503s, decode either the typed response into out or the
+// error envelope into an *api.Error. The request body is re-sent from
+// the encoded bytes on each retry, so retries are never partial.
 func (c *Client) do(ctx context.Context, method, path, contentType string, in, out any) error {
 	var payload []byte
 	if in != nil {
@@ -133,7 +136,12 @@ func (c *Client) doRaw(ctx context.Context, method, path, contentType string, pa
 		}
 		apiErr := decodeError(resp)
 		resp.Body.Close()
-		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
+		// Retry only backpressure: queue_full means nothing was accepted
+		// and the condition is transient. Other 503s are not — notably a
+		// degraded follower's /v2/healthz, where re-probing the same
+		// stale node burns the backoff budget a rotation could have
+		// spent failing over to a healthy one.
+		if resp.StatusCode == http.StatusServiceUnavailable && apiErr.Code == api.CodeQueueFull && attempt < c.retries {
 			lastErr = apiErr
 			continue
 		}
@@ -141,19 +149,32 @@ func (c *Client) doRaw(ctx context.Context, method, path, contentType string, pa
 	}
 }
 
-// decodeError turns a non-2xx response into an *api.Error, synthesizing
-// an envelope when the body does not carry one (proxies, panics).
+// DecodeError turns a non-2xx response into an *api.Error, synthesizing
+// an envelope when the body does not carry one (proxies, panics). It is
+// exported for callers that drive raw HTTP against the protocol (the
+// replication tailer reads a streaming route the typed client does not
+// wrap) so envelope decoding has exactly one implementation.
+func DecodeError(resp *http.Response) *api.Error { return decodeError(resp) }
+
+// decodeError is DecodeError's internal form.
 func decodeError(resp *http.Response) *api.Error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	return decodeErrorBytes(resp.StatusCode, body)
+}
+
+// decodeErrorBytes decodes an already-read error body (Health reads
+// the body up front to try the degraded HealthResponse shape first).
+func decodeErrorBytes(status int, body []byte) *api.Error {
 	var env api.ErrorResponse
-	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env); err != nil || env.Error.Code == "" {
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
 		return &api.Error{
 			Code:       api.CodeInternal,
-			Message:    fmt.Sprintf("HTTP %d with no error envelope", resp.StatusCode),
-			HTTPStatus: resp.StatusCode,
+			Message:    fmt.Sprintf("HTTP %d with no error envelope", status),
+			HTTPStatus: status,
 		}
 	}
 	e := env.Error
-	e.HTTPStatus = resp.StatusCode
+	e.HTTPStatus = status
 	return &e
 }
 
@@ -220,11 +241,42 @@ func (c *Client) InstallHints(ctx context.Context, hintFile io.Reader) (api.Hint
 	return out, err
 }
 
-// Health probes /v2/healthz.
+// Health probes /v2/healthz with a single attempt (a health probe
+// reports the node's state NOW; retrying would only mask it). A
+// degraded node — a follower whose replication tail went stale —
+// answers 503 with the same HealthResponse body instead of an error
+// envelope; that body is decoded and returned ALONGSIDE a degraded
+// *api.Error, so rotations still treat the node as failed while
+// operators see what is wrong with it.
 func (c *Client) Health(ctx context.Context) (api.HealthResponse, error) {
 	var out api.HealthResponse
-	err := c.do(ctx, http.MethodGet, api.RouteV2Healthz, "", nil, &out)
-	return out, err
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.RouteV2Healthz, nil)
+	if err != nil {
+		return out, fmt.Errorf("client: GET %s: %w", api.RouteV2Healthz, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, fmt.Errorf("client: GET %s: %w", api.RouteV2Healthz, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 400 {
+		if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil {
+			return out, fmt.Errorf("client: decoding %s response: %w", api.RouteV2Healthz, derr)
+		}
+		return out, nil
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		var hr api.HealthResponse
+		if json.Unmarshal(body, &hr) == nil && hr.Status != "" {
+			return hr, &api.Error{
+				Code:       api.CodeDegraded,
+				Message:    fmt.Sprintf("node reports status %q", hr.Status),
+				HTTPStatus: resp.StatusCode,
+			}
+		}
+	}
+	return out, decodeErrorBytes(resp.StatusCode, body)
 }
 
 // Stats fetches /v2/stats (serving counters plus per-route metrics).
@@ -244,6 +296,27 @@ func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, error) {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: snapshot: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		return nil, apiErr
+	}
+	return resp.Body, nil
+}
+
+// BootstrapSnapshot streams the primary's replication bootstrap
+// snapshot (GET /v2/wal/snapshot): a checkpoint-consistent model whose
+// embedded WAL watermark is where a follower starts tailing. The
+// caller must Close the returned reader.
+func (c *Client) BootstrapSnapshot(ctx context.Context) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.RouteV2WALSnapshot, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: bootstrap snapshot: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: bootstrap snapshot: %w", err)
 	}
 	if resp.StatusCode >= 400 {
 		apiErr := decodeError(resp)

@@ -176,6 +176,38 @@ func TestClientRetryBudgetExhausted(t *testing.T) {
 	}
 }
 
+// A 503 that is NOT queue backpressure — a degraded follower's
+// /v2/healthz answers 503 with a HealthResponse body, no error
+// envelope — must fail immediately (re-probing a permanently stale
+// node burns the backoff budget a cluster rotation could have spent
+// failing over to a healthy one) and must still hand the decoded
+// health body to the caller: the degraded node's generation, hints,
+// and uptime are exactly what an operator probes it for.
+func TestClientDoesNotRetryDegraded503(t *testing.T) {
+	var calls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.HealthResponse{Status: api.HealthDegraded, Generation: 7, Hints: 3})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(3, time.Millisecond))
+	resp, err := c.Health(context.Background())
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeDegraded || apiErr.HTTPStatus != http.StatusServiceUnavailable {
+		t.Fatalf("error = %v, want degraded *api.Error with HTTP 503", err)
+	}
+	if resp.Status != api.HealthDegraded || resp.Generation != 7 || resp.Hints != 3 {
+		t.Errorf("degraded body not decoded: %+v", resp)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want 1 (degraded healthz is not retryable)", calls.Load())
+	}
+}
+
 func TestRankAllChunksBatches(t *testing.T) {
 	var batchSizes []int
 	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,329 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/par"
+)
+
+// Cluster is the multi-endpoint client for a replicated steering
+// deployment: reads (rank, health, stats) fan out round-robin across
+// every node — followers serve them from their local replica — and
+// fail over to the next node on transport faults; writes (rewards,
+// hint rollovers, snapshot saves) are sent to the current leader
+// guess and chase the not_primary redirect when the guess is stale,
+// learning the real leader from the error envelope's leader URL.
+//
+// Cluster is safe for concurrent use. It assumes the follower serving
+// model: replicas are read-only and eventually consistent (bounded by
+// the primary's group-commit window plus shipping latency), so a read
+// may observe a hint generation one step behind a write just issued —
+// the same contract a load balancer in front of the fleet would give.
+type Cluster struct {
+	opts []Option
+
+	mu      sync.RWMutex
+	clients map[string]*Client
+	order   []string // read rotation, as given (plus learned leaders)
+	leader  string
+
+	rr atomic.Uint64
+
+	// maxLeaderHops bounds redirect chasing so two nodes pointing at
+	// each other cannot loop a write forever.
+	maxLeaderHops int
+}
+
+// NewCluster builds a cluster client over one or more node base URLs.
+// The first endpoint is the initial leader guess; every endpoint
+// serves reads. Options apply to each per-node client.
+func NewCluster(endpoints []string, opts ...Option) (*Cluster, error) {
+	if len(endpoints) == 0 {
+		return nil, errors.New("client: cluster needs at least one endpoint")
+	}
+	c := &Cluster{
+		opts:          opts,
+		clients:       make(map[string]*Client, len(endpoints)),
+		leader:        endpoints[0],
+		maxLeaderHops: 3,
+	}
+	for _, ep := range endpoints {
+		if _, dup := c.clients[ep]; dup {
+			continue
+		}
+		c.clients[ep] = New(ep, opts...)
+		c.order = append(c.order, ep)
+	}
+	return c, nil
+}
+
+// Endpoints returns the node URLs currently in the read rotation.
+func (c *Cluster) Endpoints() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Leader returns the current leader guess (updated by redirects).
+func (c *Cluster) Leader() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.leader
+}
+
+// client returns (creating if needed) the per-node client for base.
+func (c *Cluster) client(base string) *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl, ok := c.clients[base]
+	if !ok {
+		cl = New(base, c.opts...)
+		c.clients[base] = cl
+		c.order = append(c.order, base)
+	}
+	return cl
+}
+
+// readRotation returns the node order for one read: round-robin start,
+// then the rest as fallbacks.
+func (c *Cluster) readRotation() []*Client {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := len(c.order)
+	start := int(c.rr.Add(1)-1) % n
+	out := make([]*Client, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.clients[c.order[(start+i)%n]])
+	}
+	return out
+}
+
+// read runs fn against nodes in rotation order until one succeeds.
+// Typed protocol errors (an *api.Error) are returned immediately — the
+// request itself is wrong and every node would reject it the same way;
+// transport faults (connection refused, timeouts, missing envelopes)
+// and node-specific conditions (internal faults, a degraded follower's
+// health probe) fail over to the next node.
+func (c *Cluster) read(fn func(*Client) error) error {
+	var lastErr error
+	for _, cl := range c.readRotation() {
+		err := fn(cl)
+		if err == nil {
+			return nil
+		}
+		var apiErr *api.Error
+		if errors.As(err, &apiErr) && apiErr.Code != api.CodeInternal && apiErr.Code != api.CodeDegraded {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("client: every cluster node failed: %w", lastErr)
+}
+
+// write runs fn against the leader guess, following not_primary
+// redirects (learning the leader as it goes, up to maxLeaderHops) and
+// failing over to other known endpoints on transport faults — a dead
+// leader guess must not fail a write while a healthy follower could
+// have redirected us to the live primary. Typed protocol rejections
+// other than internal faults return immediately: every node would
+// reject the request the same way.
+func (c *Cluster) write(fn func(*Client) error) error {
+	base := c.Leader()
+	tried := make(map[string]bool)
+	redirects := 0
+	var lastErr error
+	failover := func(err error) error {
+		tried[base] = true
+		lastErr = err
+		base = ""
+		for _, ep := range c.Endpoints() {
+			if !tried[ep] {
+				base = ep
+				break
+			}
+		}
+		if base == "" {
+			return fmt.Errorf("client: write failed on every known endpoint: %w", lastErr)
+		}
+		return nil
+	}
+	for {
+		err := fn(c.client(base))
+		var apiErr *api.Error
+		switch {
+		case err == nil:
+			return nil
+		case errors.As(err, &apiErr) && apiErr.Code == api.CodeNotPrimary:
+			if apiErr.Leader == "" {
+				// A follower that doesn't know its leader: treat like an
+				// unusable node and try the other known endpoints — one of
+				// them may be (or name) the primary.
+				if ferr := failover(err); ferr != nil {
+					return ferr
+				}
+				continue
+			}
+			if redirects >= c.maxLeaderHops {
+				return fmt.Errorf("client: leader chase exceeded %d hops (last redirect to %s): %w",
+					c.maxLeaderHops, apiErr.Leader, err)
+			}
+			redirects++
+			base = apiErr.Leader
+			c.mu.Lock()
+			c.leader = base
+			c.mu.Unlock()
+		case errors.As(err, &apiErr) && apiErr.Code != api.CodeInternal:
+			return err
+		default:
+			if ferr := failover(err); ferr != nil {
+				return ferr
+			}
+		}
+	}
+}
+
+// --- reads (fan across all nodes) ---
+
+// Rank steers one job on whichever node the rotation picks.
+func (c *Cluster) Rank(ctx context.Context, job api.RankRequest) (api.RankResponse, error) {
+	var out api.RankResponse
+	err := c.read(func(cl *Client) error {
+		var rerr error
+		out, rerr = cl.Rank(ctx, job)
+		return rerr
+	})
+	return out, err
+}
+
+// RankBatch steers one batch on one node of the rotation.
+func (c *Cluster) RankBatch(ctx context.Context, jobs []api.RankRequest) (api.BatchRankResponse, error) {
+	var out api.BatchRankResponse
+	err := c.read(func(cl *Client) error {
+		var rerr error
+		out, rerr = cl.RankBatch(ctx, jobs)
+		return rerr
+	})
+	return out, err
+}
+
+// RankAll steers a job list of any size, fanning its MaxRankBatch
+// chunks out concurrently across the read rotation — keeping one
+// request in flight per rotation slot is what turns a second serving
+// node into aggregate rank throughput (a sequential chunk loop never
+// has more than one node working). Results stay index-aligned with
+// jobs; the first failing chunk's error is returned.
+func (c *Cluster) RankAll(ctx context.Context, jobs []api.RankRequest) ([]api.RankResult, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	chunks := (len(jobs) + api.MaxRankBatch - 1) / api.MaxRankBatch
+	results := make([]api.RankResult, len(jobs))
+	errs := make([]error, chunks)
+	par.For(chunks, 2*len(c.Endpoints()), func(i int) {
+		start := i * api.MaxRankBatch
+		end := min(start+api.MaxRankBatch, len(jobs))
+		resp, err := c.RankBatch(ctx, jobs[start:end])
+		if err != nil {
+			errs[i] = fmt.Errorf("client: batch at offset %d: %w", start, err)
+			return
+		}
+		copy(results[start:end], resp.Results)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Health probes one node of the rotation.
+func (c *Cluster) Health(ctx context.Context) (api.HealthResponse, error) {
+	var out api.HealthResponse
+	err := c.read(func(cl *Client) error {
+		var rerr error
+		out, rerr = cl.Health(ctx)
+		return rerr
+	})
+	return out, err
+}
+
+// Stats fetches one node's stats (role-dependent; use StatsAll for the
+// whole fleet).
+func (c *Cluster) Stats(ctx context.Context) (api.StatsResponse, error) {
+	var out api.StatsResponse
+	err := c.read(func(cl *Client) error {
+		var rerr error
+		out, rerr = cl.Stats(ctx)
+		return rerr
+	})
+	return out, err
+}
+
+// StatsAll fetches every node's stats keyed by endpoint (nodes that
+// fail are omitted; an empty map means nobody answered).
+func (c *Cluster) StatsAll(ctx context.Context) map[string]api.StatsResponse {
+	c.mu.RLock()
+	order := append([]string(nil), c.order...)
+	c.mu.RUnlock()
+	out := make(map[string]api.StatsResponse, len(order))
+	for _, ep := range order {
+		if st, err := c.client(ep).Stats(ctx); err == nil {
+			out[ep] = st
+		}
+	}
+	return out
+}
+
+// --- writes (chase the leader) ---
+
+// Reward reports one event's reward to the leader.
+func (c *Cluster) Reward(ctx context.Context, eventID string, value float64) error {
+	return c.write(func(cl *Client) error { return cl.Reward(ctx, eventID, value) })
+}
+
+// RewardBatch feeds a telemetry batch to the leader.
+func (c *Cluster) RewardBatch(ctx context.Context, events []api.RewardEvent) (api.BatchRewardResponse, error) {
+	var out api.BatchRewardResponse
+	err := c.write(func(cl *Client) error {
+		var werr error
+		out, werr = cl.RewardBatch(ctx, events)
+		return werr
+	})
+	return out, err
+}
+
+// InstallHints uploads a hint rollover to the leader. The file is read
+// once up front so redirect hops (and 503 retries) replay identical
+// bytes.
+func (c *Cluster) InstallHints(ctx context.Context, hintFile io.Reader) (api.HintsInstallResponse, error) {
+	payload, err := io.ReadAll(hintFile)
+	if err != nil {
+		return api.HintsInstallResponse{}, fmt.Errorf("client: reading hint file: %w", err)
+	}
+	var out api.HintsInstallResponse
+	err = c.write(func(cl *Client) error {
+		var werr error
+		out, werr = cl.InstallHints(ctx, bytes.NewReader(payload))
+		return werr
+	})
+	return out, err
+}
+
+// SaveSnapshot asks the leader to persist its model.
+func (c *Cluster) SaveSnapshot(ctx context.Context) (api.SnapshotSaveResponse, error) {
+	var out api.SnapshotSaveResponse
+	err := c.write(func(cl *Client) error {
+		var werr error
+		out, werr = cl.SaveSnapshot(ctx)
+		return werr
+	})
+	return out, err
+}

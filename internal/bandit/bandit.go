@@ -410,6 +410,34 @@ func (s *Service) RankUniform(ctx Context, actions []Action) (Ranked, error) {
 	return s.rank(ctx, actions, true)
 }
 
+// RankGreedy scores the actions and picks the argmax without logging
+// an event, assigning an event ID, or consuming exploration
+// randomness — the read-only decision path a replication follower
+// serves. Two nodes holding the same model weights return the same
+// choice for the same request, and serving it never diverges the
+// replica from the primary's journaled state. The reported propensity
+// is the exploit-arm probability of the primary's epsilon-greedy
+// policy ((1-eps) + eps/k); there is no EventID because a follower
+// cannot accept the reward — that write belongs to the primary.
+func (s *Service) RankGreedy(ctx Context, actions []Action) (Ranked, error) {
+	if len(actions) == 0 {
+		return Ranked{}, errors.New("bandit: no actions")
+	}
+	ctxIDs := ctx.featureIDs()
+	scores := make([]float64, len(actions))
+	best := 0
+	s.mu.RLock()
+	for i, a := range actions {
+		scores[i] = s.scoreIDs(ctxIDs, a.featureIDs())
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	s.mu.RUnlock()
+	k := float64(len(actions))
+	return Ranked{Chosen: best, Prob: (1 - s.cfg.Epsilon) + s.cfg.Epsilon/k, Scores: scores}, nil
+}
+
 func (s *Service) rank(ctx Context, actions []Action, uniform bool) (Ranked, error) {
 	if len(actions) == 0 {
 		return Ranked{}, errors.New("bandit: no actions")

@@ -404,3 +404,57 @@ func TestSuspendEvictionComposes(t *testing.T) {
 		t.Fatalf("log size %d after release: the mid-suspension SetMaxLog(8) was clobbered by a stale cap", n)
 	}
 }
+
+// TestRankGreedyReadOnly pins the follower serving contract: RankGreedy
+// returns the same argmax as the exploit arm of Rank, mutates nothing
+// (no event logged, no rng consumed), and is deterministic.
+func TestRankGreedyReadOnly(t *testing.T) {
+	svc := New(DefaultConfig(11))
+	ctx := Context{Features: []string{"spanbit:3", "spanbit:9"}}
+	actions := []Action{{ID: "noop"}, {ID: "flip-a", Features: []string{"rule:12"}}, {ID: "flip-b", Features: []string{"rule:40"}}}
+
+	// Train a little so the argmax is non-trivial.
+	for i := 0; i < 20; i++ {
+		r, err := svc.Rank(ctx, actions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reward := 0.0
+		if r.Chosen == 1 {
+			reward = 1.0
+		}
+		if err := svc.Reward(r.EventID, reward); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Train()
+
+	before := svc.LogSize()
+	g1, err := svc.RankGreedy(ctx, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := svc.RankGreedy(ctx, actions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Chosen != g2.Chosen || g1.Prob != g2.Prob {
+		t.Fatalf("RankGreedy not deterministic: %+v vs %+v", g1, g2)
+	}
+	if g1.EventID != "" {
+		t.Fatalf("RankGreedy assigned event ID %q", g1.EventID)
+	}
+	if svc.LogSize() != before {
+		t.Fatalf("RankGreedy grew the event log %d -> %d", before, svc.LogSize())
+	}
+	// The greedy choice must equal the model's argmax.
+	best := 0
+	for i := range actions {
+		if svc.Score(ctx, actions[i]) > svc.Score(ctx, actions[best]) {
+			best = i
+		}
+	}
+	if g1.Chosen != best {
+		t.Fatalf("RankGreedy chose %d, argmax is %d", g1.Chosen, best)
+	}
+}

@@ -30,6 +30,10 @@ type Journal interface {
 //     checkpoint barrier). Periodic threshold training is NOT marked —
 //     replay reproduces it by counting applied rewards exactly as the
 //     single-worker ingestor does.
+//
+// Tag 4 (hint-table rollover) is reserved by qoadvisor/internal/serve,
+// which owns the hint types; its records are dispatched by the serve
+// layer's applier before the Replayer sees them.
 const (
 	RecRank        byte = 1
 	RecRewardBatch byte = 2

@@ -9,6 +9,7 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -105,6 +106,53 @@ func (c *HintCache) Replace(hints []sis.Hint) uint64 {
 	}
 	c.size.Store(int64(total))
 	return c.gen.Add(1)
+}
+
+// Restore installs a hint table at an explicit generation — the
+// journal-replay and replication path. Unlike Replace it does not mint
+// a new generation: the journal record carries the generation the
+// table was installed as on the primary, and restoring it verbatim is
+// what keeps the generation clients observe identical across a crash
+// restart or between a primary and its followers.
+func (c *HintCache) Restore(hints []sis.Hint, gen uint64) {
+	c.replaceMu.Lock()
+	defer c.replaceMu.Unlock()
+	fresh := make([]map[uint64]sis.Hint, len(c.shards))
+	per := len(hints)/len(c.shards) + 1
+	for i := range fresh {
+		fresh[i] = make(map[uint64]sis.Hint, per)
+	}
+	for _, h := range hints {
+		fresh[bandit.Mix64(h.TemplateHash)&c.mask][h.TemplateHash] = h
+	}
+	total := 0
+	for i := range c.shards {
+		total += len(fresh[i])
+		c.shards[i].mu.Lock()
+		c.shards[i].m = fresh[i]
+		c.shards[i].mu.Unlock()
+	}
+	c.size.Store(int64(total))
+	c.gen.Store(gen)
+}
+
+// Export snapshots the active table and its generation in ascending
+// template-hash order — the stable form checkpoints re-journal and
+// tests compare. It takes the writer lock so the hints and generation
+// are a consistent pair even against a concurrent Replace.
+func (c *HintCache) Export() ([]sis.Hint, uint64) {
+	c.replaceMu.Lock()
+	defer c.replaceMu.Unlock()
+	out := make([]sis.Hint, 0, c.size.Load())
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		for _, h := range c.shards[i].m {
+			out = append(out, h)
+		}
+		c.shards[i].mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TemplateHash < out[j].TemplateHash })
+	return out, c.gen.Load()
 }
 
 // Size returns the number of active hints as of the last Replace.

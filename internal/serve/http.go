@@ -70,6 +70,8 @@ func newHTTPLayer(s *Server) *httpLayer {
 		{api.RouteV2Reward, h.handleRewardV2},
 		{api.RouteV2Healthz, h.handleHealthz},
 		{api.RouteV2Stats, h.handleStatsV2},
+		{api.RouteV2WAL, h.handleWALStream},
+		{api.RouteV2WALSnapshot, h.handleWALSnapshot},
 	} {
 		h.stats[route.path] = &routeStats{}
 		h.mux.HandleFunc(route.path, h.instrument(route.path, route.handler))
@@ -116,6 +118,14 @@ type statusRecorder struct {
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
 	sr.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (the
+// WAL replication stream) can push frames through the middleware.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a route handler with request-ID injection (header in,
@@ -203,6 +213,17 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) *api
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
 	if r.Method != method {
 		writeError(w, requestID(r), api.Errorf(api.CodeMethodNotAllowed, "%s required", method))
+		return false
+	}
+	return true
+}
+
+// requirePrimary rejects state-mutating requests on a follower with the
+// structured not_primary envelope carrying the leader URL, so clients
+// chase the redirect instead of guessing. Returns false when rejected.
+func (h *httpLayer) requirePrimary(w http.ResponseWriter, r *http.Request) bool {
+	if h.srv.follower {
+		writeError(w, requestID(r), api.NotPrimary(h.srv.leaderURL))
 		return false
 	}
 	return true
@@ -301,7 +322,7 @@ func (h *httpLayer) handleRankV2(w http.ResponseWriter, r *http.Request) {
 
 func (h *httpLayer) handleRewardV2(w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
-	if !requireMethod(w, r, http.MethodPost) {
+	if !requireMethod(w, r, http.MethodPost) || !h.requirePrimary(w, r) {
 		return
 	}
 	var req api.BatchRewardRequest
@@ -346,7 +367,13 @@ func (h *httpLayer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := h.srv.Health()
 	resp.RequestID = requestID(r)
-	writeJSON(w, http.StatusOK, resp)
+	status := http.StatusOK
+	if resp.Status != api.HealthOK {
+		// Degraded (stale follower): the body still describes the node,
+		// but the status code is what LB health checks act on.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 func (h *httpLayer) handleStatsV2(w http.ResponseWriter, r *http.Request) {
@@ -381,7 +408,7 @@ func (h *httpLayer) handleRankV1(w http.ResponseWriter, r *http.Request) {
 
 func (h *httpLayer) handleRewardV1(w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
-	if !requireMethod(w, r, http.MethodPost) {
+	if !requireMethod(w, r, http.MethodPost) || !h.requirePrimary(w, r) {
 		return
 	}
 	var ev api.RewardEvent
@@ -400,7 +427,7 @@ func (h *httpLayer) handleRewardV1(w http.ResponseWriter, r *http.Request) {
 // the HTTP face of the pipeline rollover.
 func (h *httpLayer) handleHints(w http.ResponseWriter, r *http.Request) {
 	rid := requestID(r)
-	if !requireMethod(w, r, http.MethodPost) {
+	if !requireMethod(w, r, http.MethodPost) || !h.requirePrimary(w, r) {
 		return
 	}
 	// Read the whole body before parsing: sis.Parse runs on a
@@ -424,7 +451,14 @@ func (h *httpLayer) handleHints(w http.ResponseWriter, r *http.Request) {
 	}
 	gen, err := h.srv.InstallHints(file.Hints)
 	if err != nil {
-		writeError(w, rid, api.Errorf(api.CodeValidationFailed, "%v", err))
+		// Typed errors (journal fail-stop = internal) pass through; plain
+		// errors are the SIS validation gate.
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			writeError(w, rid, ae)
+		} else {
+			writeError(w, rid, api.Errorf(api.CodeValidationFailed, "%v", err))
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, api.HintsInstallResponse{
@@ -453,6 +487,9 @@ func (h *httpLayer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case http.MethodPost:
+		if !h.requirePrimary(w, r) {
+			return
+		}
 		if h.srv.snapshotPath == "" {
 			writeError(w, rid, api.Errorf(api.CodeSnapshotUnconfigured, "no snapshot path configured"))
 			return

@@ -6,8 +6,61 @@ import (
 	"os"
 
 	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/sis"
 	"qoadvisor/internal/wal"
 )
+
+// Applier applies journal records to a learner and, when one is
+// attached, a live hint cache — the single record-dispatch path shared
+// by crash recovery (offline, cache applied afterwards) and follower
+// replication (online, cache updated as records arrive). Bandit-owned
+// records (rank, reward batch, train mark) go to a bandit.Replayer
+// with its train-boundary accounting; hint-rollover records restore
+// the hint table at the journaled generation.
+type Applier struct {
+	svc   *bandit.Service
+	rp    *bandit.Replayer
+	cache *HintCache // nil: hints only accumulate in Hints/HintGen
+
+	// Hints / HintGen track the newest rollover applied (replay keeps
+	// the last one: rollovers are wholesale). Rollovers counts them.
+	Hints     []sis.Hint
+	HintGen   uint64
+	Rollovers int64
+}
+
+// NewApplier builds an applier over svc. cache, when non-nil, receives
+// hint rollovers as they are applied (the follower's live mode);
+// trainEvery must match the journaled run's ingestion batch size.
+func NewApplier(svc *bandit.Service, cache *HintCache, trainEvery int) *Applier {
+	return &Applier{svc: svc, rp: bandit.NewReplayer(svc, trainEvery), cache: cache}
+}
+
+// Apply consumes one journal record.
+func (a *Applier) Apply(lsn uint64, payload []byte) error {
+	if len(payload) > 0 && payload[0] == RecHintRollover {
+		gen, hints, err := DecodeHintRollover(payload)
+		if err != nil {
+			return fmt.Errorf("serve: lsn %d: %w", lsn, err)
+		}
+		a.Hints, a.HintGen = hints, gen
+		a.Rollovers++
+		if a.cache != nil {
+			a.cache.Restore(hints, gen)
+		}
+		// Hint records advance the covered-state watermark like any other
+		// applied record, so a later snapshot supersedes them.
+		a.svc.SetWALWatermark(lsn)
+		return nil
+	}
+	return a.rp.Apply(lsn, payload)
+}
+
+// Finish runs the drain-equivalent tail training flush.
+func (a *Applier) Finish() { a.rp.Finish() }
+
+// ReplayStats reports the bandit-side replay counters.
+func (a *Applier) ReplayStats() bandit.ReplayStats { return a.rp.Stats }
 
 // RecoverResult reports what Recover rebuilt.
 type RecoverResult struct {
@@ -21,6 +74,13 @@ type RecoverResult struct {
 	Replay bandit.ReplayStats
 	// Journal describes the replay pass (tail truncation etc).
 	Journal wal.ReplayInfo
+	// Hints is the hint table as of the newest journaled rollover (nil
+	// when the journal holds none — pre-rollover crash or a journal from
+	// before hint journaling). HintGen is the cache generation it was
+	// installed as; HintRollovers counts rollover records replayed.
+	Hints         []sis.Hint
+	HintGen       uint64
+	HintRollovers int64
 }
 
 // Recovered reports whether any persisted state was found — when
@@ -30,15 +90,16 @@ func (r RecoverResult) Recovered() bool {
 	return r.SnapshotLoaded || r.Journal.Records > 0
 }
 
-// Recover rebuilds a bandit model from a snapshot plus the journal
-// suffix above its watermark: the startup path of a WAL-backed server
-// and the offline "-replay" ops mode. snapshotPath may be empty or
-// name a file that does not exist yet (first boot) — the journal is
-// then replayed from the beginning into a fresh learner built with
-// DefaultConfig(seed). trainEvery and maxLogEvents must match the
-// serving configuration (both with Config's 0-default / negative-
-// unbounded semantics) or replay would train on different boundaries —
-// or evict different events — than the live run did.
+// Recover rebuilds a bandit model plus the active hint table from a
+// snapshot and the journal suffix above its watermark: the startup
+// path of a WAL-backed server and the offline "-replay" ops mode.
+// snapshotPath may be empty or name a file that does not exist yet
+// (first boot) — the journal is then replayed from the beginning into
+// a fresh learner built with DefaultConfig(seed). trainEvery and
+// maxLogEvents must match the serving configuration (both with
+// Config's 0-default / negative-unbounded semantics) or replay would
+// train on different boundaries — or evict different events — than
+// the live run did.
 //
 // Recovery is deterministic: replaying the same snapshot and journal
 // yields a bit-identical model, and under the single-worker ingestion
@@ -83,10 +144,11 @@ func Recover(src wal.Source, snapshotPath string, trainEvery, maxLogEvents int, 
 		res.Service.SetMaxLog(0)
 	}
 
-	rp := bandit.NewReplayer(res.Service, trainEvery)
-	info, err := src.Replay(res.FromLSN, rp.Apply)
+	ap := NewApplier(res.Service, nil, trainEvery)
+	info, err := src.Replay(res.FromLSN, ap.Apply)
 	res.Journal = info
-	res.Replay = rp.Stats
+	res.Replay = ap.ReplayStats()
+	res.Hints, res.HintGen, res.HintRollovers = ap.Hints, ap.HintGen, ap.Rollovers
 	if err != nil {
 		return res, fmt.Errorf("replaying journal: %w", err)
 	}
@@ -94,8 +156,8 @@ func Recover(src wal.Source, snapshotPath string, trainEvery, maxLogEvents int, 
 		// Drain-equivalent tail flush: rewards past the last training
 		// boundary train now, exactly as a graceful shutdown would have
 		// trained them.
-		rp.Finish()
-		res.Replay = rp.Stats
+		ap.Finish()
+		res.Replay = ap.ReplayStats()
 	}
 	return res, nil
 }

@@ -1,0 +1,496 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/wal"
+)
+
+// testHints builds a small valid hint table.
+func testHints(cat *rules.Catalog, n, day int) []sis.Hint {
+	hints := make([]sis.Hint, n)
+	for i := range hints {
+		hints[i] = sis.Hint{
+			TemplateHash: uint64(0x1000 + i),
+			TemplateID:   fmt.Sprintf("T%04d", i),
+			Flip:         cat.FlipFor(40 + i%40),
+			Day:          day,
+		}
+	}
+	return hints
+}
+
+func TestHintRolloverRecordRoundTrip(t *testing.T) {
+	cat := rules.NewCatalog()
+	hints := testHints(cat, 17, 5)
+	rec := EncodeHintRollover(3, hints)
+	gen, got, err := DecodeHintRollover(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 || len(got) != len(hints) {
+		t.Fatalf("decoded gen %d, %d hints", gen, len(got))
+	}
+	for i := range hints {
+		if got[i] != hints[i] {
+			t.Fatalf("hint %d: %+v != %+v", i, got[i], hints[i])
+		}
+	}
+	// Truncated payloads fail loudly rather than installing a partial table.
+	for cut := 1; cut < len(rec); cut += 7 {
+		if _, _, err := DecodeHintRollover(rec[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+// TestHintTableCrashRecovery is the satellite regression: before hint
+// journaling, a crash restart restored the bandit but came back with
+// an EMPTY hint cache — every steered template silently fell back to
+// the bandit path. Now the rollover is journaled, so a restart after a
+// rollover must serve the installed hints at the installed generation.
+func TestHintTableCrashRecovery(t *testing.T) {
+	r := newWALRig(t, 1<<20)
+	cat := rules.NewCatalog()
+
+	ids := r.rankSome(t, 10, 1)
+	r.rewardAll(t, ids[:6], 0.8)
+
+	hints := testHints(cat, 9, 4)
+	if _, err := r.srv.InstallHints(hints); err != nil {
+		t.Fatal(err)
+	}
+	// A second rollover: recovery must finish on the NEWEST table and
+	// generation, not the first one it sees.
+	hints2 := testHints(cat, 12, 5)
+	if _, err := r.srv.InstallHints(hints2); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Ingestor().Drain()
+	if err := r.j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash" and recover from the journal alone (no snapshot ever taken).
+	rec, err := Recover(wal.DirSource{Dir: r.dir}, "", walTestTrainEvery, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HintRollovers != 2 || rec.HintGen != 2 || len(rec.Hints) != len(hints2) {
+		t.Fatalf("recovered rollovers=%d gen=%d hints=%d, want 2/2/%d",
+			rec.HintRollovers, rec.HintGen, len(rec.Hints), len(hints2))
+	}
+
+	// A restarted server restores the table and serves it.
+	srv2 := New(Config{Seed: 42, TrainEvery: walTestTrainEvery, Bandit: rec.Service})
+	defer srv2.Close()
+	srv2.RestoreHints(rec.Hints, rec.HintGen)
+	resp, err := srv2.Rank(api.RankRequest{TemplateHash: api.TemplateHash(hints2[3].TemplateHash), Span: []int{50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != api.SourceHint || resp.Flip != hints2[3].Flip.String() || resp.Generation != 2 {
+		t.Fatalf("restart does not serve the rolled-over hint: %+v", resp)
+	}
+}
+
+// TestHintTableSurvivesCompaction covers the re-journal-at-checkpoint
+// discipline: checkpoints truncate covered segments, which can delete
+// the original rollover record — the checkpoint must have re-appended
+// the live table above its watermark so recovery still finds it.
+func TestHintTableSurvivesCompaction(t *testing.T) {
+	r := newWALRig(t, 1024) // tiny segments so checkpoints compact
+	cat := rules.NewCatalog()
+
+	hints := testHints(cat, 7, 3)
+	if _, err := r.srv.InstallHints(hints); err != nil {
+		t.Fatal(err)
+	}
+	// Traffic + checkpoints until the segment holding the rollover is
+	// compacted away.
+	for round := 0; round < 3; round++ {
+		ids := r.rankSome(t, 25, 20+round)
+		r.rewardAll(t, ids[:20], 0.5)
+		if _, err := r.srv.Checkpoint(r.snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := r.j.Stats(); st.TruncatedSegs == 0 {
+		t.Fatalf("no compaction happened; test is vacuous: %+v", st)
+	}
+
+	rec, err := Recover(wal.DirSource{Dir: r.dir}, r.snap, walTestTrainEvery, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HintGen != 1 || len(rec.Hints) != len(hints) {
+		t.Fatalf("hint table lost to compaction: gen=%d hints=%d", rec.HintGen, len(rec.Hints))
+	}
+	for i := range hints {
+		if rec.Hints[i] != hints[i] {
+			t.Fatalf("hint %d corrupted across checkpoint: %+v != %+v", i, rec.Hints[i], hints[i])
+		}
+	}
+}
+
+func getURL(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// readFrames drains one /v2/wal response into (lsn, payload) pairs.
+func readFrames(t *testing.T, body io.Reader) (lsns []uint64, payloads [][]byte) {
+	t.Helper()
+	for {
+		lsn, p, err := api.ReadWALFrame(body)
+		if err == io.EOF {
+			return lsns, payloads
+		}
+		if err != nil {
+			t.Fatalf("reading frame: %v", err)
+		}
+		lsns = append(lsns, lsn)
+		payloads = append(payloads, p)
+	}
+}
+
+// TestWALStreamCatchUpAndResume drives the streaming endpoint the way
+// a follower does: full catch-up from 0, then resume-from-LSN after a
+// torn connection, with every frame CRC-verified and dense.
+func TestWALStreamCatchUpAndResume(t *testing.T) {
+	r := newWALRig(t, 1<<20)
+	cat := rules.NewCatalog()
+	ids := r.rankSome(t, 20, 3)
+	r.rewardAll(t, ids[:15], 0.7)
+	if _, err := r.srv.InstallHints(testHints(cat, 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	r.srv.Ingestor().Drain()
+	if err := r.j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	last := r.j.LastLSN()
+
+	resp, err := http.Get(r.ts.URL + api.RouteV2WAL + "?from=0&wait=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != api.WALStreamContentType {
+		t.Fatalf("stream status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	frontier, err := strconv.ParseUint(resp.Header.Get(api.WALFrontierHeader), 10, 64)
+	if err != nil || frontier < last {
+		t.Fatalf("frontier header %q, journal end %d", resp.Header.Get(api.WALFrontierHeader), last)
+	}
+
+	// Read a prefix, then tear the connection mid-stream.
+	var applied uint64
+	for applied < last/2 {
+		lsn, _, err := api.ReadWALFrame(resp.Body)
+		if err != nil {
+			t.Fatalf("frame after %d: %v", applied, err)
+		}
+		if lsn != applied+1 {
+			t.Fatalf("LSN gap: got %d after %d", lsn, applied)
+		}
+		applied = lsn
+	}
+	resp.Body.Close() // torn connection
+
+	// Resume from the last applied LSN: the remainder arrives exactly
+	// once, no gaps, no duplicates.
+	resp2, err := http.Get(fmt.Sprintf("%s%s?from=%d&wait=100", r.ts.URL, api.RouteV2WAL, applied))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	lsns, _ := readFrames(t, resp2.Body)
+	if uint64(len(lsns)) != last-applied {
+		t.Fatalf("resume delivered %d frames, want %d", len(lsns), last-applied)
+	}
+	for i, lsn := range lsns {
+		if lsn != applied+uint64(i)+1 {
+			t.Fatalf("resume frame %d has LSN %d, want %d", i, lsn, applied+uint64(i)+1)
+		}
+	}
+
+	// The stream long-polls: records appended while a tail stream is
+	// open are delivered on that same connection.
+	tail, err := http.Get(fmt.Sprintf("%s%s?from=%d&wait=3000", r.ts.URL, api.RouteV2WAL, last))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Body.Close()
+	frameCh := make(chan uint64, 16)
+	go func() {
+		for {
+			lsn, _, err := api.ReadWALFrame(tail.Body)
+			if err != nil {
+				close(frameCh)
+				return
+			}
+			frameCh <- lsn
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the long-poll park
+	r.rankSome(t, 3, 77)
+	deadline := time.After(5 * time.Second)
+	got := 0
+	for got < 3 {
+		select {
+		case _, ok := <-frameCh:
+			if !ok {
+				t.Fatal("tail stream closed before delivering new records")
+			}
+			got++
+		case <-deadline:
+			t.Fatalf("long-poll tail delivered %d of 3 new records", got)
+		}
+	}
+}
+
+// TestWALStreamErrors covers the replication surface's failure modes:
+// gap after compaction (410), no WAL at all (409), follower node (421),
+// bad from parameter (400).
+func TestWALStreamErrors(t *testing.T) {
+	t.Run("gap after compaction", func(t *testing.T) {
+		r := newWALRig(t, 1024)
+		for round := 0; round < 3; round++ {
+			ids := r.rankSome(t, 25, round)
+			r.rewardAll(t, ids[:20], 0.5)
+			if _, err := r.srv.Checkpoint(r.snap); err != nil {
+				t.Fatal(err)
+			}
+		}
+		first := r.j.FirstLSN()
+		if first <= 1 {
+			t.Fatalf("no compaction; test is vacuous (first=%d)", first)
+		}
+		resp, err := http.Get(r.ts.URL + api.RouteV2WAL + "?from=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("status %d, want 410", resp.StatusCode)
+		}
+		var env api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code != api.CodeWALGap {
+			t.Fatalf("envelope %+v (%v)", env, err)
+		}
+	})
+
+	t.Run("wal disabled", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Seed: 1})
+		for _, route := range []string{api.RouteV2WAL, api.RouteV2WALSnapshot} {
+			resp, err := http.Get(ts.URL + route)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env api.ErrorResponse
+			json.NewDecoder(resp.Body).Decode(&env)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusConflict || env.Error.Code != api.CodeWALDisabled {
+				t.Fatalf("%s: status %d code %q", route, resp.StatusCode, env.Error.Code)
+			}
+		}
+	})
+
+	t.Run("bad from", func(t *testing.T) {
+		r := newWALRig(t, 1<<20)
+		resp, err := http.Get(r.ts.URL + api.RouteV2WAL + "?from=banana")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+
+	// A bootstrap whose checkpoint barrier fails (here: the journal is
+	// gone, so the barrier's hint re-journal cannot append) must report
+	// an error envelope — a bare 200 with an empty body would send the
+	// joining follower into a silent re-bootstrap loop while hiding the
+	// primary's fault.
+	t.Run("barrier failure gets envelope", func(t *testing.T) {
+		r := newWALRig(t, 1<<20)
+		if _, err := r.srv.InstallHints(testHints(rules.NewCatalog(), 3, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get(r.ts.URL + api.RouteV2WALSnapshot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status %d, want 500", resp.StatusCode)
+		}
+		var env api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error.Code != api.CodeInternal {
+			t.Fatalf("envelope %+v (%v)", env, err)
+		}
+	})
+}
+
+// TestFollowerModeContract pins the read-only replica semantics: reads
+// serve (hints byte-for-byte, bandit greedily with no event), every
+// write rejects with not_primary + the leader URL, and stats report
+// the follower role.
+func TestFollowerModeContract(t *testing.T) {
+	cat := rules.NewCatalog()
+	const leader = "http://primary.example:8080"
+	srv, ts := newTestServer(t, Config{Catalog: cat, Seed: 9, Follower: true, LeaderURL: leader})
+	srv.RestoreHints(testHints(cat, 3, 2), 7)
+
+	// Hint read path serves, with the restored generation.
+	hinted := decodeJSON[api.RankResponse](t, postJSON(t, ts.URL+api.RouteV1Rank,
+		api.RankRequest{TemplateHash: 0x1001, Span: []int{45}}))
+	if hinted.Source != api.SourceHint || hinted.Generation != 7 {
+		t.Fatalf("follower hint rank = %+v", hinted)
+	}
+	// Bandit read path is deterministic greedy: no event ID, twice the
+	// same answer.
+	job := api.RankRequest{TemplateHash: 0x9999, Span: []int{10, 30, 90}}
+	b1 := decodeJSON[api.RankResponse](t, postJSON(t, ts.URL+api.RouteV1Rank, job))
+	b2 := decodeJSON[api.RankResponse](t, postJSON(t, ts.URL+api.RouteV1Rank, job))
+	if b1.Source != api.SourceBandit || b1.EventID != "" {
+		t.Fatalf("follower bandit rank = %+v", b1)
+	}
+	if b1.Chosen != b2.Chosen || b1.Prob != b2.Prob {
+		t.Fatalf("follower bandit rank not deterministic: %+v vs %+v", b1, b2)
+	}
+	if n := srv.Bandit().LogSize(); n != 0 {
+		t.Fatalf("follower logged %d events serving reads", n)
+	}
+
+	// Writes reject with the structured redirect.
+	val := 1.0
+	for name, do := range map[string]func() *http.Response{
+		"v1 reward": func() *http.Response {
+			return postJSON(t, ts.URL+api.RouteV1Reward, api.RewardEvent{EventID: "e", Reward: &val})
+		},
+		"v2 reward": func() *http.Response {
+			return postJSON(t, ts.URL+api.RouteV2Reward, api.BatchRewardRequest{Events: []api.RewardEvent{{EventID: "e", Reward: &val}}})
+		},
+		"hints rollover": func() *http.Response {
+			resp, err := http.Post(ts.URL+api.RouteV1Hints, "text/plain", bytes.NewBufferString("qoadvisor-hints v1 day=1\n"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		},
+		"snapshot save": func() *http.Response {
+			resp, err := http.Post(ts.URL+api.RouteV1Snapshot, "application/json", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		},
+		"wal stream": func() *http.Response {
+			resp, err := http.Get(ts.URL + api.RouteV2WAL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp
+		},
+	} {
+		resp := do()
+		var env api.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMisdirectedRequest || env.Error.Code != api.CodeNotPrimary {
+			t.Errorf("%s: status %d code %q, want 421 not_primary", name, resp.StatusCode, env.Error.Code)
+		}
+		if env.Error.Leader != leader {
+			t.Errorf("%s: leader %q, want %q", name, env.Error.Leader, leader)
+		}
+	}
+
+	// Stats carry the role.
+	stats := decodeJSON[api.StatsResponse](t, getURL(t, ts.URL+api.RouteV2Stats))
+	if stats.Replication == nil || stats.Replication.Role != api.RoleFollower || stats.Replication.LeaderURL != leader {
+		t.Fatalf("follower stats replication = %+v", stats.Replication)
+	}
+}
+
+// TestPrimaryReplicationStats checks the primary side of /v2/stats:
+// role, open-stream gauge, and shipped counters.
+func TestPrimaryReplicationStats(t *testing.T) {
+	r := newWALRig(t, 1<<20)
+	ids := r.rankSome(t, 5, 1)
+	r.rewardAll(t, ids, 0.5)
+	r.srv.Ingestor().Drain()
+	if err := r.j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No streams yet.
+	st := decodeJSON[api.StatsResponse](t, getURL(t, r.ts.URL+api.RouteV2Stats))
+	if st.Replication == nil || st.Replication.Role != api.RolePrimary || st.Replication.Followers != 0 {
+		t.Fatalf("primary stats = %+v", st.Replication)
+	}
+
+	// One open tail stream: the gauge sees it.
+	tail, err := http.Get(fmt.Sprintf("%s%s?from=%d&wait=2000", r.ts.URL, api.RouteV2WAL, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Body.Close()
+	if _, _, err := api.ReadWALFrame(tail.Body); err != nil { // consume one frame; keep open
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st = decodeJSON[api.StatsResponse](t, getURL(t, r.ts.URL+api.RouteV2Stats))
+		if st.Replication.Followers == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Replication.Followers != 1 || st.Replication.StreamsServed < 1 || st.Replication.RecordsShipped == 0 {
+		t.Fatalf("primary stats with open stream = %+v", st.Replication)
+	}
+}
+
+// TestFollowerHealthzDegradesWhenStale: a follower whose replication
+// tail has gone silent must fail LB health checks (503 degraded)
+// instead of serving arbitrarily stale hints behind a green light.
+func TestFollowerHealthzDegradesWhenStale(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Seed: 4, Follower: true, LeaderURL: "http://p:1"})
+
+	tailAge := 1.0 // seconds; fresh
+	srv.SetReplProbe(func() api.ReplicationStats {
+		return api.ReplicationStats{Role: api.RoleFollower, LastTailSec: tailAge}
+	})
+	resp := getURL(t, ts.URL+api.RouteV2Healthz)
+	h := decodeJSON[api.HealthResponse](t, resp)
+	if resp.StatusCode != http.StatusOK || h.Status != api.HealthOK {
+		t.Fatalf("fresh follower healthz = %d %q", resp.StatusCode, h.Status)
+	}
+
+	tailAge = 2 * followerStaleAfter.Seconds()
+	resp = getURL(t, ts.URL+api.RouteV2Healthz)
+	h = decodeJSON[api.HealthResponse](t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != api.HealthDegraded {
+		t.Fatalf("stale follower healthz = %d %q, want 503 degraded", resp.StatusCode, h.Status)
+	}
+}

@@ -52,11 +52,27 @@ type Config struct {
 	SnapshotPath string
 	// WAL, when non-nil, is the durable reward journal: rank decisions
 	// are journaled by the learner, reward batches are journaled before
-	// acknowledgment, and Checkpoint snapshots the model with a WAL
-	// watermark and truncates covered segments. The server takes
-	// ownership of journaling but not of the WAL's lifecycle — the
-	// caller still closes it (after Close and the final Checkpoint).
+	// acknowledgment, hint rollovers are journaled as RecHintRollover
+	// records, and Checkpoint snapshots the model with a WAL watermark
+	// and truncates covered segments. The server takes ownership of
+	// journaling but not of the WAL's lifecycle — the caller still
+	// closes it (after Close and the final Checkpoint). A WAL-backed
+	// server is also a replication primary: followers bootstrap from
+	// GET /v2/wal/snapshot and tail GET /v2/wal.
 	WAL *wal.WAL
+	// Follower switches the server to read-only replica mode: the
+	// bandit path of Rank answers with the deterministic greedy policy
+	// (no event logged, no exploration randomness consumed — serving a
+	// read must not diverge the replica from the primary's journaled
+	// state), and every write route (/v1/reward, /v2/reward, /v1/hints,
+	// POST /v1/model/snapshot, the replication surface) rejects with a
+	// structured not_primary error carrying LeaderURL. The replica's
+	// state advances only through applied journal records
+	// (internal/replicate tails them).
+	Follower bool
+	// LeaderURL is the primary's base URL, carried by not_primary
+	// rejections and reported in stats (follower mode only).
+	LeaderURL string
 }
 
 // Server is the embeddable online steering service. It serves hint-cache
@@ -77,11 +93,27 @@ type Server struct {
 	lastCkptMicros atomic.Int64
 
 	uniform      bool
+	follower     bool
+	leaderURL    string
 	rankWorkers  int
 	snapshotPath string
 	snapMu       sync.Mutex
 	start        time.Time
 	http         *httpLayer
+
+	// rolloverMu orders hint-table swaps against their journal records:
+	// two racing rollovers must append in generation order or replay
+	// would finish on the older table.
+	rolloverMu sync.Mutex
+
+	// Primary-side replication counters (maintained by the /v2/wal
+	// stream handler) and the follower-side stats probe installed by
+	// the replication tailer.
+	walStreams      atomic.Int64
+	walStreamsTotal atomic.Int64
+	walRecsShipped  atomic.Int64
+	walBytesShipped atomic.Int64
+	replProbe       atomic.Pointer[func() api.ReplicationStats]
 
 	rankRequests atomic.Int64
 	hintHits     atomic.Int64
@@ -112,6 +144,8 @@ func New(cfg Config) *Server {
 		wal:          cfg.WAL,
 		ingest:       NewIngestor(cfg.Bandit, cfg.WAL, cfg.QueueSize, cfg.Workers, cfg.TrainEvery),
 		uniform:      cfg.Uniform,
+		follower:     cfg.Follower,
+		leaderURL:    cfg.LeaderURL,
 		rankWorkers:  cfg.RankWorkers,
 		snapshotPath: cfg.SnapshotPath,
 		start:        time.Now(),
@@ -138,12 +172,64 @@ func (s *Server) Ingestor() *Ingestor { return s.ingest }
 // pipeline-rollover entry point, fed from core.Advisor.ActiveHints() or
 // a parsed SIS file. Validation is the same gate the HTTP rollover
 // applies: rule IDs in range, no duplicate templates, no Required-rule
-// flips.
+// flips. On a WAL-backed server the rollover is journaled (table +
+// generation) before this returns, under the same fence as the swap so
+// racing rollovers journal in generation order: a restart recovers the
+// installed hints, and followers replicate them in decision order. A
+// journal failure is fail-stop — the rollover is rejected rather than
+// installed un-replayably — and surfaces as *api.Error(CodeInternal).
 func (s *Server) InstallHints(hints []sis.Hint) (uint64, error) {
 	if err := sis.Validate(sis.File{Hints: hints}, s.cat); err != nil {
 		return s.cache.Generation(), err
 	}
-	return s.cache.Replace(hints), nil
+	s.rolloverMu.Lock()
+	if s.wal != nil {
+		// Append before the swap: if the disk is sick the table must not
+		// be serving while absent from the journal. The generation the
+		// swap WILL mint is current+1 (rolloverMu excludes other writers).
+		if _, err := s.wal.Append(EncodeHintRollover(s.cache.Generation()+1, hints)); err != nil {
+			s.rolloverMu.Unlock()
+			return s.cache.Generation(), api.Errorf(api.CodeInternal, "journaling hint rollover: %v", err)
+		}
+	}
+	gen := s.cache.Replace(hints)
+	s.rolloverMu.Unlock()
+	return gen, nil
+}
+
+// RestoreHints installs a recovered hint table at its journaled
+// generation without re-journaling — the crash-recovery path (the
+// record that produced it is already in the log).
+func (s *Server) RestoreHints(hints []sis.Hint, gen uint64) {
+	s.rolloverMu.Lock()
+	s.cache.Restore(hints, gen)
+	s.rolloverMu.Unlock()
+}
+
+// journalHints re-appends the live hint table to the journal — called
+// with the snapshot watermark already fixed, so the record lands above
+// it and survives both replay-from-snapshot and segment compaction.
+// Without this a checkpoint could truncate the only journaled copy of
+// the table while the snapshot (model-only) carries none.
+func (s *Server) journalHints() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.rolloverMu.Lock()
+	defer s.rolloverMu.Unlock()
+	hints, gen := s.cache.Export()
+	if gen == 0 && len(hints) == 0 {
+		return nil // nothing ever installed; don't journal an empty wipe
+	}
+	_, err := s.wal.Append(EncodeHintRollover(gen, hints))
+	return err
+}
+
+// SetReplProbe installs the follower-side replication stats source
+// (applied LSN, lag, tail age), reported under /v2/stats. The
+// replication tailer owns the numbers; the server only serves them.
+func (s *Server) SetReplProbe(fn func() api.ReplicationStats) {
+	s.replProbe.Store(&fn)
 }
 
 // Close drains and stops the reward ingestor.
@@ -189,9 +275,16 @@ func (s *Server) Rank(req api.RankRequest) (api.RankResponse, error) {
 	actions, flips := core.ActionsFor(s.cat, f)
 	var ranked bandit.Ranked
 	var err error
-	if s.uniform {
+	switch {
+	case s.follower:
+		// Read replica: deterministic greedy decision over the replicated
+		// weights — no event logged, no rng consumed, nothing to diverge
+		// from the primary. No EventID is returned: the reward for this
+		// decision has nowhere to land here (writes go to the leader).
+		ranked, err = s.bandit.RankGreedy(ctx, actions)
+	case s.uniform:
 		ranked, err = s.bandit.RankUniform(ctx, actions)
-	} else {
+	default:
 		ranked, err = s.bandit.Rank(ctx, actions)
 	}
 	if err != nil {
@@ -254,14 +347,57 @@ func (s *Server) Stats() api.StatsResponse {
 		BanditLog:    int64(s.bandit.LogSize()),
 		Ingest:       s.ingest.Stats(),
 		WAL:          walStats,
+		Replication:  s.replicationStats(),
 	}
 }
 
-// Health snapshots the cheap liveness view served by /v2/healthz.
+// replicationStats reports the node's cluster role: the follower probe
+// when the tailer installed one, primary counters when a WAL makes
+// this node shippable, nothing for a standalone in-memory server.
+func (s *Server) replicationStats() *api.ReplicationStats {
+	if probe := s.replProbe.Load(); probe != nil {
+		r := (*probe)()
+		return &r
+	}
+	if s.follower {
+		// Follower before its probe is wired (or embedded without one).
+		return &api.ReplicationStats{Role: api.RoleFollower, LeaderURL: s.leaderURL}
+	}
+	if s.wal != nil {
+		return &api.ReplicationStats{
+			Role:           api.RolePrimary,
+			Followers:      int(s.walStreams.Load()),
+			StreamsServed:  s.walStreamsTotal.Load(),
+			RecordsShipped: s.walRecsShipped.Load(),
+			BytesShipped:   s.walBytesShipped.Load(),
+		}
+	}
+	return nil
+}
+
+// followerStaleAfter is how long a follower's replication tail may be
+// silent before /v2/healthz degrades. A healthy follower touches its
+// tail at least every long-poll window (10s default) even when the
+// primary is idle, so a minute of silence means the primary is gone or
+// unreachable and the replica is serving increasingly stale state.
+const followerStaleAfter = time.Minute
+
+// Health snapshots the cheap liveness view served by /v2/healthz. On a
+// follower it degrades (HTTP 503 on the wire) once the replication
+// tail has been silent past followerStaleAfter, so load balancers
+// gating on healthz eject stale replicas instead of serving them.
 func (s *Server) Health() api.HealthResponse {
 	ing := s.ingest.Stats()
+	status := api.HealthOK
+	if s.follower {
+		if probe := s.replProbe.Load(); probe != nil {
+			if r := (*probe)(); r.LastTailSec > followerStaleAfter.Seconds() {
+				status = api.HealthDegraded
+			}
+		}
+	}
 	return api.HealthResponse{
-		Status:     api.HealthOK,
+		Status:     status,
 		Generation: s.cache.Generation(),
 		UptimeSec:  time.Since(s.start).Seconds(),
 		Hints:      s.cache.Size(),
@@ -310,6 +446,14 @@ func (s *Server) Checkpoint(path string) (CheckpointInfo, error) {
 		if err != nil {
 			return info, err
 		}
+		// Re-journal the live hint table ABOVE the watermark the snapshot
+		// just fixed: the model snapshot carries no hints, so the journal
+		// suffix must always hold the table's latest copy — for the crash
+		// restart that replays the suffix, and for the segments the
+		// compaction below is about to delete.
+		if err := s.journalHints(); err != nil {
+			return info, err
+		}
 		// Make the journal durable up to the watermark (covers the train
 		// mark) before the snapshot that claims to supersede it can be
 		// promoted.
@@ -335,6 +479,59 @@ func (s *Server) Checkpoint(path string) (CheckpointInfo, error) {
 	s.lastCkptBytes.Store(info.Bytes)
 	s.lastCkptMicros.Store(info.Duration.Microseconds())
 	return info, nil
+}
+
+// BootstrapSnapshot writes a checkpoint-consistent model snapshot for
+// a joining follower and returns the WAL watermark it covers: the full
+// checkpoint barrier runs (intake fenced, queue drained, training
+// flushed, watermark fixed under the rank lock) so the bytes are
+// exactly the state at the watermark — tailing the journal from there
+// replays no record twice and misses none. The live hint table is
+// re-journaled above the watermark, so the follower's very first tail
+// batch delivers the hints; nothing is written to disk and no segments
+// are truncated (bootstraps must not race compaction decisions).
+func (s *Server) BootstrapSnapshot(w io.Writer) (uint64, error) {
+	buf, wm, err := s.bootstrapSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return wm, nil
+}
+
+// bootstrapSnapshot runs BootstrapSnapshot's checkpoint barrier and
+// returns the buffered snapshot. The barrier runs under snapMu, but
+// the caller's network write does not: a follower on a slow link must
+// not wedge checkpoints and other bootstraps behind the mutex for the
+// length of the transfer. Splitting the buffer from the write also
+// lets the HTTP handler report barrier failures as error envelopes —
+// no response byte has been committed yet.
+func (s *Server) bootstrapSnapshot() (*bytes.Buffer, uint64, error) {
+	if s.wal == nil {
+		return nil, 0, errWALDisabled()
+	}
+	var buf bytes.Buffer
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	release := s.ingest.Quiesce()
+	s.ingest.trainFlush()
+	err := s.bandit.CheckpointTo(&buf)
+	release()
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.journalHints(); err != nil {
+		return nil, 0, err
+	}
+	// The suffix the follower will tail begins at the watermark; sync
+	// so the hint record (and the train mark) is inside the durable
+	// frontier the stream ships.
+	if err := s.wal.Sync(); err != nil {
+		return nil, 0, err
+	}
+	return &buf, s.bandit.WALWatermark(), nil
 }
 
 // SnapshotToPath persists the model to the given path atomically and

@@ -564,6 +564,50 @@ func (w *WAL) syncNow() error {
 	return serr
 }
 
+// SyncedLSN returns the durable frontier: the newest LSN covered by a
+// flush (+fsync outside ModeOff). Replication ships records only up to
+// this point, so a follower can never hold a record the primary could
+// still lose in a crash.
+func (w *WAL) SyncedLSN() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncedLSN
+}
+
+// WaitLSN blocks until the durable frontier reaches lsn, the timeout
+// elapses, the journal closes, or an I/O error latches — whichever
+// comes first — and returns the frontier it observed. It kicks the
+// committer so a quiet journal does not sit out a full group-commit
+// window before the waiter sees fresh records; this is the long-poll
+// primitive under the replication stream's tail.
+func (w *WAL) WaitLSN(lsn uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	w.kick()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var timerArmed bool
+	var timer *time.Timer
+	for w.syncedLSN < lsn && w.err == nil && !w.closed {
+		if time.Now().After(deadline) {
+			break
+		}
+		if !timerArmed {
+			// cond.Wait has no deadline; a one-shot timer broadcast wakes
+			// every waiter at this waiter's deadline (spurious wakes for
+			// others are re-checked and slept through).
+			timerArmed = true
+			timer = time.AfterFunc(time.Until(deadline), func() {
+				w.mu.Lock()
+				w.cond.Broadcast()
+				w.mu.Unlock()
+			})
+			defer timer.Stop()
+		}
+		w.cond.Wait()
+	}
+	return w.syncedLSN
+}
+
 // TailDamage reports the torn or corrupt tail Open found and truncated
 // away (0, nil when the journal ended cleanly). A non-zero result
 // means a crash cut an append short: records past the last durable
