@@ -36,8 +36,15 @@
 //	         [-hints file] [-model file] [-shards 32] [-queue 4096]
 //	         [-workers 0] [-train-every 256] [-rank-workers 0] [-uniform]
 //	         [-wal-dir dir] [-wal-sync async] [-wal-segment-mb 64]
-//	         [-snapshot-every 5m]
+//	         [-snapshot-every 5m] [-log-level info] [-pprof :6060]
+//	         [-trace-out trace.json] [-trace-sample 100]
 //	qoserved -follow http://primary:8080 [-addr :8081] [-train-every 256]
+//
+// Observability: every node serves Prometheus text-format metrics at
+// GET /metrics and its build identity at GET /v2/version (also:
+// qoserved -version). -pprof mounts net/http/pprof on a separate
+// listener; -trace-out samples 1 in -trace-sample requests and writes
+// their stage timelines as Chrome-trace JSON.
 //
 // It doubles as the protocol's ops CLI via the typed client
 // (qoadvisor/internal/api/client) and the journal's offline tooling:
@@ -53,8 +60,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -69,6 +76,7 @@ import (
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/flighting"
+	"qoadvisor/internal/obs"
 	"qoadvisor/internal/replicate"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/serve"
@@ -76,6 +84,17 @@ import (
 	"qoadvisor/internal/wal"
 	"qoadvisor/internal/workload"
 )
+
+// logg is the process-wide leveled logger, built from -log-level
+// before any mode dispatches. Writes key=value lines to stderr.
+var logg *obs.Logger
+
+// fatal logs msg at error level and exits nonzero — the leveled
+// replacement for log.Fatalf.
+func fatal(msg string, kv ...any) {
+	logg.Error(msg, kv...)
+	os.Exit(1)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
@@ -99,29 +118,81 @@ func main() {
 	check := flag.String("check", "", "client mode: probe a running server's /v2/healthz and /v2/stats, print, exit")
 	pushHints := flag.String("push-hints", "", "client mode: upload the -hints file to a running server and exit")
 	follow := flag.String("follow", "", "follower mode: primary base URL to replicate from (serves reads locally, rejects writes)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	showVersion := flag.Bool("version", false, "print build information and exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on a separate listener at this address (empty = disabled)")
+	traceOut := flag.String("trace-out", "", "write Chrome-trace JSON for sampled requests to this file (load in chrome://tracing or ui.perfetto.dev)")
+	traceSample := flag.Int("trace-sample", 100, "with -trace-out, trace 1 in N requests")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoserved: %v\n", err)
+		os.Exit(1)
+	}
+	logg = obs.NewLogger(os.Stderr, lv)
+
+	if *showVersion {
+		b := obs.Build()
+		rev := b.Revision
+		if rev == "" {
+			rev = "unknown"
+		}
+		if b.Modified {
+			rev += "-dirty"
+		}
+		fmt.Printf("qoserved %s (%s, revision %s, %s)\n", b.Version, b.Module, rev, b.GoVersion)
+		return
+	}
 
 	if *check != "" {
 		if err := runCheck(*check); err != nil {
-			log.Fatalf("qoserved: check: %v", err)
+			fatal("check failed", "target", *check, "err", err)
 		}
 		return
 	}
 	if *pushHints != "" {
 		if err := runPushHints(*pushHints, *hintsPath); err != nil {
-			log.Fatalf("qoserved: push-hints: %v", err)
+			fatal("push-hints failed", "target", *pushHints, "err", err)
 		}
 		return
 	}
 	if *replayOut != "" {
 		if err := runReplay(*replayOut, *walDir, *modelPath, *trainEvery, *maxLog, *seed); err != nil {
-			log.Fatalf("qoserved: replay: %v", err)
+			fatal("replay failed", "out", *replayOut, "err", err)
 		}
 		return
 	}
+
+	// Profiling and tracing apply to primary and follower modes alike.
+	// pprof gets its own listener so profile endpoints are never exposed
+	// on the serving address.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logg.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		logg.Info("pprof listening", "addr", *pprofAddr)
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tf, terr := os.Create(*traceOut)
+		if terr != nil {
+			fatal("creating trace output", "path", *traceOut, "err", terr)
+		}
+		tracer = obs.NewTracer(tf, *traceSample)
+		logg.Info("request tracing enabled", "path", *traceOut, "sampleEvery", *traceSample)
+	}
 	if *follow != "" {
 		if *walDir != "" {
-			log.Fatalf("qoserved: -follow and -wal-dir are mutually exclusive (a follower's durable state IS the primary's journal)")
+			fatal("-follow and -wal-dir are mutually exclusive (a follower's durable state IS the primary's journal)")
 		}
 		// A follower serves only the primary's replicated model and hint
 		// table; fail loudly on primary-only flags rather than silently
@@ -145,10 +216,12 @@ func main() {
 			}
 		})
 		if conflict != "" {
-			log.Fatalf("qoserved: %s", conflict)
+			fatal(conflict)
 		}
-		if err := runFollower(*addr, *follow, *shards, *rankWorkers, *trainEvery, *maxLog, *seed); err != nil {
-			log.Fatalf("qoserved: follow: %v", err)
+		ferr := runFollower(*addr, *follow, *shards, *rankWorkers, *trainEvery, *maxLog, *seed, tracer)
+		closeTracer(tracer)
+		if ferr != nil {
+			fatal("follow failed", "primary", *follow, "err", ferr)
 		}
 		return
 	}
@@ -157,7 +230,7 @@ func main() {
 
 	mode, err := wal.ParseMode(*walSync)
 	if err != nil {
-		log.Fatalf("qoserved: %v", err)
+		fatal("bad -wal-sync", "err", err)
 	}
 	// A WAL without a snapshot path would replay the whole journal on
 	// every boot and never compact; default the snapshot next to it.
@@ -176,35 +249,37 @@ func main() {
 	if *walDir != "" {
 		journal, err = wal.Open(wal.Options{Dir: *walDir, Mode: mode, SegmentBytes: *walSegMB << 20})
 		if err != nil {
-			log.Fatalf("qoserved: opening WAL: %v", err)
+			fatal("opening WAL", "dir", *walDir, "err", err)
 		}
 		if torn, reason := journal.TailDamage(); torn > 0 {
 			// Open already cut the damage away; tell the operator that a
 			// crash discarded records past the last durable group commit.
-			log.Printf("journal tail damaged (crash artifact): %d bytes truncated (%v)", torn, reason)
+			logg.Warn("journal tail damaged (crash artifact)", "truncatedBytes", torn, "reason", reason)
 		}
 		rec, err := serve.Recover(journal, *modelPath, *trainEvery, *maxLog, *seed)
 		if err != nil {
-			log.Fatalf("qoserved: recovering from %s: %v", *walDir, err)
+			fatal("recovering journal", "dir", *walDir, "err", err)
 		}
 		if rec.Recovered() {
 			svc = rec.Service
 			recoveredHints, recoveredGen, recoveredRollovers = rec.Hints, rec.HintGen, rec.HintRollovers
-			log.Printf("recovered model: snapshot=%v (watermark %d), journal replayed %d records (%d ranks, %d rewards, %d trained, %d hint rollovers)",
-				rec.SnapshotLoaded, rec.FromLSN, rec.Journal.Records,
-				rec.Replay.Ranks, rec.Replay.Rewards, rec.Replay.TrainedEvents, rec.HintRollovers)
+			logg.Info("recovered model",
+				"snapshot", rec.SnapshotLoaded, "watermarkLsn", rec.FromLSN,
+				"records", rec.Journal.Records, "ranks", rec.Replay.Ranks,
+				"rewards", rec.Replay.Rewards, "trained", rec.Replay.TrainedEvents,
+				"hintRollovers", rec.HintRollovers)
 		}
 	} else if *modelPath != "" {
 		if f, err := os.Open(*modelPath); err == nil {
 			loaded, lerr := bandit.Load(f, *seed)
 			f.Close()
 			if lerr != nil {
-				log.Fatalf("qoserved: loading model %s: %v", *modelPath, lerr)
+				fatal("loading model", "path", *modelPath, "err", lerr)
 			}
 			svc = loaded
-			log.Printf("model restored from %s", *modelPath)
+			logg.Info("model restored", "path", *modelPath)
 		} else if !errors.Is(err, os.ErrNotExist) {
-			log.Fatalf("qoserved: %v", err)
+			fatal("opening model", "path", *modelPath, "err", err)
 		}
 	}
 
@@ -212,26 +287,26 @@ func main() {
 	if *bootstrapDays > 0 {
 		adv, bootHints, err := bootstrap(cat, *seed, *templates, *bootstrapDays)
 		if err != nil {
-			log.Fatalf("qoserved: bootstrap: %v", err)
+			fatal("bootstrap failed", "err", err)
 		}
 		hints = bootHints
 		if svc == nil {
 			svc = adv.CB.Service
-			log.Printf("serving the bootstrap pipeline's trained bandit")
+			logg.Info("serving the bootstrap pipeline's trained bandit")
 		}
 	}
 	if *hintsPath != "" {
 		f, err := os.Open(*hintsPath)
 		if err != nil {
-			log.Fatalf("qoserved: %v", err)
+			fatal("opening hints", "path", *hintsPath, "err", err)
 		}
 		file, err := sis.Parse(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("qoserved: parsing %s: %v", *hintsPath, err)
+			fatal("parsing hints", "path", *hintsPath, "err", err)
 		}
 		if err := sis.Validate(file, cat); err != nil {
-			log.Fatalf("qoserved: validating %s: %v", *hintsPath, err)
+			fatal("validating hints", "path", *hintsPath, "err", err)
 		}
 		// Merge with the bootstrap table, file hints winning on conflict:
 		// both describe the same workload, so template overlap is normal.
@@ -252,6 +327,7 @@ func main() {
 		MaxLogEvents: *maxLog,
 		SnapshotPath: *modelPath,
 		WAL:          journal,
+		Tracer:       tracer,
 	})
 	// Gate on rollovers seen, not table size: a journaled rollover to an
 	// EMPTY table is a legitimate retirement and must win over the
@@ -261,8 +337,8 @@ func main() {
 		// without re-journaling — BEFORE the initial checkpoint, whose
 		// hint re-journal would otherwise persist an empty table over it.
 		srv.RestoreHints(recoveredHints, recoveredGen)
-		log.Printf("hint cache: %d hints recovered from the journal (generation %d)",
-			len(recoveredHints), recoveredGen)
+		logg.Info("hint cache recovered from journal",
+			"hints", len(recoveredHints), "generation", recoveredGen)
 		// The recovered table is authoritative over the bootstrap
 		// pipeline's regenerated one; an explicit -hints file still
 		// overlays below (as a fresh journaled rollover).
@@ -277,18 +353,18 @@ func main() {
 		// first ticker fire must not lose it.
 		info, err := srv.Checkpoint(*modelPath)
 		if err != nil {
-			log.Fatalf("qoserved: initial checkpoint: %v", err)
+			fatal("initial checkpoint failed", "err", err)
 		}
-		log.Printf("checkpoint: %d bytes at WAL offset %d (%d segments compacted, %v)",
-			info.Bytes, info.LSN, info.SegmentsRemoved, info.Duration.Round(time.Microsecond))
+		logg.Info("checkpoint", "bytes", info.Bytes, "walOffset", info.LSN,
+			"segmentsCompacted", info.SegmentsRemoved, "took", info.Duration.Round(time.Microsecond))
 	}
 	if len(hints) > 0 {
 		gen, err := srv.InstallHints(hints)
 		if err != nil {
-			log.Fatalf("qoserved: installing hints: %v", err)
+			fatal("installing hints failed", "err", err)
 		}
-		log.Printf("hint cache: %d hints installed (generation %d, %d shards)",
-			srv.Cache().Size(), gen, srv.Cache().Shards())
+		logg.Info("hint cache installed", "hints", srv.Cache().Size(),
+			"generation", gen, "shards", srv.Cache().Shards())
 	}
 
 	// Periodic checkpoints: persist the model off the SIGTERM path so a
@@ -310,19 +386,20 @@ func main() {
 					case <-t.C:
 						info, err := srv.Checkpoint(*modelPath)
 						if err != nil {
-							log.Printf("qoserved: checkpoint: %v", err)
+							logg.Error("checkpoint failed", "err", err)
 							continue
 						}
-						log.Printf("checkpoint: %d bytes in %v at WAL offset %d (%d segments compacted)",
-							info.Bytes, info.Duration.Round(time.Microsecond), info.LSN, info.SegmentsRemoved)
+						logg.Info("checkpoint", "bytes", info.Bytes,
+							"took", info.Duration.Round(time.Microsecond),
+							"walOffset", info.LSN, "segmentsCompacted", info.SegmentsRemoved)
 					}
 				}
 			}()
 		}
-		log.Printf("qoserved listening on %s", *addr)
+		logg.Info("qoserved listening", "addr", *addr)
 	})
 	if serveErr != nil {
-		log.Fatalf("qoserved: %v", serveErr)
+		fatal("serving failed", "err", serveErr)
 	}
 
 	// Graceful teardown: drain pending rewards into the model, then
@@ -332,16 +409,28 @@ func main() {
 	if *modelPath != "" {
 		info, err := srv.Checkpoint(*modelPath)
 		if err != nil {
-			log.Fatalf("qoserved: final snapshot: %v", err)
+			fatal("final snapshot failed", "err", err)
 		}
-		log.Printf("model persisted to %s (%d bytes, WAL offset %d)", *modelPath, info.Bytes, info.LSN)
+		logg.Info("model persisted", "path", *modelPath, "bytes", info.Bytes, "walOffset", info.LSN)
 	}
 	if journal != nil {
 		if err := journal.Close(); err != nil {
-			log.Printf("qoserved: closing WAL: %v", err)
+			logg.Error("closing WAL", "err", err)
 		}
 	}
-	log.Printf("qoserved stopped")
+	closeTracer(tracer)
+	logg.Info("qoserved stopped")
+}
+
+// closeTracer flushes and closes the trace output (nil-safe); without
+// the close the emitted JSON array is unterminated.
+func closeTracer(t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	if err := t.Close(); err != nil {
+		logg.Warn("closing trace output", "err", err)
+	}
 }
 
 // runReplay is the offline recovery tool: rebuild a model from a
@@ -385,7 +474,7 @@ func runReplay(outPath, walDir, snapshotPath string, trainEvery, maxLog int, see
 // primary, tail its WAL, serve reads locally until SIGINT/SIGTERM.
 // The replicate.Follower re-bootstraps itself if the primary compacts
 // past its position, so there is nothing to babysit here.
-func runFollower(addr, primary string, shards, rankWorkers, trainEvery, maxLog int, seed int64) error {
+func runFollower(addr, primary string, shards, rankWorkers, trainEvery, maxLog int, seed int64, tracer *obs.Tracer) error {
 	f, err := replicate.Start(replicate.Config{
 		Primary:      primary,
 		Seed:         seed,
@@ -393,21 +482,21 @@ func runFollower(addr, primary string, shards, rankWorkers, trainEvery, maxLog i
 		MaxLogEvents: maxLog,
 		Shards:       shards,
 		RankWorkers:  rankWorkers,
+		Logger:       logg,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		return err
 	}
-	st := f.Stats()
-	log.Printf("follower bootstrapped from %s at LSN %d", primary, st.AppliedLSN)
 
 	if err := serveUntilSignal(addr, f, func(context.Context) {
-		log.Printf("qoserved following %s, listening on %s", primary, addr)
+		logg.Info("qoserved following", "primary", primary, "addr", addr)
 	}); err != nil {
 		return err
 	}
-	st = f.Stats()
-	log.Printf("follower stopping at LSN %d (lag %d, %d records applied, %d reconnects, %d resyncs)",
-		st.AppliedLSN, st.LagRecords, st.RecordsApplied, st.Reconnects, st.Resyncs)
+	st := f.Stats()
+	logg.Info("follower stopping", "appliedLsn", st.AppliedLSN, "lag", st.LagRecords,
+		"recordsApplied", st.RecordsApplied, "reconnects", st.Reconnects, "resyncs", st.Resyncs)
 	f.Close()
 	return nil
 }
@@ -473,6 +562,16 @@ func runCheck(base string) error {
 	if err != nil {
 		return err
 	}
+	if v := stats.Version; v != nil {
+		rev := v.Revision
+		if rev == "" {
+			rev = "unknown"
+		}
+		if v.Modified {
+			rev += "-dirty"
+		}
+		fmt.Printf("version:    %s (revision %s, %s)\n", v.Version, rev, v.GoVersion)
+	}
 	fmt.Printf("serving:    %d ranks (%d hint hits, %d bandit, %d noops), event log %d\n",
 		stats.RankRequests, stats.HintHits, stats.BanditRanks, stats.NoOps, stats.BanditLog)
 	fmt.Printf("ingest:     %d enqueued, %d applied, %d dropped, %d unknown, %d train runs\n",
@@ -496,8 +595,23 @@ func runCheck(base string) error {
 		if m.Count == 0 {
 			continue
 		}
-		fmt.Printf("route %-20s %6d calls, %d errors, avg %.0fus, max %dus\n",
-			r, m.Count, m.Errors, float64(m.TotalMicros)/float64(m.Count), m.MaxMicros)
+		fmt.Printf("route %-20s %6d calls, %d errors, avg %.0fus, p50 %dus, p99 %dus, p999 %dus, max %dus\n",
+			r, m.Count, m.Errors, float64(m.TotalMicros)/float64(m.Count),
+			m.P50Micros, m.P99Micros, m.P999Micros, m.MaxMicros)
+	}
+
+	stages := make([]string, 0, len(stats.Stages))
+	for s := range stats.Stages {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		m := stats.Stages[s]
+		if m.Count == 0 {
+			continue
+		}
+		fmt.Printf("stage %-20s %6d obs,             mean %dus, p50 %dus, p99 %dus, p999 %dus\n",
+			s, m.Count, m.MeanMicros, m.P50Micros, m.P99Micros, m.P999Micros)
 	}
 	return healthErr
 }
@@ -582,7 +696,6 @@ func bootstrap(cat *rules.Catalog, seed int64, templates, days int) (*core.Advis
 			return nil, nil, err
 		}
 	}
-	log.Printf("bootstrap: %d days over %d templates, %d active hints",
-		days, templates, store.Size())
+	logg.Info("bootstrap complete", "days", days, "templates", templates, "activeHints", store.Size())
 	return adv, adv.ActiveHints(), nil
 }

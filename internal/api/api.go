@@ -44,6 +44,11 @@ const (
 	RouteV2Reward  = "/v2/reward"
 	RouteV2Healthz = "/v2/healthz"
 	RouteV2Stats   = "/v2/stats"
+	RouteV2Version = "/v2/version"
+
+	// RouteMetrics is the Prometheus text-format exposition endpoint.
+	// Unversioned by convention: scrapers expect exactly "/metrics".
+	RouteMetrics = "/metrics"
 
 	// Replication surface (primary only). RouteV2WAL streams framed
 	// journal records from ?from=<lsn> with a long-poll tail;
@@ -294,12 +299,52 @@ type ReplicationStats struct {
 	Resyncs        int64   `json:"resyncs,omitempty"`
 }
 
-// RouteStats aggregates the middleware's per-route counters.
+// RouteStats aggregates the middleware's per-route counters. The
+// percentile fields are estimated from a log₂-bucketed latency
+// histogram (one bucket spans a doubling, so estimates are exact to
+// within one bucket); they are 0 until the route has served a request.
 type RouteStats struct {
 	Count       int64 `json:"count"`
 	Errors      int64 `json:"errors"`
 	TotalMicros int64 `json:"totalMicros"`
 	MaxMicros   int64 `json:"maxMicros"`
+	P50Micros   int64 `json:"p50Micros"`
+	P90Micros   int64 `json:"p90Micros"`
+	P99Micros   int64 `json:"p99Micros"`
+	P999Micros  int64 `json:"p999Micros"`
+}
+
+// LatencySummary reports one instrumented stage's latency
+// distribution (percentiles estimated from log₂ buckets), embedded in
+// StatsResponse.Stages under stable stage names (rank_hint_lookup,
+// rank_bandit, reward_wal_append, reward_commit_wait,
+// reward_queue_wait, reward_apply, wal_fsync, checkpoint,
+// replication_apply).
+type LatencySummary struct {
+	Count      int64 `json:"count"`
+	MeanMicros int64 `json:"meanMicros"`
+	P50Micros  int64 `json:"p50Micros"`
+	P90Micros  int64 `json:"p90Micros"`
+	P99Micros  int64 `json:"p99Micros"`
+	P999Micros int64 `json:"p999Micros"`
+}
+
+// VersionInfo identifies a running node's build: module version,
+// toolchain, and VCS metadata when the binary was built from a
+// checkout. Embedded in StatsResponse and served by /v2/version.
+type VersionInfo struct {
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"buildTime,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// VersionResponse answers GET /v2/version.
+type VersionResponse struct {
+	VersionInfo
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // StatsResponse answers /v1/stats and /v2/stats. The v1 field set is
@@ -324,6 +369,11 @@ type StatsResponse struct {
 
 	RequestID string                `json:"requestId,omitempty"`
 	Routes    map[string]RouteStats `json:"routes,omitempty"`
+	// Stages reports per-stage latency distributions from the serving
+	// path instrumentation (v2 only, additive).
+	Stages map[string]LatencySummary `json:"stages,omitempty"`
+	// Version identifies the node's build (v2 only, additive).
+	Version *VersionInfo `json:"version,omitempty"`
 }
 
 // HealthResponse answers /v2/healthz: a cheap liveness probe carrying

@@ -286,6 +286,13 @@ func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
 	return out, err
 }
 
+// Version fetches the server's build identity (GET /v2/version).
+func (c *Client) Version(ctx context.Context) (api.VersionResponse, error) {
+	var out api.VersionResponse
+	err := c.do(ctx, http.MethodGet, api.RouteV2Version, "", nil, &out)
+	return out, err
+}
+
 // Snapshot streams the model's persisted form from the server. The
 // caller must Close the returned reader.
 func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, error) {

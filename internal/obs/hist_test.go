@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("empty histogram: count=%d sum=%d", s.Count, s.Sum)
+	}
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if m := s.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(1)                // bucket 1 ([1,2))
+	h.Observe(1023)             // bucket 10
+	h.Observe(1024)             // bucket 11
+	h.Observe(-5 * time.Second) // clamps to 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Buckets[0] != 2 {
+		t.Fatalf("bucket 0 = %d, want 2 (zero + clamped negative)", s.Buckets[0])
+	}
+	if s.Buckets[1] != 1 || s.Buckets[10] != 1 || s.Buckets[11] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets[:12])
+	}
+}
+
+func TestHistogramClampsHugeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(1) << 55) // past every bounded bucket
+	s := h.Snapshot()
+	if s.Buckets[NumHistBuckets-1] != 1 {
+		t.Fatalf("huge value not clamped to last bucket: %v", s.Buckets)
+	}
+	if q := s.Quantile(0.5); q == 0 {
+		t.Fatal("clamped quantile should still be non-zero")
+	}
+}
+
+// TestHistogramQuantilesUniform pins percentile estimates against a
+// known uniform distribution: log₂ buckets bound the relative error
+// at one bucket width (2x worst-case); uniform draws over [1ms, 100ms]
+// must land well within that.
+func TestHistogramQuantilesUniform(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	lo, hi := float64(time.Millisecond), float64(100*time.Millisecond)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(lo + rng.Float64()*(hi-lo)))
+	}
+	s := h.Snapshot()
+	if s.Count != n {
+		t.Fatalf("count = %d, want %d", s.Count, n)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, lo + 0.50*(hi-lo)},
+		{0.90, lo + 0.90*(hi-lo)},
+		{0.99, lo + 0.99*(hi-lo)},
+		{0.999, lo + 0.999*(hi-lo)},
+	} {
+		got := float64(s.Quantile(tc.q))
+		// One log₂ bucket spans a doubling: the estimate must be within
+		// [want/2, want*2]; the interpolated estimate is usually far
+		// closer but the hard bound is what the bucketing guarantees.
+		if got < tc.want/2 || got > tc.want*2 {
+			t.Errorf("q%.3f = %v, want within 2x of %v", tc.q, time.Duration(got), time.Duration(tc.want))
+		}
+	}
+}
+
+// TestHistogramQuantilesPointMass: all observations identical — every
+// quantile must land inside that value's bucket.
+func TestHistogramQuantilesPointMass(t *testing.T) {
+	var h Histogram
+	v := 5 * time.Millisecond // bucket [2^22, 2^23) ns = [4.19ms, 8.39ms)
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		got := s.Quantile(q)
+		if got < time.Duration(1)<<22 || got > time.Duration(1)<<23 {
+			t.Errorf("q%.3f = %v, want inside the [4.19ms, 8.39ms) bucket", q, got)
+		}
+	}
+	if mean := s.Mean(); mean != v {
+		t.Errorf("mean = %v, want %v", mean, v)
+	}
+}
+
+// TestHistogramQuantileTwoModes pins tail behavior: 99% fast mode,
+// 1% slow mode — p50 must report the fast mode, p999 the slow one.
+func TestHistogramQuantileTwoModes(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 9900; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(50 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want ~100us", p50)
+	}
+	if p999 := s.Quantile(0.999); p999 < 10*time.Millisecond {
+		t.Errorf("p999 = %v, want ~50ms", p999)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Millisecond)
+	a.Observe(2 * time.Millisecond)
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", sa.Count)
+	}
+	if sa.Sum != uint64(3*time.Millisecond)+uint64(time.Second) {
+		t.Fatalf("merged sum = %d", sa.Sum)
+	}
+	if q := sa.Quantile(1.0); q < 500*time.Millisecond {
+		t.Fatalf("merged max quantile = %v, want ~1s", q)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines;
+// run under -race this pins the lock-free recording, and the final
+// count must be exact (atomic adds lose nothing).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(1e9)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	var bucketSum uint64
+	for _, c := range s.Buckets {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+			d += time.Nanosecond
+		}
+	})
+}
+
+// BenchmarkHistogramObserveParallel hammers one histogram from every
+// core with durations that vary only in their low bits — the realistic
+// shape of measured latencies, and the entropy the stripe selection
+// relies on. (Bit-identical durations from every core would degenerate
+// to a single contended stripe, i.e. the pre-striping behaviour.)
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		d := time.Duration(140)
+		for pb.Next() {
+			h.Observe(d)
+			d = 140 + (d+7)&63
+		}
+	})
+}

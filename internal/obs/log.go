@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Leveled key=value logging. One line per event:
+//
+//	ts=2026-08-08T12:00:00.123Z level=info msg="checkpoint complete" bytes=1234 lsn=42
+//
+// grep-able by key, machine-parseable (logfmt), and cheap: a level
+// check is one atomic load, and a suppressed line formats nothing.
+
+// Level orders log severities.
+type Level int32
+
+// Levels, in ascending severity.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the flag/wire form.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// ParseLevel parses the flag form ("debug", "info", "warn", "error").
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+}
+
+// Logger writes leveled key=value lines. A nil *Logger is valid and
+// silent, so optional logging hooks can be threaded without guards.
+// Safe for concurrent use.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+}
+
+// NewLogger builds a logger writing lines at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum emitted level at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether lines at lv would be emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && int32(lv) >= l.min.Load()
+}
+
+// Debug logs at debug level. kv is alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level. kv is alternating key, value pairs.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level. kv is alternating key, value pairs.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level. kv is alternating key, value pairs.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	b.WriteString(logValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(logValue(kv[i+1]))
+	}
+	if len(kv)%2 != 0 {
+		// A dangling key is a programming error; surface it rather than
+		// silently dropping the value slot.
+		b.WriteString(" !BADKEY=")
+		b.WriteString(logValue(kv[len(kv)-1]))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// logValue renders one value in logfmt form: bare when it has no
+// spaces or quotes, strconv-quoted otherwise.
+func logValue(v any) string {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case error:
+		s = t.Error()
+	case time.Duration:
+		s = t.String()
+	case fmt.Stringer:
+		s = t.String()
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return strconv.Quote(s)
+	}
+	return s
+}

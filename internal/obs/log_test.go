@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.Info("checkpoint complete", "bytes", 1234, "lsn", uint64(42), "took", 1500*time.Microsecond)
+	line := b.String()
+	for _, want := range []string{"level=info", `msg="checkpoint complete"`, "bytes=1234", "lsn=42", "took=1.5ms", "ts="} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Errorf("line not newline-terminated: %q", line)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e", "err", errors.New("boom"))
+	out := b.String()
+	if strings.Contains(out, "level=debug") || strings.Contains(out, "level=info") {
+		t.Errorf("suppressed levels leaked: %q", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Errorf("enabled levels missing: %q", out)
+	}
+	if !strings.Contains(out, "err=boom") {
+		t.Errorf("error value not rendered: %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(b.String(), "level=debug") {
+		t.Error("SetLevel did not lower the threshold")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v") // must not panic
+	l.SetLevel(LevelError)
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.Info("m", "path", "/plain/ok", "spaced", "two words", "eq", "a=b", "empty", "")
+	line := b.String()
+	for _, want := range []string{"path=/plain/ok", `spaced="two words"`, `eq="a=b"`, `empty=""`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLoggerOddKVPairs(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.Info("m", "k1", 1, "dangling")
+	if !strings.Contains(b.String(), "!BADKEY=dangling") {
+		t.Errorf("dangling key not surfaced: %q", b.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "error": LevelError, "ERROR": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var b syncBuilder
+	l := NewLogger(&b, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Info("concurrent line", "j", j)
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.Contains(line, "msg=") {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}
+
+// syncBuilder is a goroutine-safe strings.Builder for the test.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text-format exposition (version 0.0.4), hand-rolled so
+// the observability layer stays stdlib-only. An Exposition collects
+// metric samples grouped into families (one # HELP / # TYPE pair per
+// family, however many labeled series it holds) and renders them in
+// insertion order — deterministic output, which the conformance tests
+// and scrape diffing both rely on.
+
+// Labels is an ordered label set. Order is preserved on the wire, so
+// callers should pass labels in a stable order.
+type Labels []Label
+
+// Label is one name/value pair.
+type Label struct{ Name, Value string }
+
+// L is shorthand for a single-label set.
+func L(name, value string) Labels { return Labels{{Name: name, Value: value}} }
+
+type promSample struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels Labels
+	value  float64
+}
+
+type promFamily struct {
+	name, help, typ string
+	samples         []promSample
+}
+
+// Exposition accumulates metric families for one scrape.
+type Exposition struct {
+	families []*promFamily
+	index    map[string]*promFamily
+}
+
+// NewExposition returns an empty exposition builder.
+func NewExposition() *Exposition {
+	return &Exposition{index: make(map[string]*promFamily)}
+}
+
+func (e *Exposition) family(name, help, typ string) *promFamily {
+	if f, ok := e.index[name]; ok {
+		return f
+	}
+	f := &promFamily{name: name, help: help, typ: typ}
+	e.families = append(e.families, f)
+	e.index[name] = f
+	return f
+}
+
+// Counter adds one series of a counter family. By convention the name
+// should end in _total (or another unit suffix for totals).
+func (e *Exposition) Counter(name, help string, labels Labels, v float64) {
+	f := e.family(name, help, "counter")
+	f.samples = append(f.samples, promSample{labels: labels, value: v})
+}
+
+// Gauge adds one series of a gauge family.
+func (e *Exposition) Gauge(name, help string, labels Labels, v float64) {
+	f := e.family(name, help, "gauge")
+	f.samples = append(f.samples, promSample{labels: labels, value: v})
+}
+
+// Histogram adds one series of a histogram family from a snapshot:
+// cumulative _bucket samples with le bounds in seconds (every fixed
+// log₂ bucket plus +Inf), then _sum and _count. Bucket counts are
+// cumulative and monotone by construction.
+func (e *Exposition) Histogram(name, help string, labels Labels, s HistSnapshot) {
+	f := e.family(name, help, "histogram")
+	cum := uint64(0)
+	for i := 0; i < NumHistBuckets-1; i++ {
+		cum += s.Buckets[i]
+		le := formatFloat(float64(BucketUpperNanos(i)) / float64(time.Second))
+		f.samples = append(f.samples, promSample{
+			suffix: "_bucket",
+			labels: append(append(Labels{}, labels...), Label{"le", le}),
+			value:  float64(cum),
+		})
+	}
+	// The +Inf bucket must equal _count; use Count rather than the
+	// bucket sum so a racy snapshot still satisfies the invariant.
+	total := cum + s.Buckets[NumHistBuckets-1]
+	if s.Count > total {
+		total = s.Count
+	}
+	f.samples = append(f.samples, promSample{
+		suffix: "_bucket",
+		labels: append(append(Labels{}, labels...), Label{"le", "+Inf"}),
+		value:  float64(total),
+	})
+	f.samples = append(f.samples, promSample{suffix: "_sum", labels: labels, value: s.SumSeconds()})
+	f.samples = append(f.samples, promSample{suffix: "_count", labels: labels, value: float64(total)})
+}
+
+// WriteTo renders the exposition in Prometheus text format.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, f := range e.families {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.typ)
+		b.WriteByte('\n')
+		for _, s := range f.samples {
+			b.WriteString(f.name)
+			b.WriteString(s.suffix)
+			writeLabels(&b, s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatFloat(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// SortSeries orders each family's series by label values so map-fed
+// families (per-route metrics) render deterministically. Histogram
+// sample groups (bucket/sum/count per series) are kept contiguous and
+// internally ordered, so exposition validity is preserved.
+func (e *Exposition) SortSeries() {
+	for _, f := range e.families {
+		if f.typ == "histogram" {
+			// One histogram series spans NumHistBuckets+2 samples; sort by
+			// groups keyed on the series labels (all samples of a group
+			// carry the same base labels, bucket samples plus "le").
+			groupSize := NumHistBuckets + 2
+			if len(f.samples)%groupSize != 0 {
+				continue // mixed construction; leave as inserted
+			}
+			groups := len(f.samples) / groupSize
+			idx := make([]int, groups)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, bIdx int) bool {
+				return labelKey(f.samples[idx[a]*groupSize].labels) < labelKey(f.samples[idx[bIdx]*groupSize].labels)
+			})
+			out := make([]promSample, 0, len(f.samples))
+			for _, g := range idx {
+				out = append(out, f.samples[g*groupSize:(g+1)*groupSize]...)
+			}
+			f.samples = out
+			continue
+		}
+		sort.SliceStable(f.samples, func(a, b int) bool {
+			return labelKey(f.samples[a].labels) < labelKey(f.samples[b].labels)
+		})
+	}
+}
+
+func labelKey(ls Labels) string {
+	var b strings.Builder
+	for _, l := range ls {
+		if l.Name == "le" {
+			continue
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func writeLabels(b *strings.Builder, ls Labels) {
+	if len(ls) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// escapeLabelValue applies the text-format escaping rules for label
+// values: backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies the text-format escaping rules for HELP text:
+// backslash and newline (quotes are legal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case v > 1.7976931348623157e308:
+		return "+Inf"
+	case v < -1.7976931348623157e308:
+		return "-Inf"
+	}
+	// 'g' can produce exponents like "1e+06"; that is valid text format.
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

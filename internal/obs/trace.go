@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped stage tracing. A Tracer samples one request in every
+// sampleEvery and hands it a Trace: a span recorder the serving layers
+// append stage timings to (hint-cache lookup, bandit rank, WAL append,
+// commit wait, ...). Finished traces are written as Chrome-trace JSON
+// ("trace event format", ph="X" complete events), loadable in
+// chrome://tracing, Perfetto, or speedscope.
+//
+// The untraced path costs one atomic add and a nil check — nothing
+// else — so sampling can stay on in production.
+
+// Tracer writes sampled request traces to one output stream.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	c      io.Closer // nil when the writer needs no close
+	n      atomic.Uint64
+	every  uint64
+	start  time.Time // ts reference so timestamps are small and relative
+	wrote  bool
+	closed bool
+}
+
+// NewTracer builds a tracer sampling one request in every sampleEvery
+// (<=1 = every request) and writing Chrome-trace JSON to w. If w also
+// implements io.Closer, Close closes it after finishing the JSON
+// document.
+func NewTracer(w io.Writer, sampleEvery int) *Tracer {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	t := &Tracer{w: w, every: uint64(sampleEvery), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// Sample returns a fresh Trace for one request in every sampleEvery,
+// nil otherwise. All Trace methods are nil-safe, so callers thread the
+// result through unconditionally.
+func (t *Tracer) Sample() *Trace {
+	if t == nil {
+		return nil
+	}
+	if t.n.Add(1)%t.every != 0 {
+		return nil
+	}
+	return &Trace{tracer: t}
+}
+
+// Close terminates the JSON document and closes the underlying writer
+// (when it is closeable). Traces finished after Close are dropped.
+func (t *Tracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	var err error
+	if t.wrote {
+		_, err = io.WriteString(t.w, "\n]\n")
+	} else {
+		_, err = io.WriteString(t.w, "[]\n")
+	}
+	if t.c != nil {
+		if cerr := t.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// emit appends one trace's events to the output document.
+func (t *Tracer) emit(events []traceEvent) {
+	if len(events) == 0 {
+		return
+	}
+	var b strings.Builder
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	for _, ev := range events {
+		if t.wrote {
+			b.WriteString(",\n")
+		} else {
+			b.WriteString("[\n")
+			t.wrote = true
+		}
+		ts := float64(ev.start.Sub(t.start)) / float64(time.Microsecond)
+		dur := float64(ev.dur) / float64(time.Microsecond)
+		fmt.Fprintf(&b, `{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"requestId":%q}}`,
+			ev.name, ev.cat, ts, dur, ev.tid, ev.requestID)
+	}
+	io.WriteString(t.w, b.String())
+}
+
+type traceEvent struct {
+	name, cat string
+	requestID string
+	tid       int
+	start     time.Time
+	dur       time.Duration
+}
+
+// Trace records the stage spans of one sampled request. Stage and
+// Finish are safe for concurrent use (batch handlers fan jobs out over
+// a worker pool) and nil-safe (the unsampled path threads a nil
+// *Trace).
+type Trace struct {
+	tracer *Tracer
+
+	mu        sync.Mutex
+	requestID string
+	events    []traceEvent
+}
+
+// SetRequestID attaches the request's correlation ID to every event.
+func (tr *Trace) SetRequestID(rid string) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.requestID = rid
+	tr.mu.Unlock()
+}
+
+// Stage records one completed stage span. tid groups spans into rows
+// (a batch job index renders each job as its own track); start/dur
+// are the span's boundaries as measured by the caller.
+func (tr *Trace) Stage(tid int, name string, start time.Time, dur time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.events = append(tr.events, traceEvent{name: name, cat: "stage", tid: tid, start: start, dur: dur})
+	tr.mu.Unlock()
+}
+
+// Finish records the request-level span and flushes the trace to the
+// tracer's output. The trace must not be used afterwards.
+func (tr *Trace) Finish(name string, start time.Time, dur time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	events := append(tr.events, traceEvent{name: name, cat: "request", tid: 0, start: start, dur: dur})
+	for i := range events {
+		events[i].requestID = tr.requestID
+	}
+	tr.events = nil
+	tr.mu.Unlock()
+	tr.tracer.emit(events)
+}

@@ -44,6 +44,7 @@ import (
 	"qoadvisor/internal/api"
 	"qoadvisor/internal/api/client"
 	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/obs"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/serve"
 )
@@ -76,6 +77,12 @@ type Config struct {
 	// client with no overall timeout; per-state timeouts come from the
 	// primary's bounded stream duration).
 	HTTPClient *http.Client
+	// Logger receives replication lifecycle events (bootstraps,
+	// re-syncs, reconnect backoff). Nil is valid and silent.
+	Logger *obs.Logger
+	// Tracer samples the replica's read requests for stage tracing,
+	// threaded into each bootstrapped serving core (nil = disabled).
+	Tracer *obs.Tracer
 }
 
 // state is one bootstrap generation: the serving core built from one
@@ -103,6 +110,13 @@ type Follower struct {
 	recordsApplied atomic.Int64
 	reconnects     atomic.Int64
 	resyncs        atomic.Int64
+
+	log *obs.Logger
+	// applyHist is the replication_apply stage histogram. The follower
+	// owns it (not the serving core) so the distribution survives the
+	// core swaps re-syncs perform; each bootstrap re-registers it on
+	// the fresh core.
+	applyHist *obs.Histogram
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -132,17 +146,20 @@ func Start(cfg Config) (*Follower, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Follower{
-		cfg:    cfg,
-		cl:     client.New(cfg.Primary, client.WithTimeout(60*time.Second)),
-		hc:     hc,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
+		cfg:       cfg,
+		cl:        client.New(cfg.Primary, client.WithTimeout(60*time.Second)),
+		hc:        hc,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		log:       cfg.Logger,
+		applyHist: &obs.Histogram{},
 	}
 	if err := f.bootstrap(); err != nil {
 		cancel()
 		return nil, err
 	}
+	f.log.Info("follower started", "primary", cfg.Primary, "appliedLsn", f.applied.Load())
 	go f.run()
 	return f, nil
 }
@@ -169,8 +186,10 @@ func (f *Follower) bootstrap() error {
 		MaxLogEvents: f.cfg.MaxLogEvents,
 		Follower:     true,
 		LeaderURL:    f.cfg.Primary,
+		Tracer:       f.cfg.Tracer,
 	})
 	srv.SetReplProbe(f.Stats)
+	srv.RegisterStage("replication_apply", f.applyHist)
 	st := &state{
 		srv:     srv,
 		svc:     svc,
@@ -178,6 +197,7 @@ func (f *Follower) bootstrap() error {
 	}
 	old := f.cur.Swap(st)
 	from := svc.WALWatermark()
+	f.log.Info("bootstrap complete", "primary", f.cfg.Primary, "watermarkLsn", from)
 	f.applied.Store(from)
 	// The watermark is the authoritative position in whatever history
 	// this snapshot came from: after a journal-reset resync the old
@@ -206,14 +226,17 @@ func (f *Follower) run() {
 			backoff = f.cfg.ReconnectBackoff
 			continue
 		case errors.Is(err, errNeedsResync):
+			f.log.Warn("tail needs re-bootstrap", "appliedLsn", f.applied.Load())
 			f.resyncs.Add(1)
 			if berr := f.bootstrap(); berr != nil {
+				f.log.Error("re-bootstrap failed", "err", berr, "backoff", backoff)
 				f.sleep(backoff)
 				backoff = min(backoff*2, 16*f.cfg.ReconnectBackoff)
 			} else {
 				backoff = f.cfg.ReconnectBackoff
 			}
 		default:
+			f.log.Warn("tail stream failed", "err", err, "appliedLsn", f.applied.Load(), "backoff", backoff)
 			f.reconnects.Add(1)
 			f.sleep(backoff)
 			backoff = min(backoff*2, 16*f.cfg.ReconnectBackoff)
@@ -299,7 +322,10 @@ func (f *Follower) tailOnce() error {
 			// LSNs are dense; a hole means this stream cannot be trusted.
 			return errNeedsResync
 		}
-		if aerr := st.applier.Apply(lsn, payload); aerr != nil {
+		applyStart := time.Now()
+		aerr := st.applier.Apply(lsn, payload)
+		f.applyHist.ObserveSince(applyStart)
+		if aerr != nil {
 			// Undecodable record: local state may now be behind in a way
 			// tailing cannot express. Rebuild from a fresh snapshot.
 			return errNeedsResync

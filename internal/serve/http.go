@@ -13,6 +13,7 @@ import (
 
 	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/obs"
 	"qoadvisor/internal/par"
 	"qoadvisor/internal/sis"
 )
@@ -42,12 +43,15 @@ type httpLayer struct {
 	stats map[string]*routeStats
 }
 
-// routeStats aggregates one route's middleware counters.
+// routeStats aggregates one route's middleware counters and its
+// latency histogram (the source of the /v2/stats percentile fields and
+// the qoserved_http_request_duration_seconds series).
 type routeStats struct {
 	count       atomic.Int64
 	errors      atomic.Int64
 	totalMicros atomic.Int64
 	maxMicros   atomic.Int64
+	lat         obs.Histogram
 }
 
 func newHTTPLayer(s *Server) *httpLayer {
@@ -72,6 +76,8 @@ func newHTTPLayer(s *Server) *httpLayer {
 		{api.RouteV2Stats, h.handleStatsV2},
 		{api.RouteV2WAL, h.handleWALStream},
 		{api.RouteV2WALSnapshot, h.handleWALSnapshot},
+		{api.RouteV2Version, h.handleVersion},
+		{api.RouteMetrics, h.handleMetrics},
 	} {
 		h.stats[route.path] = &routeStats{}
 		h.mux.HandleFunc(route.path, h.instrument(route.path, route.handler))
@@ -110,6 +116,17 @@ func (h *httpLayer) newRequestID() string {
 }
 
 // statusRecorder captures the response status for the error counter.
+//
+// The forwarding contract: wrapping an http.ResponseWriter hides every
+// optional interface the underlying writer implements, because type
+// assertions see only statusRecorder's method set. Each optional
+// interface a handler or the net/http internals probe for must be
+// re-implemented here as a forwarding method — currently http.Flusher
+// (the WAL replication stream flushes frames through the middleware)
+// and io.ReaderFrom (ServeContent/io.Copy use it for sendfile-grade
+// body copies; without the forward, wrapping silently degrades them to
+// buffered copies). Add a forward here when a handler starts relying
+// on another one (http.Hijacker, http.Pusher, ...).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -128,8 +145,32 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
+// ReadFrom forwards to the underlying writer's io.ReaderFrom (the
+// sendfile path) when it has one, falling back to a plain copy.
+func (sr *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if rf, ok := sr.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	return io.Copy(sr.ResponseWriter, src)
+}
+
+// ctxKeyTrace carries the request's sampled obs.Trace (absent on
+// unsampled requests).
+type ctxKeyTrace struct{}
+
+// traceFrom returns the request's sampled trace, or nil. All obs.Trace
+// methods are nil-safe, so callers thread the result through without
+// checking.
+func traceFrom(r *http.Request) *obs.Trace {
+	tr, _ := r.Context().Value(ctxKeyTrace{}).(*obs.Trace)
+	return tr
+}
+
 // instrument wraps a route handler with request-ID injection (header in,
-// header out, context through) and latency/count/error metrics.
+// header out, context through), latency/count/error metrics, and trace
+// sampling: when the server's tracer elects this request, an obs.Trace
+// rides the context for handlers to record stages on, and the completed
+// event group is emitted when the handler returns.
 func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.HandlerFunc {
 	m := h.stats[route]
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -139,12 +180,20 @@ func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.Handler
 		}
 		w.Header().Set(api.RequestIDHeader, rid)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID{}, rid)
+		tr := h.srv.tracer.Sample() // nil tracer or unsampled: nil
+		if tr != nil {
+			tr.SetRequestID(rid)
+			ctx = context.WithValue(ctx, ctxKeyTrace{}, tr)
+		}
 		start := time.Now()
-		next(rec, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, rid)))
-		el := time.Since(start).Microseconds()
+		next(rec, r.WithContext(ctx))
+		dur := time.Since(start)
+		el := dur.Microseconds()
 
 		m.count.Add(1)
 		m.totalMicros.Add(el)
+		m.lat.Observe(dur)
 		if rec.status >= 400 {
 			m.errors.Add(1)
 		}
@@ -154,6 +203,7 @@ func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.Handler
 				break
 			}
 		}
+		tr.Finish(route, start, dur)
 	}
 }
 
@@ -161,11 +211,16 @@ func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.Handler
 func (h *httpLayer) routeMetrics() map[string]api.RouteStats {
 	out := make(map[string]api.RouteStats, len(h.stats))
 	for route, m := range h.stats {
+		lat := m.lat.Snapshot()
 		out[route] = api.RouteStats{
 			Count:       m.count.Load(),
 			Errors:      m.errors.Load(),
 			TotalMicros: m.totalMicros.Load(),
 			MaxMicros:   m.maxMicros.Load(),
+			P50Micros:   lat.Quantile(0.50).Microseconds(),
+			P90Micros:   lat.Quantile(0.90).Microseconds(),
+			P99Micros:   lat.Quantile(0.99).Microseconds(),
+			P999Micros:  lat.Quantile(0.999).Microseconds(),
 		}
 	}
 	return out
@@ -233,11 +288,13 @@ func (h *httpLayer) requirePrimary(w http.ResponseWriter, r *http.Request) bool 
 
 // rankBatch fans a job batch out over the rank worker pool. Results
 // align index-for-index with jobs; per-job failures land in the item's
-// Error field so one malformed job cannot void its neighbors.
-func (h *httpLayer) rankBatch(jobs []api.RankRequest) []api.RankResult {
+// Error field so one malformed job cannot void its neighbors. tr, when
+// the request was sampled, records each job's stages on its own trace
+// lane (nil otherwise).
+func (h *httpLayer) rankBatch(jobs []api.RankRequest, tr *obs.Trace) []api.RankResult {
 	results := make([]api.RankResult, len(jobs))
 	par.For(len(jobs), h.srv.rankWorkers, func(i int) {
-		resp, err := h.srv.Rank(jobs[i])
+		resp, err := h.srv.rankTraced(jobs[i], tr, i)
 		if err != nil {
 			results[i].Error = toAPIError(err)
 			return
@@ -254,7 +311,7 @@ func (h *httpLayer) rankBatch(jobs []api.RankRequest) []api.RankResult {
 // call returns when the server runs with a WAL, so a 202 means the
 // telemetry is as durable as the configured sync mode promises — with
 // queue saturation rejecting the overflow as queue_full.
-func (h *httpLayer) rewardBatch(events []api.RewardEvent) (queued int, rejected []api.RewardRejection) {
+func (h *httpLayer) rewardBatch(events []api.RewardEvent, tr *obs.Trace) (queued int, rejected []api.RewardRejection) {
 	reject := func(i int, e *api.Error) {
 		rejected = append(rejected, api.RewardRejection{Index: i, EventID: events[i].EventID, Error: *e})
 	}
@@ -274,7 +331,7 @@ func (h *httpLayer) rewardBatch(events []api.RewardEvent) (queued int, rejected 
 	if len(entries) == 0 {
 		return 0, rejected
 	}
-	accepted, err := h.srv.ingest.EnqueueBatch(entries)
+	accepted, err := h.srv.ingest.enqueueBatch(entries, tr)
 	queued = accepted
 	for k := accepted; k < len(entries); k++ {
 		// A journal failure with nothing accepted means the append
@@ -316,7 +373,7 @@ func (h *httpLayer) handleRankV2(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.BatchRankResponse{
 		RequestID:  rid,
 		Generation: h.srv.cache.Generation(),
-		Results:    h.rankBatch(req.Jobs),
+		Results:    h.rankBatch(req.Jobs, traceFrom(r)),
 	})
 }
 
@@ -339,7 +396,7 @@ func (h *httpLayer) handleRewardV2(w http.ResponseWriter, r *http.Request) {
 			"batch of %d events exceeds limit %d", n, api.MaxRewardBatch))
 		return
 	}
-	queued, rejected := h.rewardBatch(req.Events)
+	queued, rejected := h.rewardBatch(req.Events, traceFrom(r))
 	// Nothing queued and backpressure was among the reasons: surface
 	// 503 so clients back off and retry the whole batch. That is safe —
 	// no event was accepted, and any malformed/unknown stragglers are
@@ -383,6 +440,8 @@ func (h *httpLayer) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	resp := h.srv.Stats()
 	resp.RequestID = requestID(r)
 	resp.Routes = h.routeMetrics()
+	resp.Stages = h.srv.stageSummaries()
+	resp.Version = &h.srv.version
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -398,7 +457,7 @@ func (h *httpLayer) handleRankV1(w http.ResponseWriter, r *http.Request) {
 		writeError(w, rid, e)
 		return
 	}
-	res := h.rankBatch([]api.RankRequest{job})[0]
+	res := h.rankBatch([]api.RankRequest{job}, traceFrom(r))[0]
 	if res.Error != nil {
 		writeError(w, rid, res.Error)
 		return
@@ -416,7 +475,7 @@ func (h *httpLayer) handleRewardV1(w http.ResponseWriter, r *http.Request) {
 		writeError(w, rid, e)
 		return
 	}
-	if _, rejected := h.rewardBatch([]api.RewardEvent{ev}); len(rejected) > 0 {
+	if _, rejected := h.rewardBatch([]api.RewardEvent{ev}, traceFrom(r)); len(rejected) > 0 {
 		writeError(w, rid, &rejected[0].Error)
 		return
 	}

@@ -3,16 +3,20 @@ package serve
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/obs"
 	"qoadvisor/internal/wal"
 )
 
-// reward is one queued reward observation.
+// reward is one queued reward observation. enq stamps the queue
+// hand-off so the worker can report queue-wait latency.
 type reward struct {
 	eventID string
 	value   float64
+	enq     time.Time
 }
 
 // Ingestor is the asynchronous reward-ingestion pipeline: a bounded
@@ -59,6 +63,11 @@ type Ingestor struct {
 	trainRuns     atomic.Int64
 	trainedEvents atomic.Int64
 	journalErrs   atomic.Int64
+
+	// stages receives the pipeline's latency observations (queue wait,
+	// reward apply, WAL append, commit wait). Set before the workers
+	// start and never nil.
+	stages *stageHists
 }
 
 // NewIngestor starts an ingestion pipeline over the given bandit
@@ -71,6 +80,15 @@ type Ingestor struct {
 // path — and with a journal attached, a single worker is also what
 // keeps apply order equal to journal order for deterministic replay.
 func NewIngestor(svc *bandit.Service, j *wal.WAL, queueSize, workers, trainEvery int) *Ingestor {
+	return newIngestor(svc, j, queueSize, workers, trainEvery, newStageHists())
+}
+
+// newIngestor is NewIngestor with the stage-histogram sink supplied by
+// the owning server. Standalone ingestors get private histograms from
+// the exported constructor; the distinction matters because workers
+// read stages from their first iteration, so it cannot be assigned
+// after construction.
+func newIngestor(svc *bandit.Service, j *wal.WAL, queueSize, workers, trainEvery int, stages *stageHists) *Ingestor {
 	if queueSize <= 0 {
 		queueSize = 4096
 	}
@@ -85,6 +103,7 @@ func NewIngestor(svc *bandit.Service, j *wal.WAL, queueSize, workers, trainEvery
 		wal:        j,
 		ch:         make(chan reward, queueSize),
 		trainEvery: int64(trainEvery),
+		stages:     stages,
 	}
 	in.drainCond = sync.NewCond(&in.drainMu)
 	in.start(workers)
@@ -109,7 +128,13 @@ func (in *Ingestor) worker() {
 }
 
 func (in *Ingestor) apply(r reward) {
-	if err := in.svc.Reward(r.eventID, r.value); err != nil {
+	// One clock read serves both stages: it ends the queue wait and
+	// starts the apply measurement.
+	applyStart := time.Now()
+	in.stages.queueWait.Observe(applyStart.Sub(r.enq))
+	err := in.svc.Reward(r.eventID, r.value)
+	in.stages.rewardApply.ObserveSince(applyStart)
+	if err != nil {
 		in.unknown.Add(1)
 	} else {
 		in.applied.Add(1)
@@ -154,6 +179,13 @@ func (in *Ingestor) Enqueue(eventID string, value float64) bool {
 // queued; a non-nil error with accepted > 0 means the rewards were
 // queued but their durability could not be confirmed (fail-stop disk).
 func (in *Ingestor) EnqueueBatch(entries []bandit.RewardEntry) (accepted int, err error) {
+	return in.enqueueBatch(entries, nil)
+}
+
+// enqueueBatch is EnqueueBatch with an optional trace: when the
+// request carrying the batch was sampled, the journal append and the
+// commit wait are recorded as trace stages (tr nil otherwise).
+func (in *Ingestor) enqueueBatch(entries []bandit.RewardEntry, tr *obs.Trace) (accepted int, err error) {
 	in.closeMu.RLock()
 	defer in.closeMu.RUnlock()
 	if in.closed {
@@ -172,7 +204,11 @@ func (in *Ingestor) EnqueueBatch(entries []bandit.RewardEntry) (accepted int, er
 	}
 	var lsn uint64
 	if n > 0 && in.wal != nil {
+		appendStart := time.Now()
 		lsn, err = in.wal.Append(bandit.EncodeRewardBatch(entries[:n]))
+		appendDur := time.Since(appendStart)
+		in.stages.rewardAppend.Observe(appendDur)
+		tr.Stage(0, "reward_wal_append", appendStart, appendDur)
 		if err != nil {
 			in.seqMu.Unlock()
 			in.journalErrs.Add(1)
@@ -184,8 +220,9 @@ func (in *Ingestor) EnqueueBatch(entries []bandit.RewardEntry) (accepted int, er
 	// it before this goroutine resumes, and Drain must never observe
 	// queued==0 while an accepted reward is still in flight.
 	in.queued.Add(int64(n))
+	enq := time.Now()
 	for i := 0; i < n; i++ {
-		in.ch <- reward{eventID: entries[i].EventID, value: entries[i].Value}
+		in.ch <- reward{eventID: entries[i].EventID, value: entries[i].Value, enq: enq}
 	}
 	in.seqMu.Unlock()
 
@@ -195,7 +232,12 @@ func (in *Ingestor) EnqueueBatch(entries []bandit.RewardEntry) (accepted int, er
 		// The durability barrier: sync mode waits for the group fsync
 		// covering this batch, async returns immediately, off never
 		// syncs. Held outside seqMu so concurrent batches share fsyncs.
-		if cerr := in.wal.Commit(lsn); cerr != nil {
+		commitStart := time.Now()
+		cerr := in.wal.Commit(lsn)
+		commitDur := time.Since(commitStart)
+		in.stages.rewardCommit.Observe(commitDur)
+		tr.Stage(0, "reward_commit_wait", commitStart, commitDur)
+		if cerr != nil {
 			in.journalErrs.Add(1)
 			return n, cerr
 		}

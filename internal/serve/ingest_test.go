@@ -73,7 +73,7 @@ func TestIngestorUnknownEvents(t *testing.T) {
 // bounded queue fills deterministically.
 func TestIngestorBackpressure(t *testing.T) {
 	svc := bandit.New(bandit.DefaultConfig(5))
-	in := &Ingestor{svc: svc, ch: make(chan reward, 2), trainEvery: 8}
+	in := &Ingestor{svc: svc, ch: make(chan reward, 2), trainEvery: 8, stages: newStageHists()}
 
 	ids := rankEvents(t, svc, 3)
 	if !in.Enqueue(ids[0], 1) || !in.Enqueue(ids[1], 1) {

@@ -40,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -175,9 +176,39 @@ type WAL struct {
 	syncs         int64
 	truncatedSegs int64
 
+	// syncObs, when set, observes each fsync's wall duration (the
+	// group-commit stall budget) — the serving layer points it at a
+	// latency histogram. Stored atomically so it can be attached after
+	// Open without racing the committer.
+	syncObs atomic.Pointer[func(time.Duration)]
+
 	flushCh chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
+}
+
+// SetSyncObserver installs a callback observing every fsync's
+// duration (called off the append path, on the committer or a
+// sync-mode Commit waiter). Pass the observing end of a latency
+// histogram; nil removes the observer.
+func (w *WAL) SetSyncObserver(fn func(time.Duration)) {
+	if fn == nil {
+		w.syncObs.Store(nil)
+		return
+	}
+	w.syncObs.Store(&fn)
+}
+
+// observeSync times one fsync call through the installed observer.
+func (w *WAL) observeSync(f *os.File) error {
+	obs := w.syncObs.Load()
+	if obs == nil {
+		return f.Sync()
+	}
+	start := time.Now()
+	err := f.Sync()
+	(*obs)(time.Since(start))
+	return err
 }
 
 // Open opens (or creates) the journal in opts.Dir, recovering from a
@@ -373,7 +404,7 @@ func (w *WAL) maybeRoll() error {
 
 	var serr error
 	if w.opts.Mode != ModeOff {
-		serr = old.Sync()
+		serr = w.observeSync(old)
 	}
 	syncDir(w.opts.Dir)
 	if cerr := old.Close(); serr == nil {
@@ -549,7 +580,7 @@ func (w *WAL) syncNow() error {
 	w.syncing = true
 	w.mu.Unlock()
 
-	serr := f.Sync()
+	serr := w.observeSync(f)
 
 	w.mu.Lock()
 	w.syncing = false
