@@ -26,6 +26,7 @@ import (
 	"qoadvisor/internal/api/client"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
+	"qoadvisor/internal/drift"
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/experiments"
 	"qoadvisor/internal/flighting"
@@ -442,6 +443,66 @@ func BenchmarkServeCachedHintLookup(b *testing.B) {
 		}
 	})
 	b.ReportMetric(float64(srv.Cache().Size()), "cachedHints")
+}
+
+// benchCachedHintRank is the shared body of the drift-overhead A/B
+// pair: rank requests that always hit the hint cache, the path the
+// safeguard's ±3%/0-alloc budget governs.
+func benchCachedHintRank(b *testing.B, srv *serve.Server, hints []sis.Hint) {
+	b.Helper()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := api.RankRequest{TemplateHash: api.TemplateHash(hints[i%len(hints)].TemplateHash), Span: []int{40}}
+			resp, err := srv.Rank(req)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.Source != api.SourceHint {
+				b.Errorf("cache miss for installed hint %x", req.TemplateHash)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServeCachedHintDriftOff is the drift-overhead baseline arm:
+// the identical cached-hint workload with the safeguard left at its
+// default (no detector, empty enforcement table — one atomic nil-load
+// per rank).
+func BenchmarkServeCachedHintDriftOff(b *testing.B) {
+	cat := rules.NewCatalog()
+	srv := serve.New(serve.Config{Catalog: cat, Seed: 1})
+	defer srv.Close()
+	hints := benchServeHints(cat, 10000)
+	if _, err := srv.InstallHints(hints); err != nil {
+		b.Fatal(err)
+	}
+	benchCachedHintRank(b, srv, hints)
+}
+
+// BenchmarkServeCachedHintDriftOn is the treatment arm: drift
+// detection enabled and a populated quarantine table (64 OTHER
+// templates held), so every cached-hint rank pays the full enforcement
+// check — atomic load plus a map probe that misses.
+func BenchmarkServeCachedHintDriftOn(b *testing.B) {
+	cat := rules.NewCatalog()
+	dc := drift.DefaultConfig()
+	srv := serve.New(serve.Config{Catalog: cat, Seed: 1, Drift: &dc})
+	defer srv.Close()
+	hints := benchServeHints(cat, 10000)
+	if _, err := srv.InstallHints(hints); err != nil {
+		b.Fatal(err)
+	}
+	quarantined := make(map[uint64]drift.State, 64)
+	for i := 0; i < 64; i++ {
+		quarantined[uint64(i)*0x9e3779b97f4a7c15+2] = drift.StateQuarantined // +2: disjoint from the hint hashes
+	}
+	srv.RestoreQuarantines(quarantined)
+	benchCachedHintRank(b, srv, hints)
 }
 
 // BenchmarkServeConcurrentRank measures bandit-path rank throughput under

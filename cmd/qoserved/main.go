@@ -74,6 +74,7 @@ import (
 	"qoadvisor/internal/api/client"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
+	"qoadvisor/internal/drift"
 	"qoadvisor/internal/exec"
 	"qoadvisor/internal/flighting"
 	"qoadvisor/internal/obs"
@@ -113,6 +114,11 @@ func main() {
 	walDir := flag.String("wal-dir", "", "durable reward journal directory (empty = in-memory only)")
 	walSync := flag.String("wal-sync", "async", "journal durability mode: sync (fsync before ack), async (group-commit window), off (never fsync)")
 	walSegMB := flag.Int64("wal-segment-mb", 64, "journal segment size in MiB before rolling to a new file")
+	driftOn := flag.Bool("drift", false, "detect per-template reward drift and auto-quarantine regressed hints (journaled; primary only)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "with -drift: baseline standard deviations below baseline mean that count as degraded (0 = default 4)")
+	driftQuarantineAfter := flag.Int("drift-quarantine-after", 0, "with -drift: consecutive degraded observations before quarantine (0 = default 16)")
+	driftRestoreAfter := flag.Int("drift-restore-after", 0, "with -drift: consecutive recovered probation observations before full restore (0 = default 32)")
+	driftMaxTemplates := flag.Int("drift-max-templates", 0, "with -drift: cap on exactly-tracked templates, the rest stay in the sketch (0 = default 4096)")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "checkpoint interval: snapshot the model and truncate covered journal segments (0 = only on shutdown)")
 	replayOut := flag.String("replay", "", "ops mode: rebuild a model offline from -wal-dir (+ optional -model snapshot), write it to this path, exit")
 	check := flag.String("check", "", "client mode: probe a running server's /v2/healthz and /v2/stats, print, exit")
@@ -198,16 +204,21 @@ func main() {
 		// table; fail loudly on primary-only flags rather than silently
 		// ignoring an operator's hint file or bootstrap config.
 		primaryOnly := map[string]string{
-			"hints":          "hint tables reach a cluster via -push-hints to the primary",
-			"model":          "a follower's state is the primary's snapshot + journal",
-			"bootstrap-days": "followers bootstrap from the primary, not the offline pipeline",
-			"templates":      "followers bootstrap from the primary, not the offline pipeline",
-			"uniform":        "the ranking policy is the primary's; followers serve it greedily",
-			"queue":          "followers have no reward ingestion queue (writes are redirected)",
-			"workers":        "followers have no reward ingestion workers (writes are redirected)",
-			"wal-sync":       "followers do not journal (the primary's WAL is the journal)",
-			"wal-segment-mb": "followers do not journal (the primary's WAL is the journal)",
-			"snapshot-every": "followers do not checkpoint (the primary owns durability)",
+			"hints":                  "hint tables reach a cluster via -push-hints to the primary",
+			"model":                  "a follower's state is the primary's snapshot + journal",
+			"bootstrap-days":         "followers bootstrap from the primary, not the offline pipeline",
+			"templates":              "followers bootstrap from the primary, not the offline pipeline",
+			"uniform":                "the ranking policy is the primary's; followers serve it greedily",
+			"queue":                  "followers have no reward ingestion queue (writes are redirected)",
+			"workers":                "followers have no reward ingestion workers (writes are redirected)",
+			"wal-sync":               "followers do not journal (the primary's WAL is the journal)",
+			"wal-segment-mb":         "followers do not journal (the primary's WAL is the journal)",
+			"snapshot-every":         "followers do not checkpoint (the primary owns durability)",
+			"drift":                  "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-threshold":        "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-quarantine-after": "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-restore-after":    "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-max-templates":    "drift detection runs on the primary; followers replicate its quarantine table",
 		}
 		var conflict string
 		flag.Visit(func(f *flag.Flag) {
@@ -246,6 +257,8 @@ func main() {
 	var recoveredHints []sis.Hint
 	var recoveredGen uint64
 	var recoveredRollovers int64
+	var recoveredQuarantine map[uint64]drift.State
+	var recoveredQuarRecords int64
 	if *walDir != "" {
 		journal, err = wal.Open(wal.Options{Dir: *walDir, Mode: mode, SegmentBytes: *walSegMB << 20})
 		if err != nil {
@@ -263,6 +276,7 @@ func main() {
 		if rec.Recovered() {
 			svc = rec.Service
 			recoveredHints, recoveredGen, recoveredRollovers = rec.Hints, rec.HintGen, rec.HintRollovers
+			recoveredQuarantine, recoveredQuarRecords = rec.Quarantine, rec.QuarantineRecords
 			logg.Info("recovered model",
 				"snapshot", rec.SnapshotLoaded, "watermarkLsn", rec.FromLSN,
 				"records", rec.Journal.Records, "ranks", rec.Replay.Ranks,
@@ -314,6 +328,25 @@ func main() {
 		hints = mergeHints(hints, fileHints)
 	}
 
+	var driftCfg *drift.Config
+	if *driftOn {
+		dc := drift.DefaultConfig()
+		if *driftThreshold > 0 {
+			dc.Threshold = *driftThreshold
+			dc.RecoverThreshold = *driftThreshold / 2
+		}
+		if *driftQuarantineAfter > 0 {
+			dc.QuarantineAfter = *driftQuarantineAfter
+		}
+		if *driftRestoreAfter > 0 {
+			dc.RestoreAfter = *driftRestoreAfter
+		}
+		if *driftMaxTemplates > 0 {
+			dc.MaxTemplates = *driftMaxTemplates
+		}
+		driftCfg = &dc
+	}
+
 	srv := serve.New(serve.Config{
 		Catalog:      cat,
 		Bandit:       svc,
@@ -328,7 +361,20 @@ func main() {
 		SnapshotPath: *modelPath,
 		WAL:          journal,
 		Tracer:       tracer,
+		Drift:        driftCfg,
 	})
+	// Re-arm the safeguard from the journal BEFORE the initial
+	// checkpoint: like the hint table, the quarantine table must be
+	// restored without re-journaling, and the checkpoint's snapshot
+	// re-journal then carries it above the new watermark. Restoring is
+	// unconditional on -drift — enforcement is cheaper than a regressed
+	// plan, and an operator who disabled detection still should not
+	// serve a hint the journal says was quarantined.
+	if recoveredQuarRecords > 0 {
+		srv.RestoreQuarantines(recoveredQuarantine)
+		logg.Info("quarantine table recovered from journal",
+			"templates", len(recoveredQuarantine), "records", recoveredQuarRecords)
+	}
 	// Gate on rollovers seen, not table size: a journaled rollover to an
 	// EMPTY table is a legitimate retirement and must win over the
 	// bootstrap pipeline's regenerated hints, at its journaled generation.
@@ -466,6 +512,10 @@ func runReplay(outPath, walDir, snapshotPath string, trainEvery, maxLog int, see
 		fmt.Printf("hints:     %d rollovers replayed; active table has %d hints (generation %d)\n",
 			rec.HintRollovers, len(rec.Hints), rec.HintGen)
 	}
+	if rec.QuarantineRecords > 0 {
+		fmt.Printf("safeguard: %d quarantine records replayed; %d templates held (quarantined or probation)\n",
+			rec.QuarantineRecords, len(rec.Quarantine))
+	}
 	fmt.Printf("model:     %d bytes -> %s (WAL watermark %d)\n", buf.Len(), outPath, rec.Service.WALWatermark())
 	return nil
 }
@@ -583,6 +633,10 @@ func runCheck(base string) error {
 			w.Mode, w.FirstLSN, w.LastLSN, w.SyncedLSN, w.Appends, w.Syncs, w.Segments, w.TruncatedSegments)
 		fmt.Printf("checkpoint: %d taken, last at offset %d (%d bytes, %dus)\n",
 			w.Checkpoints, w.LastCheckpointLSN, w.LastCheckpointB, w.LastCheckpointUs)
+	}
+	if d := stats.Drift; d != nil && (d.Enabled || d.QuarantinedNow > 0 || d.ProbationNow > 0) {
+		fmt.Printf("safeguard:  detection=%v, %d quarantined, %d probation, %d blocked ranks, %d transitions (%d manual)\n",
+			d.Enabled, d.QuarantinedNow, d.ProbationNow, d.BlockedRanks, d.Transitions, d.Manual)
 	}
 
 	routes := make([]string, 0, len(stats.Routes))

@@ -46,6 +46,12 @@ const (
 	RouteV2Stats   = "/v2/stats"
 	RouteV2Version = "/v2/version"
 
+	// RouteV2Quarantine is the drift-safeguard admin surface: GET lists
+	// the durable quarantine table (any node), POST applies a manual
+	// quarantine or restore (primary only; journaled like a detector
+	// transition, so it replicates and survives restarts).
+	RouteV2Quarantine = "/v2/quarantine"
+
 	// RouteMetrics is the Prometheus text-format exposition endpoint.
 	// Unversioned by convention: scrapers expect exactly "/metrics".
 	RouteMetrics = "/metrics"
@@ -175,9 +181,17 @@ type BatchRankResponse struct {
 // RewardEvent is one telemetry observation: the reward earned by a
 // previously ranked event. Reward is a pointer so "field absent" is
 // distinguishable from a legitimate 0.0 reward.
+//
+// TemplateHash, when present, attributes the reward to a job template
+// for the drift safeguard — the only reward path that exists for
+// hint-served decisions, which log no rank event and so have no
+// EventID. An event may carry either or both: EventID feeds the
+// learner, TemplateHash feeds drift detection. A template-only event
+// is observed but not queued (it trains nothing).
 type RewardEvent struct {
-	EventID string   `json:"eventId"`
-	Reward  *float64 `json:"reward"`
+	EventID      string        `json:"eventId,omitempty"`
+	Reward       *float64      `json:"reward"`
+	TemplateHash *TemplateHash `json:"templateHash,omitempty"`
 }
 
 // RewardResponse answers /v1/reward.
@@ -211,6 +225,47 @@ type BatchRewardResponse struct {
 	Generation uint64            `json:"generation"`
 	Queued     int               `json:"queued"`
 	Rejected   []RewardRejection `json:"rejected,omitempty"`
+	// Observed counts events whose reward fed the drift safeguard
+	// (events carrying a templateHash). Additive; 0 when detection is
+	// off or no event carried a template.
+	Observed int `json:"observed,omitempty"`
+}
+
+// QuarantineRequest is the POST /v2/quarantine payload: a manual
+// safeguard override for one template.
+type QuarantineRequest struct {
+	TemplateHash TemplateHash `json:"templateHash"`
+	// Action is "quarantine" (refuse the template's hint) or "restore"
+	// (force it healthy, skipping probation).
+	Action string `json:"action"`
+}
+
+// Quarantine actions.
+const (
+	QuarantineActionQuarantine = "quarantine"
+	QuarantineActionRestore    = "restore"
+)
+
+// QuarantineResponse answers POST /v2/quarantine with the committed
+// transition.
+type QuarantineResponse struct {
+	RequestID    string       `json:"requestId"`
+	TemplateHash TemplateHash `json:"templateHash"`
+	From         string       `json:"from"`
+	To           string       `json:"to"`
+}
+
+// QuarantineEntry is one durable quarantine-table row.
+type QuarantineEntry struct {
+	TemplateHash TemplateHash `json:"templateHash"`
+	State        string       `json:"state"`
+}
+
+// QuarantineListResponse answers GET /v2/quarantine: the node's
+// durable quarantine table (identical on a caught-up follower).
+type QuarantineListResponse struct {
+	RequestID string            `json:"requestId"`
+	Templates []QuarantineEntry `json:"templates"`
 }
 
 // HintsInstallResponse answers POST /v1/hints (the pipeline rollover).
@@ -374,6 +429,46 @@ type StatsResponse struct {
 	Stages map[string]LatencySummary `json:"stages,omitempty"`
 	// Version identifies the node's build (v2 only, additive).
 	Version *VersionInfo `json:"version,omitempty"`
+	// Drift reports the drift-safeguard state (v2 only, additive; the
+	// /v1/stats field set is unchanged).
+	Drift *DriftStats `json:"drift,omitempty"`
+}
+
+// DriftTemplateStats is one template's drift view: its state-machine
+// position and (on the detecting primary) its streaming statistics.
+type DriftTemplateStats struct {
+	TemplateHash TemplateHash `json:"templateHash"`
+	State        string       `json:"state"`
+	Score        float64      `json:"score,omitempty"`
+	FastMean     float64      `json:"fastMean,omitempty"`
+	SlowMean     float64      `json:"slowMean,omitempty"`
+	Observations int64        `json:"observations,omitempty"`
+}
+
+// DriftStats is the drift-safeguard block of /v2/stats. Enabled is
+// true only on a node running detection (a primary with -drift);
+// enforcement counters (BlockedRanks, QuarantinedNow) are live on
+// every node because the quarantine table replicates.
+type DriftStats struct {
+	Enabled        bool  `json:"enabled"`
+	Tracked        int   `json:"tracked,omitempty"`
+	Observations   int64 `json:"observations,omitempty"`
+	SketchGated    int64 `json:"sketchGated,omitempty"`
+	Evictions      int64 `json:"evictions,omitempty"`
+	SketchBytes    int   `json:"sketchBytes,omitempty"`
+	Suspects       int   `json:"suspects,omitempty"`
+	QuarantinedNow int   `json:"quarantinedNow"`
+	ProbationNow   int   `json:"probationNow"`
+	BlockedRanks   int64 `json:"blockedRanks"`
+	Transitions    int64 `json:"transitions"`
+	Quarantines    int64 `json:"quarantines"`
+	Probations     int64 `json:"probations"`
+	Restores       int64 `json:"restores"`
+	Manual         int64 `json:"manualTransitions,omitempty"`
+	JournalErrs    int64 `json:"journalErrors,omitempty"`
+	// Templates lists non-healthy templates (every node) plus the
+	// worst-scoring tracked ones (detecting primary only).
+	Templates []DriftTemplateStats `json:"templates,omitempty"`
 }
 
 // HealthResponse answers /v2/healthz: a cheap liveness probe carrying
@@ -412,6 +507,9 @@ const (
 	CodeInvalidRequest = "invalid_request"
 	// CodeBodyTooLarge: the body exceeded the route's size cap.
 	CodeBodyTooLarge = "body_too_large"
+	// CodeInvalidReward: the reward value is NaN or ±Inf — accepted, it
+	// would poison the bandit weights and the drift sketches.
+	CodeInvalidReward = "invalid_reward"
 	// CodeUnknownEvent: the reward names no logged rank event (never
 	// ranked, evicted, or already trained).
 	CodeUnknownEvent = "unknown_event"
@@ -488,7 +586,7 @@ func StatusForCode(code string) int {
 	switch code {
 	case CodeMethodNotAllowed:
 		return http.StatusMethodNotAllowed
-	case CodeInvalidJSON, CodeInvalidRequest, CodeValidationFailed:
+	case CodeInvalidJSON, CodeInvalidRequest, CodeValidationFailed, CodeInvalidReward:
 		return http.StatusBadRequest
 	case CodeBodyTooLarge:
 		return http.StatusRequestEntityTooLarge

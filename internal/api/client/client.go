@@ -286,6 +286,25 @@ func (c *Client) Stats(ctx context.Context) (api.StatsResponse, error) {
 	return out, err
 }
 
+// Quarantine flips one template's safeguard state on the primary
+// (POST /v2/quarantine). Action is api.QuarantineActionQuarantine or
+// api.QuarantineActionRestore; the response reports the transition the
+// server journaled. Followers answer 403 — point this at the primary.
+func (c *Client) Quarantine(ctx context.Context, templateHash api.TemplateHash, action string) (api.QuarantineResponse, error) {
+	var out api.QuarantineResponse
+	err := c.do(ctx, http.MethodPost, api.RouteV2Quarantine, "",
+		api.QuarantineRequest{TemplateHash: templateHash, Action: action}, &out)
+	return out, err
+}
+
+// QuarantineList fetches the templates currently held in a durable
+// safeguard state — quarantined or probation (GET /v2/quarantine).
+func (c *Client) QuarantineList(ctx context.Context) (api.QuarantineListResponse, error) {
+	var out api.QuarantineListResponse
+	err := c.do(ctx, http.MethodGet, api.RouteV2Quarantine, "", nil, &out)
+	return out, err
+}
+
 // Version fetches the server's build identity (GET /v2/version).
 func (c *Client) Version(ctx context.Context) (api.VersionResponse, error) {
 	var out api.VersionResponse

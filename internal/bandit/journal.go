@@ -285,10 +285,29 @@ func (r *Replayer) Apply(lsn uint64, payload []byte) error {
 		r.applied = 0
 		r.train()
 	default:
-		return fmt.Errorf("bandit: unknown journal record type %d at lsn %d", payload[0], lsn)
+		return &UnknownRecordError{LSN: lsn, Tag: payload[0]}
 	}
 	r.svc.SetWALWatermark(lsn)
 	return nil
+}
+
+// UnknownRecordError reports a journal record whose tag no dispatcher
+// recognizes — the signature of an old binary replaying a journal
+// written by a newer one (a record type it predates). It is typed,
+// with the offending LSN and tag, so operators can diagnose the
+// version skew instead of guessing from a formatted string; callers
+// detect it with errors.As and must treat it as fatal for the replay
+// (skipping an unknown record would silently diverge the state).
+type UnknownRecordError struct {
+	// LSN is the journal position of the unrecognized record.
+	LSN uint64
+	// Tag is the record's type byte.
+	Tag byte
+}
+
+// Error implements the error interface.
+func (e *UnknownRecordError) Error() string {
+	return fmt.Sprintf("bandit: unknown journal record type %d at lsn %d (journal written by a newer binary?)", e.Tag, e.LSN)
 }
 
 // Finish runs the drain-equivalent tail flush: rewards journaled after

@@ -1,0 +1,260 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+// testConfig is small enough to drive transitions quickly in tests.
+func testConfig() Config {
+	return Config{
+		MinSamples:      8,
+		QuarantineAfter: 4,
+		ProbationAfter:  4,
+		RestoreAfter:    8,
+		GateCount:       1, // no sketch gating in unit tests
+	}
+}
+
+// feed drives rewards through the detector, committing every proposed
+// transition, and returns the committed transitions.
+func feed(d *Detector, hash uint64, rewards []float64) []Transition {
+	var out []Transition
+	for _, r := range rewards {
+		if tr, ok := d.Observe(hash, r); ok {
+			d.Commit(tr)
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+func TestQuarantineOnRegression(t *testing.T) {
+	d := NewDetector(testConfig())
+	f := NewFlood(1, 1.0, 0.05)
+	const tmpl = 0xabc
+	feed(d, tmpl, f.Batch(200)) // establish baseline
+	if st := d.StateOf(tmpl); st != StateHealthy {
+		t.Fatalf("baseline state = %v, want healthy", st)
+	}
+	f.Shift(0.2) // collapse
+	trs := feed(d, tmpl, f.Batch(200))
+	if st := d.StateOf(tmpl); st != StateQuarantined {
+		t.Fatalf("post-regression state = %v, want quarantined (transitions %v)", st, trs)
+	}
+	if len(trs) != 1 || trs[0].To != StateQuarantined || trs[0].From != StateSuspect {
+		t.Fatalf("transitions = %+v, want one suspect->quarantined", trs)
+	}
+	if trs[0].Score < d.Config().Threshold {
+		t.Fatalf("transition score %.2f below threshold %.2f", trs[0].Score, d.Config().Threshold)
+	}
+}
+
+func TestProbationAndRestoreOnRecovery(t *testing.T) {
+	d := NewDetector(testConfig())
+	f := NewFlood(2, 1.0, 0.05)
+	const tmpl = 0xdef
+	feed(d, tmpl, f.Batch(200))
+	f.Shift(0.2)
+	feed(d, tmpl, f.Batch(200))
+	if st := d.StateOf(tmpl); st != StateQuarantined {
+		t.Fatalf("state = %v, want quarantined", st)
+	}
+	f.Shift(1.0) // recovery
+	trs := feed(d, tmpl, f.Batch(600))
+	if st := d.StateOf(tmpl); st != StateHealthy {
+		t.Fatalf("post-recovery state = %v, want healthy (transitions %+v)", st, trs)
+	}
+	// The path must pass through probation: quarantined -> probation -> healthy.
+	if len(trs) != 2 || trs[0].To != StateProbation || trs[1].To != StateHealthy {
+		t.Fatalf("recovery transitions = %+v, want probation then healthy", trs)
+	}
+}
+
+func TestHysteresisIgnoresOneNoisyBatch(t *testing.T) {
+	d := NewDetector(testConfig())
+	f := NewFlood(3, 1.0, 0.05)
+	const tmpl = 0x123
+	feed(d, tmpl, f.Batch(200))
+	// A burst shorter than QuarantineAfter must not quarantine.
+	bad := NewFlood(4, 0.2, 0.05)
+	trs := feed(d, tmpl, bad.Batch(3))
+	if len(trs) != 0 {
+		t.Fatalf("short burst produced transitions %+v", trs)
+	}
+	// Recovery clears suspicion without any durable transition.
+	trs = feed(d, tmpl, f.Batch(100))
+	if len(trs) != 0 {
+		t.Fatalf("recovered burst produced transitions %+v", trs)
+	}
+	if st := d.StateOf(tmpl); st != StateHealthy {
+		t.Fatalf("state = %v, want healthy", st)
+	}
+}
+
+func TestUncommittedTransitionReproposed(t *testing.T) {
+	d := NewDetector(testConfig())
+	f := NewFlood(5, 1.0, 0.05)
+	const tmpl = 0x777
+	feed(d, tmpl, f.Batch(200))
+	bad := NewFlood(6, 0.2, 0.05)
+	var first *Transition
+	for i := 0; i < 200; i++ {
+		if tr, ok := d.Observe(tmpl, bad.Next()); ok {
+			first = &tr
+			break
+		}
+	}
+	if first == nil {
+		t.Fatal("no transition proposed")
+	}
+	// Simulate a journal failure: do NOT commit. The next degraded
+	// observation must re-propose the same move.
+	tr2, ok := d.Observe(tmpl, bad.Next())
+	if !ok || tr2.To != StateQuarantined {
+		t.Fatalf("re-proposal = %+v ok=%v, want quarantined proposal", tr2, ok)
+	}
+	if st := d.StateOf(tmpl); st != StateSuspect {
+		t.Fatalf("state committed without Commit: %v", st)
+	}
+}
+
+func TestSketchGateBoundsMemory(t *testing.T) {
+	cfg := testConfig()
+	cfg.GateCount = 4
+	cfg.MaxTemplates = 16
+	d := NewDetector(cfg)
+	// 10k one-shot templates: all absorbed by the sketch, no entries.
+	for i := uint64(0); i < 10000; i++ {
+		d.Observe(1000+i*7919, 1.0)
+	}
+	// Sketch collisions can graduate a few false positives, but exact
+	// state stays capped at MaxTemplates no matter how many distinct
+	// templates flow past.
+	st := d.Stats()
+	if st.Tracked > cfg.MaxTemplates {
+		t.Fatalf("tracked=%d exceeds cap %d", st.Tracked, cfg.MaxTemplates)
+	}
+	if st.SketchGated == 0 {
+		t.Fatal("sketch gated counter not advancing")
+	}
+	// A hot template graduates to exact tracking after GateCount
+	// sightings (evicting a cold healthy entry if the cap is full).
+	for i := 0; i < 10; i++ {
+		d.Observe(42, 1.0)
+	}
+	found := false
+	for _, ts := range d.Templates(cfg.MaxTemplates) {
+		if ts.TemplateHash == 42 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hot template did not graduate to exact tracking")
+	}
+	if got := d.Stats().Tracked; got > cfg.MaxTemplates {
+		t.Fatalf("tracked=%d exceeds cap %d", got, cfg.MaxTemplates)
+	}
+}
+
+func TestMaxTemplatesEvictsHealthyOnly(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxTemplates = 4
+	d := NewDetector(cfg)
+	f := NewFlood(7, 1.0, 0.05)
+	for h := uint64(1); h <= 4; h++ {
+		feed(d, h, f.Batch(50))
+	}
+	// Quarantine template 1 manually; it must pin its slot.
+	d.Commit(Transition{TemplateHash: 1, From: StateHealthy, To: StateQuarantined, Manual: true})
+	// New templates force eviction of healthy entries, never of 1.
+	for h := uint64(100); h < 120; h++ {
+		d.Observe(h, 1.0)
+	}
+	if st := d.StateOf(1); st != StateQuarantined {
+		t.Fatalf("quarantined template evicted: state=%v", st)
+	}
+	if got := d.Stats().Tracked; got > cfg.MaxTemplates {
+		t.Fatalf("tracked=%d exceeds cap %d", got, cfg.MaxTemplates)
+	}
+}
+
+func TestObserveRejectsNonFinite(t *testing.T) {
+	d := NewDetector(testConfig())
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, ok := d.Observe(1, v); ok {
+			t.Fatalf("non-finite reward %v proposed a transition", v)
+		}
+	}
+	if d.Stats().Observations != 0 {
+		t.Fatal("non-finite rewards counted as observations")
+	}
+}
+
+func TestRestoreSeedsDurableStates(t *testing.T) {
+	d := NewDetector(testConfig())
+	d.Restore(map[uint64]State{
+		1: StateQuarantined,
+		2: StateProbation,
+		3: StateSuspect, // not durable; must be ignored
+	})
+	if st := d.StateOf(1); st != StateQuarantined {
+		t.Fatalf("state(1)=%v", st)
+	}
+	if st := d.StateOf(2); st != StateProbation {
+		t.Fatalf("state(2)=%v", st)
+	}
+	if st := d.StateOf(3); st != StateHealthy {
+		t.Fatalf("state(3)=%v, suspect must not restore", st)
+	}
+}
+
+func TestTableBlockedAndReplace(t *testing.T) {
+	tb := NewTable()
+	if tb.Blocked(1) {
+		t.Fatal("empty table blocks")
+	}
+	tb.Set(1, StateQuarantined)
+	tb.Set(2, StateProbation)
+	if !tb.Blocked(1) {
+		t.Fatal("quarantined not blocked")
+	}
+	if tb.Blocked(2) {
+		t.Fatal("probation must serve the hint")
+	}
+	tb.Set(1, StateHealthy)
+	if tb.Blocked(1) || tb.Len() != 1 {
+		t.Fatalf("restore failed: blocked=%v len=%d", tb.Blocked(1), tb.Len())
+	}
+	tb.Replace(map[uint64]State{5: StateQuarantined, 6: StateSuspect})
+	if !tb.Blocked(5) || tb.Len() != 1 {
+		t.Fatalf("replace failed: blocked(5)=%v len=%d", tb.Blocked(5), tb.Len())
+	}
+	tb.Replace(nil)
+	if tb.Len() != 0 || tb.Blocked(5) {
+		t.Fatal("empty replace did not clear")
+	}
+	q, p := tb.Counts()
+	if q != 0 || p != 0 {
+		t.Fatalf("counts = %d,%d", q, p)
+	}
+}
+
+func BenchmarkTableBlockedMiss(b *testing.B) {
+	tb := NewTable()
+	tb.Set(99, StateQuarantined)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tb.Blocked(uint64(i) | 1<<40) {
+			b.Fatal("unexpected block")
+		}
+	}
+}
+
+func BenchmarkDetectorObserve(b *testing.B) {
+	d := NewDetector(Config{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Observe(uint64(i%64), 1.0)
+	}
+}

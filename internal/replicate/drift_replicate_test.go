@@ -1,0 +1,176 @@
+package replicate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/drift"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/serve"
+	"qoadvisor/internal/sis"
+	"qoadvisor/internal/wal"
+)
+
+// newDriftPrimary is newPrimary with drift detection enabled and small
+// hysteresis windows, plus two installed hints to regress and spare.
+func newDriftPrimary(t *testing.T, segBytes int64) (*primaryRig, uint64, uint64) {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := wal.Open(wal.Options{Dir: dir, Mode: wal.ModeSync, SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := rules.NewCatalog()
+	srv := serve.New(serve.Config{
+		Catalog: cat, Seed: 42, TrainEvery: testTrainEvery, QueueSize: 4096, WAL: j,
+		Drift: &drift.Config{MinSamples: 8, QuarantineAfter: 4, ProbationAfter: 4, RestoreAfter: 8, GateCount: 1},
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+		j.Close()
+	})
+	p := &primaryRig{srv: srv, ts: ts, cl: client.New(ts.URL), j: j, cat: cat,
+		dir: dir, snap: filepath.Join(dir, "model.snap")}
+	const sick, healthy = uint64(0xabc123), uint64(0xdef456)
+	if _, err := srv.InstallHints([]sis.Hint{
+		{TemplateHash: sick, TemplateID: "T0042", Flip: cat.FlipFor(40), Day: 7},
+		{TemplateHash: healthy, TemplateID: "T0043", Flip: cat.FlipFor(55), Day: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p, sick, healthy
+}
+
+// regress drives the hash from a healthy reward baseline into
+// quarantine on the primary.
+func regress(t *testing.T, p *primaryRig, hash uint64) {
+	t.Helper()
+	flood := drift.NewFlood(int64(hash), 1.0, 0.05)
+	for _, v := range flood.Batch(64) {
+		if err := p.srv.ObserveReward(hash, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flood.Shift(0.0)
+	table := p.srv.QuarantineTable()
+	for i := 0; i < 200 && !table.Blocked(hash); i++ {
+		if err := p.srv.ObserveReward(hash, flood.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !table.Blocked(hash) {
+		t.Fatal("primary never quarantined the regressed template")
+	}
+}
+
+// TestFollowerReplicatesQuarantine covers the cluster acceptance for
+// the safeguard: a follower that bootstraps across a quarantine-bearing
+// journal refuses the same hint the primary does (byte-identical rank
+// responses), a transition applied after bootstrap arrives over the
+// live tail, and a re-bootstrap after compaction does not resurrect a
+// restored template.
+func TestFollowerReplicatesQuarantine(t *testing.T) {
+	p, sick, healthy := newDriftPrimary(t, 1024) // tiny segments: checkpoints compact
+	p.traffic(t, 20, 1, 0.5)
+	regress(t, p, sick)
+	p.settle(t)
+
+	// Bootstrap carries the state: the snapshot's quarantine re-journal
+	// plus the tail both land on the follower.
+	f := startFollower(t, p)
+	caughtUp(t, f)
+	if !f.Server().QuarantineTable().Blocked(sick) {
+		t.Fatal("bootstrap did not carry the quarantine state")
+	}
+	if f.Server().QuarantineTable().Blocked(healthy) {
+		t.Fatal("follower blocks a healthy template")
+	}
+
+	// Same decision on both nodes, byte for byte: the quarantined
+	// template falls to the (deterministic, greedy-on-follower) bandit
+	// path on the primary too, so pin the hint-path agreement on the
+	// healthy template and the refusal on the sick one.
+	body, err := json.Marshal(api.BatchRankRequest{Jobs: []api.RankRequest{
+		{TemplateHash: api.TemplateHash(healthy), Span: []int{5, 55}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(f)
+	defer fts.Close()
+	pst, praw := postRaw(t, p.ts.URL+api.RouteV2Rank, "quar-1", body)
+	fst, fraw := postRaw(t, fts.URL+api.RouteV2Rank, "quar-1", body)
+	if pst != http.StatusOK || fst != http.StatusOK || !bytes.Equal(praw, fraw) {
+		t.Fatalf("healthy-template responses diverged (%d/%d)\nprimary:  %s\nfollower: %s", pst, fst, praw, fraw)
+	}
+	fresp, err := f.Server().Rank(api.RankRequest{TemplateHash: api.TemplateHash(sick), Span: []int{5, 55}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresp.Source != api.SourceBandit {
+		t.Fatalf("follower served the quarantined hint: %+v", fresp)
+	}
+	// The follower's admin surface reflects the replicated table.
+	list, err := client.New(fts.URL).QuarantineList(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Templates) != 1 || uint64(list.Templates[0].TemplateHash) != sick {
+		t.Fatalf("follower quarantine list = %+v", list.Templates)
+	}
+
+	// Live tail: a manual restore on the primary lifts the block on the
+	// follower without a re-bootstrap.
+	if _, err := p.srv.Quarantine(sick, false); err != nil {
+		t.Fatal(err)
+	}
+	p.settle(t)
+	caughtUp(t, f)
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Server().QuarantineTable().Blocked(sick) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.Server().QuarantineTable().Blocked(sick) {
+		t.Fatal("restore did not replicate over the live tail")
+	}
+
+	// No resurrection: checkpoints compact the journal past every
+	// quarantine record; a follower forced to re-bootstrap from the
+	// fresh snapshot must come back with an EMPTY table, not the
+	// pre-restore state.
+	for round := 0; round < 4; round++ {
+		p.traffic(t, 25, 40+round, 0.8)
+		if _, err := p.srv.Checkpoint(p.snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first := p.j.FirstLSN(); first <= 2 {
+		t.Fatalf("compaction did not advance the retained window (first=%d); test is vacuous", first)
+	}
+	p.settle(t)
+	f.applied.Store(1) // park the follower below the retained window
+	deadline = time.Now().Add(15 * time.Second)
+	for f.resyncs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if f.resyncs.Load() == 0 {
+		t.Fatal("follower never re-bootstrapped after compaction gap")
+	}
+	caughtUp(t, f)
+	if f.Server().QuarantineTable().Blocked(sick) {
+		t.Fatal("re-bootstrap resurrected a restored template's quarantine")
+	}
+	if n := f.Server().QuarantineTable().Len(); n != 0 {
+		t.Fatalf("re-bootstrapped quarantine table has %d entries, want 0", n)
+	}
+}

@@ -193,7 +193,7 @@ func (f *Follower) bootstrap() error {
 	st := &state{
 		srv:     srv,
 		svc:     svc,
-		applier: serve.NewApplier(svc, srv.Cache(), f.cfg.TrainEvery),
+		applier: serve.NewApplier(svc, srv.Cache(), srv.QuarantineTable(), f.cfg.TrainEvery),
 	}
 	old := f.cur.Swap(st)
 	from := svc.WALWatermark()

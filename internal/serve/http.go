@@ -7,12 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/drift"
 	"qoadvisor/internal/obs"
 	"qoadvisor/internal/par"
 	"qoadvisor/internal/sis"
@@ -74,6 +76,7 @@ func newHTTPLayer(s *Server) *httpLayer {
 		{api.RouteV2Reward, h.handleRewardV2},
 		{api.RouteV2Healthz, h.handleHealthz},
 		{api.RouteV2Stats, h.handleStatsV2},
+		{api.RouteV2Quarantine, h.handleQuarantine},
 		{api.RouteV2WAL, h.handleWALStream},
 		{api.RouteV2WALSnapshot, h.handleWALSnapshot},
 		{api.RouteV2Version, h.handleVersion},
@@ -311,7 +314,16 @@ func (h *httpLayer) rankBatch(jobs []api.RankRequest, tr *obs.Trace) []api.RankR
 // call returns when the server runs with a WAL, so a 202 means the
 // telemetry is as durable as the configured sync mode promises — with
 // queue saturation rejecting the overflow as queue_full.
-func (h *httpLayer) rewardBatch(events []api.RewardEvent, tr *obs.Trace) (queued int, rejected []api.RewardRejection) {
+//
+// An event carrying a templateHash additionally feeds the drift
+// safeguard (observed counts those); a template-only event — the
+// reward path for hint-served decisions, which log no rank event — is
+// observed without being queued. A non-finite reward is rejected
+// typed (invalid_reward) before it can reach either the bandit
+// weights or the drift sketches, and a drift transition that cannot
+// be journaled rejects the event with CodeInternal (fail-stop: the
+// hint must not keep serving unsafeguarded while the disk is sick).
+func (h *httpLayer) rewardBatch(events []api.RewardEvent, tr *obs.Trace) (queued, observed int, rejected []api.RewardRejection) {
 	reject := func(i int, e *api.Error) {
 		rejected = append(rejected, api.RewardRejection{Index: i, EventID: events[i].EventID, Error: *e})
 	}
@@ -319,17 +331,30 @@ func (h *httpLayer) rewardBatch(events []api.RewardEvent, tr *obs.Trace) (queued
 	idxs := make([]int, 0, len(events))
 	for i, ev := range events {
 		switch {
-		case ev.EventID == "" || ev.Reward == nil:
-			reject(i, api.Errorf(api.CodeInvalidRequest, "eventId and reward are required"))
-		case !h.srv.bandit.HasEvent(ev.EventID):
+		case ev.Reward == nil || (ev.EventID == "" && ev.TemplateHash == nil):
+			reject(i, api.Errorf(api.CodeInvalidRequest, "reward plus eventId and/or templateHash are required"))
+			continue
+		case math.IsNaN(*ev.Reward) || math.IsInf(*ev.Reward, 0):
+			reject(i, api.Errorf(api.CodeInvalidReward, "reward must be finite, got %v", *ev.Reward))
+			continue
+		case ev.EventID != "" && !h.srv.bandit.HasEvent(ev.EventID):
 			reject(i, api.Errorf(api.CodeUnknownEvent, "unknown event %q", ev.EventID))
-		default:
+			continue
+		}
+		if ev.TemplateHash != nil {
+			if err := h.srv.ObserveReward(uint64(*ev.TemplateHash), *ev.Reward); err != nil {
+				reject(i, toAPIError(err))
+				continue
+			}
+			observed++
+		}
+		if ev.EventID != "" {
 			entries = append(entries, bandit.RewardEntry{EventID: ev.EventID, Value: *ev.Reward})
 			idxs = append(idxs, i)
 		}
 	}
 	if len(entries) == 0 {
-		return 0, rejected
+		return 0, observed, rejected
 	}
 	accepted, err := h.srv.ingest.enqueueBatch(entries, tr)
 	queued = accepted
@@ -346,7 +371,7 @@ func (h *httpLayer) rewardBatch(events []api.RewardEvent, tr *obs.Trace) (queued
 			reject(idxs[k], api.Errorf(api.CodeQueueFull, "reward queue full, retry"))
 		}
 	}
-	return queued, rejected
+	return queued, observed, rejected
 }
 
 // --- v2 handlers ---
@@ -396,16 +421,26 @@ func (h *httpLayer) handleRewardV2(w http.ResponseWriter, r *http.Request) {
 			"batch of %d events exceeds limit %d", n, api.MaxRewardBatch))
 		return
 	}
-	queued, rejected := h.rewardBatch(req.Events, traceFrom(r))
-	// Nothing queued and backpressure was among the reasons: surface
-	// 503 so clients back off and retry the whole batch. That is safe —
-	// no event was accepted, and any malformed/unknown stragglers are
-	// deterministically re-rejected on the retry. Partial acceptance
-	// stays 202 with per-event rejections.
-	if queued == 0 {
+	queued, observed, rejected := h.rewardBatch(req.Events, traceFrom(r))
+	// Nothing accepted at all and a systemic failure was among the
+	// reasons: surface it as the whole-batch status so clients react to
+	// the condition instead of parsing rejections. queue_full → 503
+	// (back off and retry; safe — no event was accepted, and any
+	// malformed/unknown stragglers re-reject deterministically).
+	// internal (journal fail-stop, including an unjournalable drift
+	// transition) → 500. Partial acceptance stays 202 with per-event
+	// rejections.
+	if queued == 0 && observed == 0 {
 		for _, rej := range rejected {
 			if rej.Error.Code == api.CodeQueueFull {
 				writeError(w, rid, api.Errorf(api.CodeQueueFull, "reward queue full, retry"))
+				return
+			}
+		}
+		for _, rej := range rejected {
+			if rej.Error.Code == api.CodeInternal {
+				e := rej.Error
+				writeError(w, rid, &e)
 				return
 			}
 		}
@@ -414,6 +449,7 @@ func (h *httpLayer) handleRewardV2(w http.ResponseWriter, r *http.Request) {
 		RequestID:  rid,
 		Generation: h.srv.cache.Generation(),
 		Queued:     queued,
+		Observed:   observed,
 		Rejected:   rejected,
 	})
 }
@@ -442,7 +478,67 @@ func (h *httpLayer) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	resp.Routes = h.routeMetrics()
 	resp.Stages = h.srv.stageSummaries()
 	resp.Version = &h.srv.version
+	resp.Drift = h.srv.DriftStats(driftStatsTemplates)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// driftStatsTemplates caps the per-template drift listing in /v2/stats
+// (non-healthy templates always appear; the rest are the worst-scoring
+// tracked ones up to this many total).
+const driftStatsTemplates = 32
+
+// handleQuarantine is the drift-safeguard admin surface: GET lists the
+// durable quarantine table (served on any node — a follower's answer
+// reflects the replicated state), POST applies a manual quarantine or
+// restore on the primary, journaled exactly like a detector
+// transition.
+func (h *httpLayer) handleQuarantine(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	switch r.Method {
+	case http.MethodGet:
+		resp := api.QuarantineListResponse{RequestID: rid, Templates: []api.QuarantineEntry{}}
+		for _, t := range h.srv.DriftStats(0).Templates {
+			if t.State == drift.StateQuarantined.String() || t.State == drift.StateProbation.String() {
+				resp.Templates = append(resp.Templates, api.QuarantineEntry{
+					TemplateHash: t.TemplateHash, State: t.State,
+				})
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		if !h.requirePrimary(w, r) {
+			return
+		}
+		var req api.QuarantineRequest
+		if e := decodeBody(w, r, maxJSONBody, &req); e != nil {
+			writeError(w, rid, e)
+			return
+		}
+		var quarantine bool
+		switch req.Action {
+		case api.QuarantineActionQuarantine:
+			quarantine = true
+		case api.QuarantineActionRestore:
+			quarantine = false
+		default:
+			writeError(w, rid, api.Errorf(api.CodeInvalidRequest,
+				"action must be %q or %q", api.QuarantineActionQuarantine, api.QuarantineActionRestore))
+			return
+		}
+		tr, err := h.srv.Quarantine(uint64(req.TemplateHash), quarantine)
+		if err != nil {
+			writeError(w, rid, toAPIError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.QuarantineResponse{
+			RequestID:    rid,
+			TemplateHash: req.TemplateHash,
+			From:         tr.From.String(),
+			To:           tr.To.String(),
+		})
+	default:
+		writeError(w, rid, api.Errorf(api.CodeMethodNotAllowed, "GET or POST required"))
+	}
 }
 
 // --- v1 handlers (single-item adapters over the batch cores) ---
@@ -475,7 +571,7 @@ func (h *httpLayer) handleRewardV1(w http.ResponseWriter, r *http.Request) {
 		writeError(w, rid, e)
 		return
 	}
-	if _, rejected := h.rewardBatch([]api.RewardEvent{ev}, traceFrom(r)); len(rejected) > 0 {
+	if _, _, rejected := h.rewardBatch([]api.RewardEvent{ev}, traceFrom(r)); len(rejected) > 0 {
 		writeError(w, rid, &rejected[0].Error)
 		return
 	}

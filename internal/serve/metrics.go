@@ -156,6 +156,28 @@ func (s *Server) collectMetrics(e *obs.Exposition) {
 		e.Gauge("qoserved_checkpoint_last_bytes", "Snapshot size of the last checkpoint.", nil, float64(s.lastCkptBytes.Load()))
 	}
 
+	// Drift-safeguard families. Enforcement gauges/counters are live on
+	// every node (the quarantine table replicates); detector families
+	// only where detection runs.
+	ds := s.guard.stats(0)
+	e.Counter("qoserved_quarantine_blocked_ranks_total", "Rank requests whose installed hint was refused because the template is quarantined.", nil, float64(ds.BlockedRanks))
+	e.Counter("qoserved_quarantine_transitions_total", "Committed quarantine state-machine transitions.", nil, float64(ds.Transitions))
+	e.Counter("qoserved_quarantine_entered_total", "Transitions into quarantine.", nil, float64(ds.Quarantines))
+	e.Counter("qoserved_quarantine_probations_total", "Transitions from quarantine into probation.", nil, float64(ds.Probations))
+	e.Counter("qoserved_quarantine_restores_total", "Transitions back to healthy.", nil, float64(ds.Restores))
+	e.Counter("qoserved_quarantine_manual_total", "Operator-initiated transitions (POST /v2/quarantine).", nil, float64(ds.Manual))
+	e.Counter("qoserved_quarantine_journal_errors_total", "Quarantine transitions rejected because the journal append failed.", nil, float64(ds.JournalErrs))
+	e.Gauge("qoserved_quarantine_templates", "Templates currently quarantined.", nil, float64(ds.QuarantinedNow))
+	e.Gauge("qoserved_quarantine_probation_templates", "Templates currently on probation.", nil, float64(ds.ProbationNow))
+	if ds.Enabled {
+		e.Gauge("qoserved_drift_tracked_templates", "Templates with exact drift-tracking entries.", nil, float64(ds.Tracked))
+		e.Gauge("qoserved_drift_suspect_templates", "Templates currently under suspicion (pre-quarantine hysteresis).", nil, float64(ds.Suspects))
+		e.Counter("qoserved_drift_observations_total", "Template-attributed rewards observed by the detector.", nil, float64(ds.Observations))
+		e.Counter("qoserved_drift_sketch_gated_total", "Observations absorbed by the count-min sketch without exact tracking.", nil, float64(ds.SketchGated))
+		e.Counter("qoserved_drift_evictions_total", "Exact entries evicted under the template cap.", nil, float64(ds.Evictions))
+		e.Gauge("qoserved_drift_sketch_bytes", "Count-min sketch memory footprint.", nil, float64(ds.SketchBytes))
+	}
+
 	// Replication counters (cluster nodes only).
 	if r := s.replicationStats(); r != nil {
 		e.Gauge("qoserved_replication_info",

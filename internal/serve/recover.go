@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"qoadvisor/internal/bandit"
+	"qoadvisor/internal/drift"
 	"qoadvisor/internal/sis"
 	"qoadvisor/internal/wal"
 )
@@ -20,20 +21,29 @@ import (
 type Applier struct {
 	svc   *bandit.Service
 	rp    *bandit.Replayer
-	cache *HintCache // nil: hints only accumulate in Hints/HintGen
+	cache *HintCache   // nil: hints only accumulate in Hints/HintGen
+	quar  *drift.Table // nil: quarantines only accumulate in Quarantine
 
 	// Hints / HintGen track the newest rollover applied (replay keeps
 	// the last one: rollovers are wholesale). Rollovers counts them.
 	Hints     []sis.Hint
 	HintGen   uint64
 	Rollovers int64
+
+	// Quarantine is the durable drift-safeguard table as of the newest
+	// RecQuarantine record applied (wholesale, like rollovers: the last
+	// record wins). Nil until one is seen — distinguishable from an
+	// explicit empty table, which means every template was restored.
+	Quarantine        map[uint64]drift.State
+	QuarantineRecords int64
 }
 
 // NewApplier builds an applier over svc. cache, when non-nil, receives
-// hint rollovers as they are applied (the follower's live mode);
-// trainEvery must match the journaled run's ingestion batch size.
-func NewApplier(svc *bandit.Service, cache *HintCache, trainEvery int) *Applier {
-	return &Applier{svc: svc, rp: bandit.NewReplayer(svc, trainEvery), cache: cache}
+// hint rollovers as they are applied, and quar, when non-nil, receives
+// quarantine-table records (the follower's live mode); trainEvery must
+// match the journaled run's ingestion batch size.
+func NewApplier(svc *bandit.Service, cache *HintCache, quar *drift.Table, trainEvery int) *Applier {
+	return &Applier{svc: svc, rp: bandit.NewReplayer(svc, trainEvery), cache: cache, quar: quar}
 }
 
 // Apply consumes one journal record.
@@ -50,6 +60,19 @@ func (a *Applier) Apply(lsn uint64, payload []byte) error {
 		}
 		// Hint records advance the covered-state watermark like any other
 		// applied record, so a later snapshot supersedes them.
+		a.svc.SetWALWatermark(lsn)
+		return nil
+	}
+	if len(payload) > 0 && payload[0] == RecQuarantine {
+		states, _, _, err := DecodeQuarantine(payload)
+		if err != nil {
+			return fmt.Errorf("serve: lsn %d: %w", lsn, err)
+		}
+		a.Quarantine = states
+		a.QuarantineRecords++
+		if a.quar != nil {
+			a.quar.Replace(states)
+		}
 		a.svc.SetWALWatermark(lsn)
 		return nil
 	}
@@ -81,6 +104,11 @@ type RecoverResult struct {
 	Hints         []sis.Hint
 	HintGen       uint64
 	HintRollovers int64
+	// Quarantine is the drift-safeguard table as of the newest
+	// RecQuarantine record (nil when the journal holds none);
+	// QuarantineRecords counts them.
+	Quarantine        map[uint64]drift.State
+	QuarantineRecords int64
 }
 
 // Recovered reports whether any persisted state was found — when
@@ -144,11 +172,12 @@ func Recover(src wal.Source, snapshotPath string, trainEvery, maxLogEvents int, 
 		res.Service.SetMaxLog(0)
 	}
 
-	ap := NewApplier(res.Service, nil, trainEvery)
+	ap := NewApplier(res.Service, nil, nil, trainEvery)
 	info, err := src.Replay(res.FromLSN, ap.Apply)
 	res.Journal = info
 	res.Replay = ap.ReplayStats()
 	res.Hints, res.HintGen, res.HintRollovers = ap.Hints, ap.HintGen, ap.Rollovers
+	res.Quarantine, res.QuarantineRecords = ap.Quarantine, ap.QuarantineRecords
 	if err != nil {
 		return res, fmt.Errorf("replaying journal: %w", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"qoadvisor/internal/api"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
+	"qoadvisor/internal/drift"
 	"qoadvisor/internal/obs"
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/sis"
@@ -79,6 +80,17 @@ type Config struct {
 	// and emit a Chrome-trace event group on completion. Nil disables
 	// tracing at zero cost.
 	Tracer *obs.Tracer
+	// Drift, when non-nil, enables online drift detection: rewards
+	// attributed to a template (RewardEvent.TemplateHash) feed
+	// per-template streaming statistics, and templates whose rewards
+	// collapse are auto-quarantined — their installed hint refused,
+	// rank requests routed to the bandit path — with every transition
+	// journaled as a RecQuarantine record. Enforcement (refusing
+	// quarantined hints, the manual admin endpoint, replication of the
+	// quarantine table) is always on regardless of this field; Drift
+	// only controls the detector. Ignored on followers: detection runs
+	// where writes land, replicas enforce the replicated table.
+	Drift *drift.Config
 }
 
 // Server is the embeddable online steering service. It serves hint-cache
@@ -92,6 +104,7 @@ type Server struct {
 	bandit *bandit.Service
 	ingest *Ingestor
 	wal    *wal.WAL
+	guard  *safeguard
 
 	checkpoints    atomic.Int64
 	lastCkptLSN    atomic.Uint64
@@ -156,11 +169,18 @@ func New(cfg Config) *Server {
 	// Stage histograms are shared with the ingestor's workers, so they
 	// must exist before newIngestor starts the pool.
 	stages := newStageHists()
+	// Detection runs only where writes land; enforcement (the table
+	// inside the safeguard) exists on every node.
+	var det *drift.Detector
+	if cfg.Drift != nil && !cfg.Follower {
+		det = drift.NewDetector(*cfg.Drift)
+	}
 	s := &Server{
 		cat:          cfg.Catalog,
 		cache:        NewHintCache(cfg.Shards),
 		bandit:       cfg.Bandit,
 		wal:          cfg.WAL,
+		guard:        newSafeguard(det, cfg.WAL),
 		ingest:       newIngestor(cfg.Bandit, cfg.WAL, cfg.QueueSize, cfg.Workers, cfg.TrainEvery, stages),
 		uniform:      cfg.Uniform,
 		follower:     cfg.Follower,
@@ -250,6 +270,43 @@ func (s *Server) journalHints() error {
 	return err
 }
 
+// QuarantineTable exposes the drift-safeguard enforcement table. The
+// replication tailer passes it to its Applier so replicated
+// RecQuarantine records take effect on the serving path.
+func (s *Server) QuarantineTable() *drift.Table { return s.guard.table }
+
+// RestoreQuarantines seeds the safeguard from recovered journal state
+// without re-journaling — the crash-recovery path, symmetric with
+// RestoreHints. On a detecting primary the detector's state machine is
+// seeded too (statistics start fresh; only state is durable).
+func (s *Server) RestoreQuarantines(states map[uint64]drift.State) {
+	s.guard.restore(states)
+}
+
+// ObserveReward feeds one template-attributed reward to the drift
+// detector and commits (journal-first) any transition it triggers. A
+// *api.Error(CodeInternal) means a proposed transition could not be
+// journaled — fail-stop: the safeguard state did not change, and the
+// caller must surface the failure rather than acknowledge the reward.
+// No-op on nodes without detection.
+func (s *Server) ObserveReward(templateHash uint64, reward float64) error {
+	return s.guard.observe(templateHash, reward)
+}
+
+// Quarantine applies a manual safeguard override: quarantine forces
+// the template's hint to be refused, restore (quarantine=false)
+// forces it healthy. The transition is journaled exactly like a
+// detector-initiated one, so it survives restarts and replicates.
+func (s *Server) Quarantine(templateHash uint64, quarantine bool) (drift.Transition, error) {
+	return s.guard.setManual(templateHash, quarantine)
+}
+
+// DriftStats reports the safeguard's operational view (the /v2/stats
+// drift block). templateLimit caps the per-template listing.
+func (s *Server) DriftStats(templateLimit int) *api.DriftStats {
+	return s.guard.stats(templateLimit)
+}
+
 // SetReplProbe installs the follower-side replication stats source
 // (applied LSN, lag, tail age), reported under /v2/stats. The
 // replication tailer owns the numbers; the server only serves them.
@@ -303,6 +360,13 @@ func (s *Server) rankTraced(req api.RankRequest, tr *obs.Trace, tid int) (api.Ra
 	// taking the model path.
 	lookupStart := time.Now()
 	h, ok := s.cache.Lookup(uint64(req.TemplateHash))
+	if ok && s.guard.blocked(uint64(req.TemplateHash)) {
+		// Drift safeguard: the template is quarantined, so its installed
+		// hint is refused and the request takes the bandit/exploration
+		// path below — the hint stays in the cache for when the
+		// quarantine lifts.
+		ok = false
+	}
 	banditStart := time.Now()
 	lookupDur := banditStart.Sub(lookupStart)
 	s.stages.rankHint.Observe(lookupDur)
@@ -505,6 +569,12 @@ func (s *Server) Checkpoint(path string) (CheckpointInfo, error) {
 		if err := s.journalHints(); err != nil {
 			return info, err
 		}
+		// Same re-journal for the quarantine table: its only durable copy
+		// lives in the journal, and the segments about to be compacted
+		// may hold it.
+		if err := s.guard.journalState(); err != nil {
+			return info, err
+		}
 		// Make the journal durable up to the watermark (covers the train
 		// mark) before the snapshot that claims to supersede it can be
 		// promoted.
@@ -575,6 +645,9 @@ func (s *Server) bootstrapSnapshot() (*bytes.Buffer, uint64, error) {
 		return nil, 0, err
 	}
 	if err := s.journalHints(); err != nil {
+		return nil, 0, err
+	}
+	if err := s.guard.journalState(); err != nil {
 		return nil, 0, err
 	}
 	// The suffix the follower will tail begins at the watermark; sync

@@ -1,0 +1,69 @@
+package wal
+
+import "time"
+
+// Faults is a fault-injection plan for chaos testing the journal's
+// callers: error and latency injection on the append path, latency
+// injection on the fsync path. Injection is deliberately NON-latching
+// — a real I/O error latches the journal fail-stop (every later
+// append fails), but an injected AppendErr fails only the appends the
+// plan says to fail, so tests can script a fault window and then
+// verify the system recovers once the window closes. Callbacks must
+// be safe for concurrent use; they run on the caller's goroutine
+// (AppendErr/AppendDelay on the appending request, SyncDelay on the
+// committer or a sync-mode Commit waiter).
+type Faults struct {
+	// AppendErr, when non-nil, is consulted by every Append before any
+	// journal state changes; a non-nil return fails that append with
+	// the returned error and no LSN is consumed.
+	AppendErr func(payload []byte) error
+	// AppendDelay, when non-nil, stalls each Append by the returned
+	// duration before it runs (slow-buffered-write simulation). The
+	// stall happens outside the journal mutex.
+	AppendDelay func() time.Duration
+	// SyncDelay, when non-nil, stalls each fsync by the returned
+	// duration (group-commit stall simulation). Like the fsync itself
+	// it runs outside the journal mutex, so appends keep flowing while
+	// commit waiters stall — exactly a slow disk's signature.
+	SyncDelay func() time.Duration
+}
+
+// SetFaults installs a fault-injection plan (nil removes it). This is
+// test instrumentation: when no plan is installed the cost is one
+// atomic load per append/fsync.
+func (w *WAL) SetFaults(f *Faults) {
+	if f == nil {
+		w.faults.Store(nil)
+		return
+	}
+	w.faults.Store(f)
+}
+
+// injectAppend runs the append-side plan, returning the injected
+// error if any.
+func (w *WAL) injectAppend(payload []byte) error {
+	f := w.faults.Load()
+	if f == nil {
+		return nil
+	}
+	if f.AppendDelay != nil {
+		if d := f.AppendDelay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if f.AppendErr != nil {
+		return f.AppendErr(payload)
+	}
+	return nil
+}
+
+// injectSyncDelay runs the fsync-side latency plan.
+func (w *WAL) injectSyncDelay() {
+	f := w.faults.Load()
+	if f == nil || f.SyncDelay == nil {
+		return
+	}
+	if d := f.SyncDelay(); d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -182,6 +182,10 @@ type WAL struct {
 	// Open without racing the committer.
 	syncObs atomic.Pointer[func(time.Duration)]
 
+	// faults, when set, is the chaos-test fault-injection plan (see
+	// Faults); nil in production.
+	faults atomic.Pointer[Faults]
+
 	flushCh chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -201,6 +205,7 @@ func (w *WAL) SetSyncObserver(fn func(time.Duration)) {
 
 // observeSync times one fsync call through the installed observer.
 func (w *WAL) observeSync(f *os.File) error {
+	w.injectSyncDelay()
 	obs := w.syncObs.Load()
 	if obs == nil {
 		return f.Sync()
@@ -436,6 +441,9 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	}
 	if len(payload) > MaxRecordSize {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecordSize)
+	}
+	if err := w.injectAppend(payload); err != nil {
+		return 0, err
 	}
 	w.mu.Lock()
 	if w.closed {
