@@ -1,0 +1,273 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"qoadvisor/internal/audit"
+	"qoadvisor/internal/drift"
+	"qoadvisor/internal/wal"
+	"qoadvisor/internal/walrec"
+)
+
+// auditArgs carries the -audit mode's flag values into runAudit.
+type auditArgs struct {
+	mode     string // records | decision | template | asof
+	walDir   string
+	event    string // decision, or a records filter
+	template string // template (hex), or a records filter
+	lsn      uint64 // asof target (0 = journal end)
+	from, to uint64 // records LSN window
+	types    string // records type filter (comma-separated names)
+	limit    int    // records row cap (0 = unlimited)
+	out      string // asof: write the reconstructed snapshot here
+
+	// Replay parameters for asof — must match the journaled run's
+	// serving configuration.
+	snapshotPath string
+	trainEvery   int
+	maxLog       int
+	seed         int64
+}
+
+// runAudit is the offline audit tool: read-only queries over a journal
+// directory (live or copied — the engine never writes segments, and
+// its index sidecars are derived data, safe to delete). Output is
+// deterministic for a given journal, so runs can be diffed.
+func runAudit(a auditArgs) error {
+	if a.walDir == "" {
+		return fmt.Errorf("-audit needs -wal-dir <journal directory>")
+	}
+	eng, err := audit.Open(a.walDir)
+	if err != nil {
+		return err
+	}
+	switch a.mode {
+	case "records":
+		return auditRecords(eng, a)
+	case "decision":
+		if a.event == "" {
+			return fmt.Errorf("-audit decision needs -event <event ID>")
+		}
+		return auditDecision(eng, a.event)
+	case "template":
+		if a.template == "" {
+			return fmt.Errorf("-audit template needs -template-hash <64-bit hex>")
+		}
+		hash, err := strconv.ParseUint(a.template, 16, 64)
+		if err != nil {
+			return fmt.Errorf("bad -template-hash %q: want 64-bit hex", a.template)
+		}
+		return auditTemplate(eng, hash)
+	case "asof":
+		return auditAsOf(eng, a)
+	default:
+		return fmt.Errorf("unknown -audit mode %q (want records, decision, template, or asof)", a.mode)
+	}
+}
+
+// auditQuery assembles the records-listing filter from the CLI flags.
+func auditQuery(a auditArgs) (audit.Query, error) {
+	q := audit.Query{EventID: a.event, FromLSN: a.from, ToLSN: a.to, Limit: a.limit}
+	if a.types != "" {
+		for _, name := range strings.Split(a.types, ",") {
+			tag, err := walrec.ParseTag(strings.TrimSpace(name))
+			if err != nil {
+				return q, err
+			}
+			q.Tags = append(q.Tags, tag)
+		}
+	}
+	if a.template != "" {
+		hash, err := strconv.ParseUint(a.template, 16, 64)
+		if err != nil {
+			return q, fmt.Errorf("bad -template-hash %q: want 64-bit hex", a.template)
+		}
+		q.Template, q.HasTemplate = hash, true
+	}
+	return q, nil
+}
+
+func auditRecords(eng *audit.Engine, a auditArgs) error {
+	q, err := auditQuery(a)
+	if err != nil {
+		return err
+	}
+	it, err := eng.Run(q)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	n := 0
+	for {
+		res, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		fmt.Printf("%10d  %-13s %s\n", res.LSN, walrec.Name(res.Rec.Tag), audit.Summary(res))
+		n++
+	}
+	printScan("records", n, it.Stats())
+	return nil
+}
+
+func auditDecision(eng *audit.Engine, eventID string) error {
+	tr, err := eng.Trace(eventID)
+	if err != nil {
+		return err
+	}
+	if tr.Rank == nil {
+		fmt.Printf("event %s: no rank record in the journal (never ranked, or compacted away)\n", eventID)
+		return nil
+	}
+	fmt.Printf("event:    %s\n", eventID)
+	fmt.Printf("decision: lsn=%d prob=%.4f ctxFeatures=%d actFeatures=%d\n",
+		tr.RankLSN, tr.Rank.Prob, len(tr.Rank.CtxIDs), len(tr.Rank.ActIDs))
+	for _, rw := range tr.Rewards {
+		fmt.Printf("reward:   lsn=%d value=%.4f\n", rw.LSN, rw.Value)
+	}
+	if len(tr.Rewards) == 0 {
+		fmt.Printf("reward:   none journaled\n")
+	}
+	if tr.TrainedAtLSN > 0 {
+		fmt.Printf("trained:  lsn=%d (first training boundary after the last reward)\n", tr.TrainedAtLSN)
+	}
+	for _, lr := range tr.Lineage {
+		fmt.Printf("lineage:  lsn=%d event=%s value=%.4f\n", lr.LSN, lr.EventID, lr.Value)
+	}
+	if tr.LineageTruncated {
+		fmt.Printf("lineage:  (truncated at cap)\n")
+	}
+	printScan("decision", len(tr.Rewards)+len(tr.Lineage)+1, tr.Scan)
+	return nil
+}
+
+func auditTemplate(eng *audit.Engine, hash uint64) error {
+	th, err := eng.Template(hash)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("template: %016x\n", hash)
+	for _, ev := range th.Events {
+		switch ev.Kind {
+		case "hint":
+			fmt.Printf("%10d  hint flip=%s day=%d generation=%d\n", ev.LSN, ev.Flip, ev.Day, ev.Gen)
+		case "hint_removed":
+			fmt.Printf("%10d  hint removed (generation %d)\n", ev.LSN, ev.Gen)
+		case "quarantine":
+			kind := "transition"
+			if ev.Snapshot {
+				kind = "checkpoint re-journal"
+			}
+			fmt.Printf("%10d  quarantine state=%s (%s)\n", ev.LSN, drift.State(ev.State).String(), kind)
+		case "quarantine_cleared":
+			fmt.Printf("%10d  quarantine cleared\n", ev.LSN)
+		}
+	}
+	fmt.Printf("history:  %d events from %d rollovers, %d quarantine records\n",
+		len(th.Events), th.Rollovers, th.QuarantineRecords)
+	printScan("template", len(th.Events), th.Scan)
+	return nil
+}
+
+func auditAsOf(eng *audit.Engine, a auditArgs) error {
+	// Mirror the serving default: a WAL-backed server snapshots next to
+	// the journal unless told otherwise.
+	if a.snapshotPath == "" {
+		a.snapshotPath = filepath.Join(a.walDir, "model.snap")
+	}
+	lsn := a.lsn
+	if lsn == 0 {
+		end, err := journalEnd(a.walDir)
+		if err != nil {
+			return err
+		}
+		if end == 0 {
+			return fmt.Errorf("journal %s is empty; nothing to reconstruct", a.walDir)
+		}
+		lsn = end
+	}
+	res, err := eng.AsOf(lsn, audit.AsOfOptions{
+		SnapshotPath: a.snapshotPath,
+		TrainEvery:   a.trainEvery,
+		MaxLogEvents: a.maxLog,
+		Seed:         a.seed,
+	})
+	if err != nil {
+		return err
+	}
+	// Reconstruction needs the records in (FromLSN, lsn] to still exist;
+	// compaction may have eaten them (the offline remedy: run against a
+	// journal copy taken before the checkpoint).
+	if segs, err := wal.Segments(a.walDir); err == nil && len(segs) > 0 &&
+		lsn > res.FromLSN && segs[0].FirstLSN > res.FromLSN+1 {
+		return fmt.Errorf("journal history before LSN %d is compacted; reconstruction at %d needs records from %d",
+			segs[0].FirstLSN, lsn, res.FromLSN+1)
+	}
+	sum := sha256.Sum256(res.Snapshot)
+	fmt.Printf("asof:     lsn=%d\n", res.LSN)
+	fmt.Printf("seed:     snapshot=%v watermark=%d (%s)\n", res.SnapshotSeeded, res.FromLSN, a.snapshotPath)
+	fmt.Printf("replayed: %d records (%d ranks, %d rewards, %d train marks -> %d training runs over %d events)\n",
+		res.Replay.Records, res.Replay.Ranks, res.Replay.Rewards,
+		res.Replay.TrainMarks, res.Replay.TrainRuns, res.Replay.TrainedEvents)
+	if len(res.Hints) > 0 {
+		fmt.Printf("hints:    %d active (generation %d)\n", len(res.Hints), res.HintGen)
+	}
+	if len(res.Quarantine) > 0 {
+		fmt.Printf("held:     %d templates in a durable safeguard state\n", len(res.Quarantine))
+	}
+	fmt.Printf("model:    %d bytes, sha256=%s\n", len(res.Snapshot), hex.EncodeToString(sum[:]))
+	if a.out != "" {
+		if err := os.WriteFile(a.out, res.Snapshot, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("written:  %s\n", a.out)
+	}
+	printScan("asof", int(res.Replay.Records), res.Scan)
+	return nil
+}
+
+// journalEnd finds the journal's last LSN by scanning only the final
+// segment (earlier segments contribute their record counts implicitly
+// through the next segment's header).
+func journalEnd(dir string) (uint64, error) {
+	segs, err := wal.Segments(dir)
+	if err != nil || len(segs) == 0 {
+		return 0, err
+	}
+	sr, err := wal.OpenSegment(segs[len(segs)-1])
+	if err != nil {
+		return 0, err
+	}
+	defer sr.Close()
+	for {
+		if _, _, err := sr.Next(); err != nil {
+			if err == io.EOF || wal.IsCorruptRecord(err) {
+				// A torn tail is the crash artifact; the end is the last
+				// intact record.
+				return sr.NextLSN() - 1, nil
+			}
+			return 0, err
+		}
+	}
+}
+
+// printScan reports what the query read versus pruned — the audit
+// tool's own observability, on stderr so stdout stays diffable.
+func printScan(mode string, rows int, st audit.ScanStats) {
+	fmt.Fprintf(os.Stderr,
+		"audit %s: %d rows; segments %d scanned / %d skipped of %d (lsn=%d time=%d tag=%d key=%d); %d records scanned, %d matched; sidecars %d built, %d loaded, %d rebuilt\n",
+		mode, rows, st.SegmentsScanned, st.SegmentsSkipped, st.SegmentsTotal,
+		st.SkippedByLSN, st.SkippedByTime, st.SkippedByTag, st.SkippedByKey,
+		st.RecordsScanned, st.RecordsMatched,
+		st.SidecarsBuilt, st.SidecarsLoaded, st.SidecarsRebuilt)
+}

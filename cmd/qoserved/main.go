@@ -52,6 +52,10 @@
 //	qoserved -check http://host:8080              # /v2/healthz + /v2/stats
 //	qoserved -push-hints http://host:8080 -hints f.hints   # rollover upload
 //	qoserved -replay out.model -wal-dir dir [-model snap]  # offline rebuild
+//	qoserved -audit records -wal-dir dir [-event e] [-template-hash h]
+//	qoserved -audit decision -wal-dir dir -event e         # decision trace
+//	qoserved -audit template -wal-dir dir -template-hash h # steering lineage
+//	qoserved -audit asof -wal-dir dir [-lsn n] [-audit-out m.snap]
 package main
 
 import (
@@ -121,6 +125,15 @@ func main() {
 	driftMaxTemplates := flag.Int("drift-max-templates", 0, "with -drift: cap on exactly-tracked templates, the rest stay in the sketch (0 = default 4096)")
 	snapshotEvery := flag.Duration("snapshot-every", 5*time.Minute, "checkpoint interval: snapshot the model and truncate covered journal segments (0 = only on shutdown)")
 	replayOut := flag.String("replay", "", "ops mode: rebuild a model offline from -wal-dir (+ optional -model snapshot), write it to this path, exit")
+	auditMode := flag.String("audit", "", "ops mode: offline journal query over -wal-dir (records, decision, template, asof), print, exit")
+	auditEvent := flag.String("event", "", "with -audit: event ID to trace (decision) or filter on (records)")
+	auditTemplate := flag.String("template-hash", "", "with -audit: 64-bit hex template hash to query (template) or filter on (records)")
+	auditLSN := flag.Uint64("lsn", 0, "with -audit asof: reconstruction LSN (0 = journal end)")
+	auditFrom := flag.Uint64("audit-from", 0, "with -audit records: lowest LSN to return (0 = journal start)")
+	auditTo := flag.Uint64("audit-to", 0, "with -audit records: highest LSN to return (0 = journal end)")
+	auditType := flag.String("audit-type", "", "with -audit records: comma-separated record types (rank, reward, train, hints, quarantine)")
+	auditLimit := flag.Int("audit-limit", 0, "with -audit records: stop after this many rows (0 = unlimited)")
+	auditOut := flag.String("audit-out", "", "with -audit asof: write the reconstructed snapshot to this path")
 	check := flag.String("check", "", "client mode: probe a running server's /v2/healthz and /v2/stats, print, exit")
 	pushHints := flag.String("push-hints", "", "client mode: upload the -hints file to a running server and exit")
 	follow := flag.String("follow", "", "follower mode: primary base URL to replicate from (serves reads locally, rejects writes)")
@@ -166,6 +179,28 @@ func main() {
 	if *replayOut != "" {
 		if err := runReplay(*replayOut, *walDir, *modelPath, *trainEvery, *maxLog, *seed); err != nil {
 			fatal("replay failed", "out", *replayOut, "err", err)
+		}
+		return
+	}
+	if *auditMode != "" {
+		err := runAudit(auditArgs{
+			mode:         *auditMode,
+			walDir:       *walDir,
+			event:        *auditEvent,
+			template:     *auditTemplate,
+			lsn:          *auditLSN,
+			from:         *auditFrom,
+			to:           *auditTo,
+			types:        *auditType,
+			limit:        *auditLimit,
+			out:          *auditOut,
+			snapshotPath: *modelPath,
+			trainEvery:   *trainEvery,
+			maxLog:       *maxLog,
+			seed:         *seed,
+		})
+		if err != nil {
+			fatal("audit failed", "mode", *auditMode, "err", err)
 		}
 		return
 	}

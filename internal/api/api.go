@@ -62,6 +62,16 @@ const (
 	// whose embedded watermark is where a follower starts tailing.
 	RouteV2WAL         = "/v2/wal"
 	RouteV2WALSnapshot = "/v2/wal/snapshot"
+
+	// Audit surface (WAL-backed nodes, read-only). RouteV2AuditRecords
+	// lists journal records matching filter query parameters;
+	// RouteV2AuditDecision reconstructs one event's decision trace;
+	// RouteV2AuditTemplate returns a template's steering history;
+	// RouteV2AuditAsOf summarizes a point-in-time model reconstruction.
+	RouteV2AuditRecords  = "/v2/audit/records"
+	RouteV2AuditDecision = "/v2/audit/decision"
+	RouteV2AuditTemplate = "/v2/audit/template"
+	RouteV2AuditAsOf     = "/v2/audit/asof"
 )
 
 // RequestIDHeader carries the request ID on every instrumented route.
@@ -432,6 +442,150 @@ type StatsResponse struct {
 	// Drift reports the drift-safeguard state (v2 only, additive; the
 	// /v1/stats field set is unchanged).
 	Drift *DriftStats `json:"drift,omitempty"`
+	// Audit reports the journal-audit engine's counters (v2 only,
+	// additive; present once an audit query has run on this node).
+	Audit *AuditStats `json:"audit,omitempty"`
+}
+
+// AuditStats is the audit block of /v2/stats: cumulative engine
+// counters across every query served since the engine was opened.
+type AuditStats struct {
+	Queries         int64 `json:"queries"`
+	SegmentsScanned int64 `json:"segmentsScanned"`
+	SegmentsSkipped int64 `json:"segmentsSkipped"`
+	RecordsScanned  int64 `json:"recordsScanned"`
+	SidecarsBuilt   int64 `json:"sidecarsBuilt"`
+	SidecarsLoaded  int64 `json:"sidecarsLoaded"`
+	SidecarsRebuilt int64 `json:"sidecarsRebuilt"`
+}
+
+// AuditScanStats reports one audit query's iterator counters: how much
+// of the journal was actually read versus pruned, and which filter
+// clause did the pruning. Clients use it to verify index effectiveness
+// (skips are attributed, so a misbehaving sidecar shows up as a
+// scanned-not-skipped segment, never as a wrong answer).
+type AuditScanStats struct {
+	SegmentsTotal   int64 `json:"segmentsTotal"`
+	SegmentsScanned int64 `json:"segmentsScanned"`
+	SegmentsSkipped int64 `json:"segmentsSkipped"`
+	SkippedByLSN    int64 `json:"skippedByLsn,omitempty"`
+	SkippedByTime   int64 `json:"skippedByTime,omitempty"`
+	SkippedByTag    int64 `json:"skippedByTag,omitempty"`
+	SkippedByKey    int64 `json:"skippedByKey,omitempty"`
+	RecordsScanned  int64 `json:"recordsScanned"`
+	RecordsMatched  int64 `json:"recordsMatched"`
+	// Truncated reports that the scan stopped at a torn tail (the
+	// journal's crash artifact) — results cover the intact prefix.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// AuditRecord is one journal record in an audit listing.
+type AuditRecord struct {
+	LSN     uint64 `json:"lsn"`
+	Type    string `json:"type"`
+	Summary string `json:"summary"`
+	// EventID is set for rank records.
+	EventID string `json:"eventId,omitempty"`
+}
+
+// AuditRecordsResponse answers GET /v2/audit/records.
+type AuditRecordsResponse struct {
+	Records []AuditRecord  `json:"records"`
+	Scan    AuditScanStats `json:"scan"`
+	// Limited reports that the listing stopped at the row limit; narrow
+	// the filters or page with fromLsn to see the rest.
+	Limited   bool   `json:"limited,omitempty"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// AuditRewardRef is one reward observation in a decision trace.
+type AuditRewardRef struct {
+	LSN     uint64  `json:"lsn"`
+	Value   float64 `json:"value"`
+	EventID string  `json:"eventId,omitempty"`
+}
+
+// AuditDecisionResponse answers GET /v2/audit/decision: the journaled
+// history of one rank decision.
+type AuditDecisionResponse struct {
+	EventID string `json:"eventId"`
+	// Found is false when the journal holds no rank record for the
+	// event (never ranked, or compacted away by a checkpoint).
+	Found   bool             `json:"found"`
+	RankLSN uint64           `json:"rankLsn,omitempty"`
+	Prob    float64          `json:"prob,omitempty"`
+	CtxIDs  int              `json:"ctxFeatures,omitempty"`
+	ActIDs  int              `json:"actFeatures,omitempty"`
+	Rewards []AuditRewardRef `json:"rewards,omitempty"`
+	// TrainedAtLSN is the first training boundary after the last
+	// reward — when the rewards became weight updates (0: none logged).
+	TrainedAtLSN uint64 `json:"trainedAtLsn,omitempty"`
+	// Lineage lists rewards (newest first, capped) whose events share
+	// action features with this decision and were applied before it —
+	// the observations behind the weights it was scored with.
+	Lineage          []AuditRewardRef `json:"lineage,omitempty"`
+	LineageTruncated bool             `json:"lineageTruncated,omitempty"`
+	Scan             AuditScanStats   `json:"scan"`
+	RequestID        string           `json:"requestId,omitempty"`
+}
+
+// AuditTemplateEvent is one change in a template's steering history.
+type AuditTemplateEvent struct {
+	LSN uint64 `json:"lsn"`
+	// Kind is "hint", "hint_removed", "quarantine", or
+	// "quarantine_cleared".
+	Kind string `json:"kind"`
+	Flip string `json:"flip,omitempty"`
+	Day  int    `json:"day,omitempty"`
+	Gen  uint64 `json:"generation,omitempty"`
+	// State is the drift state name for quarantine transitions.
+	State string `json:"state,omitempty"`
+	// Snapshot marks a checkpoint re-journal rather than a transition.
+	Snapshot bool `json:"snapshot,omitempty"`
+}
+
+// AuditTemplateResponse answers GET /v2/audit/template.
+type AuditTemplateResponse struct {
+	TemplateHash TemplateHash         `json:"templateHash"`
+	Events       []AuditTemplateEvent `json:"events"`
+	// Rollovers/QuarantineRecords count the journal records inspected
+	// (each carries a whole table; only changes produce Events).
+	Rollovers         int64          `json:"rollovers"`
+	QuarantineRecords int64          `json:"quarantineRecords"`
+	Scan              AuditScanStats `json:"scan"`
+	RequestID         string         `json:"requestId,omitempty"`
+}
+
+// AuditReplayStats summarizes what the journal suffix contributed to a
+// point-in-time reconstruction.
+type AuditReplayStats struct {
+	Records       int64 `json:"records"`
+	Ranks         int64 `json:"ranks"`
+	Rewards       int64 `json:"rewards"`
+	TrainMarks    int64 `json:"trainMarks"`
+	TrainRuns     int64 `json:"trainRuns"`
+	TrainedEvents int64 `json:"trainedEvents"`
+}
+
+// AuditAsOfResponse answers GET /v2/audit/asof: a summary of the model
+// state reconstructed as of an LSN. The snapshot itself is identified
+// by size and digest (byte-identical to a live checkpoint taken at the
+// same LSN); the full bytes are an offline `qoserved -audit asof`
+// operation, not an HTTP payload.
+type AuditAsOfResponse struct {
+	LSN            uint64 `json:"lsn"`
+	SnapshotBytes  int    `json:"snapshotBytes"`
+	SnapshotSHA256 string `json:"snapshotSha256"`
+	// SnapshotSeeded/FromLSN report whether a checkpoint seeded the
+	// replay and from which watermark.
+	SnapshotSeeded bool             `json:"snapshotSeeded"`
+	FromLSN        uint64           `json:"fromLsn,omitempty"`
+	Replay         AuditReplayStats `json:"replay"`
+	HintGen        uint64           `json:"hintGeneration,omitempty"`
+	Hints          int              `json:"hints,omitempty"`
+	Quarantined    int              `json:"quarantined,omitempty"`
+	Scan           AuditScanStats   `json:"scan"`
+	RequestID      string           `json:"requestId,omitempty"`
 }
 
 // DriftTemplateStats is one template's drift view: its state-machine

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -350,6 +352,88 @@ func (c *Client) BootstrapSnapshot(ctx context.Context) (io.ReadCloser, error) {
 		return nil, apiErr
 	}
 	return resp.Body, nil
+}
+
+// AuditRecordsOptions filter a GET /v2/audit/records listing. Zero
+// values mean "no filter"; the server caps Limit.
+type AuditRecordsOptions struct {
+	// Types restricts the listing to named record types (the journal
+	// registry's names: "rank", "reward_batch", "train_mark",
+	// "hint_rollover", "quarantine").
+	Types []string
+	// EventID restricts to records mentioning the event.
+	EventID string
+	// TemplateHash restricts to records mentioning the template (hint
+	// rollovers, quarantine records). HasTemplate gates it so hash 0
+	// stays queryable.
+	TemplateHash api.TemplateHash
+	HasTemplate  bool
+	// FromLSN/ToLSN bound the scan (inclusive; 0 = unbounded).
+	FromLSN, ToLSN uint64
+	// Limit caps the rows returned (0 = server default).
+	Limit int
+}
+
+// AuditRecords lists journal records matching the filters
+// (GET /v2/audit/records). WAL-backed nodes only.
+func (c *Client) AuditRecords(ctx context.Context, opts AuditRecordsOptions) (api.AuditRecordsResponse, error) {
+	q := url.Values{}
+	if len(opts.Types) > 0 {
+		q.Set("type", strings.Join(opts.Types, ","))
+	}
+	if opts.EventID != "" {
+		q.Set("event", opts.EventID)
+	}
+	if opts.HasTemplate {
+		q.Set("template", opts.TemplateHash.String())
+	}
+	if opts.FromLSN > 0 {
+		q.Set("fromLsn", strconv.FormatUint(opts.FromLSN, 10))
+	}
+	if opts.ToLSN > 0 {
+		q.Set("toLsn", strconv.FormatUint(opts.ToLSN, 10))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	path := api.RouteV2AuditRecords
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out api.AuditRecordsResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &out)
+	return out, err
+}
+
+// AuditDecision fetches one event's decision trace
+// (GET /v2/audit/decision?event=...).
+func (c *Client) AuditDecision(ctx context.Context, eventID string) (api.AuditDecisionResponse, error) {
+	var out api.AuditDecisionResponse
+	path := api.RouteV2AuditDecision + "?event=" + url.QueryEscape(eventID)
+	err := c.do(ctx, http.MethodGet, path, "", nil, &out)
+	return out, err
+}
+
+// AuditTemplate fetches a template's steering history
+// (GET /v2/audit/template?template=...).
+func (c *Client) AuditTemplate(ctx context.Context, hash api.TemplateHash) (api.AuditTemplateResponse, error) {
+	var out api.AuditTemplateResponse
+	path := api.RouteV2AuditTemplate + "?template=" + hash.String()
+	err := c.do(ctx, http.MethodGet, path, "", nil, &out)
+	return out, err
+}
+
+// AuditAsOf asks the server to reconstruct its model as of an LSN and
+// summarize the result (GET /v2/audit/asof?lsn=...). lsn 0 means "the
+// journal's current end".
+func (c *Client) AuditAsOf(ctx context.Context, lsn uint64) (api.AuditAsOfResponse, error) {
+	var out api.AuditAsOfResponse
+	path := api.RouteV2AuditAsOf
+	if lsn > 0 {
+		path += "?lsn=" + strconv.FormatUint(lsn, 10)
+	}
+	err := c.do(ctx, http.MethodGet, path, "", nil, &out)
+	return out, err
 }
 
 // SaveSnapshot asks the server to persist its model to the configured

@@ -1,0 +1,536 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qoadvisor/internal/wal"
+	"qoadvisor/internal/walrec"
+)
+
+// Engine is an embedded, read-only query engine over one journal
+// directory. It owns an in-memory sidecar cache (backed by the .idx
+// files beside the segments) and hands out streaming iterators; it
+// never opens the journal for writing, so it can run beside a live
+// WAL or over a copied directory. Safe for concurrent use.
+type Engine struct {
+	dir         string
+	sparseEvery int
+
+	mu       sync.Mutex
+	sidecars map[uint64]*sidecar // by segment index
+
+	// Cumulative counters across all queries (atomics; exported via
+	// Totals for the metrics surface).
+	totSegScanned   atomic.Int64
+	totSegSkipped   atomic.Int64
+	totRecScanned   atomic.Int64
+	totRecMatched   atomic.Int64
+	totSidecarBuilt atomic.Int64
+	totSidecarLoad  atomic.Int64
+	totSidecarRebu  atomic.Int64
+	totQueries      atomic.Int64
+}
+
+// Open builds an engine over a journal directory. The directory must
+// exist; holding zero segments is fine (queries return nothing).
+func Open(dir string) (*Engine, error) {
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("audit: %s is not a directory", dir)
+	}
+	return &Engine{dir: dir, sparseEvery: DefaultSparseEvery, sidecars: make(map[uint64]*sidecar)}, nil
+}
+
+// Dir returns the journal directory the engine reads.
+func (e *Engine) Dir() string { return e.dir }
+
+// Totals snapshots the engine's cumulative counters.
+type Totals struct {
+	Queries         int64
+	SegmentsScanned int64
+	SegmentsSkipped int64
+	RecordsScanned  int64
+	RecordsMatched  int64
+	SidecarsBuilt   int64
+	SidecarsLoaded  int64
+	SidecarsRebuilt int64
+}
+
+// Totals reports the engine's lifetime counters.
+func (e *Engine) Totals() Totals {
+	return Totals{
+		Queries:         e.totQueries.Load(),
+		SegmentsScanned: e.totSegScanned.Load(),
+		SegmentsSkipped: e.totSegSkipped.Load(),
+		RecordsScanned:  e.totRecScanned.Load(),
+		RecordsMatched:  e.totRecMatched.Load(),
+		SidecarsBuilt:   e.totSidecarBuilt.Load(),
+		SidecarsLoaded:  e.totSidecarLoad.Load(),
+		SidecarsRebuilt: e.totSidecarRebu.Load(),
+	}
+}
+
+// Query selects journal records. All clauses are conjunctive; zero
+// values mean "unbounded". Time bounds are segment-granular: the
+// journal stores no per-record timestamps, so a segment's modification
+// time bounds every record in it (records in segment i were written no
+// later than mtime(i) and no earlier than mtime(i-1)) — conservative,
+// never lossy.
+type Query struct {
+	// Tags restricts to these record types (empty = all).
+	Tags []byte
+	// Template restricts to records that reference this template hash
+	// (hint rollovers and quarantine tables carry template hashes).
+	Template    uint64
+	HasTemplate bool
+	// EventID restricts to records that reference this event (rank
+	// records and reward batches).
+	EventID string
+	// FromLSN/ToLSN bound the LSN window inclusively (0 = unbounded).
+	FromLSN, ToLSN uint64
+	// Since/Until bound wall-clock time (zero = unbounded).
+	Since, Until time.Time
+	// Limit stops the iterator after this many matches (0 = unlimited).
+	Limit int
+}
+
+// key returns the membership key the query filters on, if any.
+func (q Query) key() (uint64, bool) {
+	if q.HasTemplate {
+		return q.Template, true
+	}
+	if q.EventID != "" {
+		return walrec.HashEventID(q.EventID), true
+	}
+	return 0, false
+}
+
+// ScanStats counts what one query's iterator actually touched — the
+// observable proof that planning skipped work (segment skips are
+// attributed to the clause that pruned them).
+type ScanStats struct {
+	SegmentsTotal   int64
+	SegmentsScanned int64
+	SegmentsSkipped int64
+	SkippedByLSN    int64
+	SkippedByTime   int64
+	SkippedByTag    int64
+	SkippedByKey    int64
+	RecordsScanned  int64 // frames read from disk
+	RecordsDecoded  int64 // payloads fully decoded
+	RecordsMatched  int64 // results delivered
+	SidecarsBuilt   int64
+	SidecarsLoaded  int64
+	SidecarsRebuilt int64
+	// Truncated reports a torn tail on the final segment (crash
+	// artifact): the scan ended cleanly just before it.
+	Truncated bool
+}
+
+// Result is one matching record. Raw is the record's wire payload,
+// valid only until the next call to Next — copy it to keep it.
+type Result struct {
+	LSN uint64
+	Rec walrec.Record
+	Raw []byte
+}
+
+// Iter streams query results in LSN order. Not safe for concurrent
+// use. Close releases the open segment, if any.
+type Iter struct {
+	e     *Engine
+	q     Query
+	key   uint64
+	hasK  bool
+	segs  []wal.SegmentInfo
+	cur   int // next segment to open
+	sr    *wal.SegmentReader
+	last  bool // sr is the final segment
+	stats ScanStats
+	done  bool
+	nkeys []uint64 // scratch for AppendKeys
+}
+
+// Run opens a streaming iterator for q. The segment list is fixed at
+// call time; records appended afterwards are not observed.
+func (e *Engine) Run(q Query) (*Iter, error) {
+	segs, err := wal.Segments(e.dir)
+	if err != nil {
+		return nil, err
+	}
+	e.totQueries.Add(1)
+	it := &Iter{e: e, q: q, segs: segs}
+	it.key, it.hasK = q.key()
+	it.stats.SegmentsTotal = int64(len(segs))
+	return it, nil
+}
+
+// Next returns the next match. ok=false means the stream is exhausted
+// (check err: nil for a clean end — including a skipped torn tail on
+// the final segment, reported in Stats().Truncated — non-nil for
+// mid-log damage or I/O failure).
+func (it *Iter) Next() (Result, bool, error) {
+	if it.done {
+		return Result{}, false, nil
+	}
+	for {
+		if it.q.Limit > 0 && it.stats.RecordsMatched >= int64(it.q.Limit) {
+			it.finish()
+			return Result{}, false, nil
+		}
+		if it.sr == nil {
+			if !it.advance() {
+				it.finish()
+				return Result{}, false, nil
+			}
+		}
+		lsn, payload, err := it.sr.Next()
+		if err != nil {
+			it.sr.Close()
+			it.sr = nil
+			if errors.Is(err, io.EOF) {
+				continue // next segment
+			}
+			if wal.IsCorruptRecord(err) && it.last {
+				// Torn tail on the final segment: the crash artifact the
+				// journal's own recovery also skips.
+				it.stats.Truncated = true
+				it.finish()
+				return Result{}, false, nil
+			}
+			it.finish()
+			return Result{}, false, fmt.Errorf("audit: segment damaged mid-log: %w", err)
+		}
+		it.stats.RecordsScanned++
+		if it.q.ToLSN != 0 && lsn > it.q.ToLSN {
+			// Records are LSN-dense and ascending: nothing later matches.
+			it.sr.Close()
+			it.sr = nil
+			it.finish()
+			return Result{}, false, nil
+		}
+		if lsn < it.q.FromLSN {
+			continue
+		}
+		if len(it.q.Tags) > 0 && len(payload) > 0 && !tagIn(it.q.Tags, payload[0]) {
+			continue
+		}
+		if it.hasK {
+			it.nkeys = it.nkeys[:0]
+			keys, err := walrec.AppendKeys(it.nkeys, payload)
+			if err != nil {
+				continue // unknown/malformed records carry no keys
+			}
+			it.nkeys = keys
+			if !containsKey(keys, it.key) {
+				continue
+			}
+		}
+		rec, err := walrec.Decode(payload)
+		if err != nil {
+			if len(it.q.Tags) == 0 && !it.hasK {
+				// Unfiltered listing: surface unknown tags as opaque rows
+				// rather than hiding them.
+				it.stats.RecordsDecoded++
+				it.stats.RecordsMatched++
+				it.e.totRecMatched.Add(1)
+				return Result{LSN: lsn, Rec: walrec.Record{Tag: payload[0]}, Raw: payload}, true, nil
+			}
+			continue
+		}
+		it.stats.RecordsDecoded++
+		// Hashed event-ID keys can collide: verify exactly on the
+		// decoded record.
+		if it.q.EventID != "" && !recordMentionsEvent(rec, it.q.EventID) {
+			continue
+		}
+		it.stats.RecordsMatched++
+		it.e.totRecMatched.Add(1)
+		return Result{LSN: lsn, Rec: rec, Raw: payload}, true, nil
+	}
+}
+
+// Stats reports what the iterator touched so far (final after Next
+// returns ok=false).
+func (it *Iter) Stats() ScanStats { return it.stats }
+
+// Close releases the iterator's open segment.
+func (it *Iter) Close() {
+	if it.sr != nil {
+		it.sr.Close()
+		it.sr = nil
+	}
+	it.done = true
+}
+
+func (it *Iter) finish() {
+	it.done = true
+	it.e.totRecScanned.Add(it.stats.RecordsScanned)
+	it.e.totSegScanned.Add(it.stats.SegmentsScanned)
+	it.e.totSegSkipped.Add(it.stats.SegmentsSkipped)
+}
+
+// advance plans and opens the next segment worth scanning; false means
+// no segments remain. This is the greedy clause-at-a-time step: for
+// each candidate segment the prune predicates run cheapest-first (LSN
+// bounds from the directory scan alone, then wall-clock bounds, then
+// the sidecar's tag counts and key membership ordered by their
+// estimated selectivity), and the first predicate that proves the
+// segment empty skips it without touching its bytes.
+func (it *Iter) advance() bool {
+	for it.cur < len(it.segs) {
+		i := it.cur
+		it.cur++
+		seg := it.segs[i]
+		last := i == len(it.segs)-1
+
+		// Upper LSN bound for the segment: the next segment's first LSN
+		// pins it exactly and for free; otherwise the sidecar's record
+		// count does (when one is consulted).
+		var segLast uint64 // 0 = unknown
+		if !last {
+			if next := it.segs[i+1].FirstLSN; next > seg.FirstLSN {
+				segLast = next - 1
+			}
+		}
+
+		// Clause 1 — LSN window (no I/O at all).
+		if it.q.ToLSN != 0 && seg.FirstLSN > it.q.ToLSN {
+			// Everything from here on starts above the window.
+			n := int64(len(it.segs) - i)
+			it.stats.SegmentsSkipped += n
+			it.stats.SkippedByLSN += n
+			it.cur = len(it.segs)
+			return false
+		}
+		if it.q.FromLSN != 0 && segLast != 0 && segLast < it.q.FromLSN {
+			it.stats.SegmentsSkipped++
+			it.stats.SkippedByLSN++
+			continue
+		}
+
+		// Clause 2 — wall-clock window (one stat; segment-granular).
+		if !it.q.Since.IsZero() || !it.q.Until.IsZero() {
+			st, err := os.Stat(seg.Path)
+			if err == nil {
+				// All records in the segment were written by mtime; records
+				// after the previous segment's mtime.
+				if !it.q.Since.IsZero() && st.ModTime().Before(it.q.Since) {
+					it.stats.SegmentsSkipped++
+					it.stats.SkippedByTime++
+					continue
+				}
+				if !it.q.Until.IsZero() && i > 0 {
+					if pst, perr := os.Stat(it.segs[i-1].Path); perr == nil && pst.ModTime().After(it.q.Until) {
+						it.stats.SegmentsSkipped++
+						it.stats.SkippedByTime++
+						continue
+					}
+				}
+			}
+		}
+
+		// Clauses 3/4 — sidecar-backed membership, ordered greedily by
+		// estimated selectivity (fewest estimated matches first, so the
+		// likeliest pruner runs first).
+		needTag := len(it.q.Tags) > 0
+		needKey := it.hasK
+		var sc *sidecar
+		if needTag || needKey || (it.q.FromLSN > seg.FirstLSN) {
+			sc = it.e.sidecarFor(seg, last, &it.stats)
+		}
+		if sc != nil && (needTag || needKey) {
+			type clause struct {
+				est   uint64
+				prune func() bool // true = segment provably empty
+				blame *int64
+			}
+			var clauses []clause
+			if needTag {
+				var est uint64
+				for _, t := range it.q.Tags {
+					est += sc.tagCounts[t]
+				}
+				clauses = append(clauses, clause{est: est, blame: &it.stats.SkippedByTag, prune: func() bool {
+					return est == 0
+				}})
+			}
+			if needKey {
+				est := sc.sketch.estimate(it.key)
+				key := it.key
+				clauses = append(clauses, clause{est: est, blame: &it.stats.SkippedByKey, prune: func() bool {
+					return !sc.filter.mayContain(key)
+				}})
+			}
+			sort.SliceStable(clauses, func(a, b int) bool { return clauses[a].est < clauses[b].est })
+			pruned := false
+			for _, c := range clauses {
+				if c.prune() {
+					it.stats.SegmentsSkipped++
+					*c.blame++
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+		}
+		if sc != nil && it.q.FromLSN != 0 && segLast == 0 && sc.records > 0 && sc.lastLSN() < it.q.FromLSN && sc.segBytes == segSize(seg.Path) {
+			// Final segment, sidecar fresh: its record count bounds the LSNs.
+			it.stats.SegmentsSkipped++
+			it.stats.SkippedByLSN++
+			continue
+		}
+
+		// Scan it — seeking through the sparse index when the window
+		// starts past the segment's first record.
+		var sr *wal.SegmentReader
+		var err error
+		if sc != nil && it.q.FromLSN > seg.FirstLSN {
+			off, lsn := sc.seek(it.q.FromLSN)
+			if off > 0 {
+				sr, err = wal.OpenSegmentAt(seg, off, lsn)
+			}
+		}
+		if sr == nil && err == nil {
+			sr, err = wal.OpenSegment(seg)
+		}
+		if err != nil {
+			// The segment vanished (compacted mid-query) or is unreadable:
+			// surface it — silently skipping would fake a complete answer.
+			it.stats.SegmentsSkipped++
+			continue
+		}
+		it.stats.SegmentsScanned++
+		it.sr = sr
+		it.last = last
+		return true
+	}
+	return false
+}
+
+// sidecarFor returns the segment's sidecar, from cache, disk, or a
+// fresh build — or nil when the segment cannot be indexed right now
+// (scans proceed unindexed). Freshness is re-checked against the file
+// on every cache hit, so an active segment that grew is re-indexed
+// rather than trusted.
+func (e *Engine) sidecarFor(seg wal.SegmentInfo, active bool, stats *ScanStats) *sidecar {
+	size := segSize(seg.Path)
+	if size < 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if sc, ok := e.sidecars[seg.Index]; ok {
+		if sc.segBytes == size && sc.firstLSN == seg.FirstLSN {
+			return sc
+		}
+		delete(e.sidecars, seg.Index) // stale (segment grew or was replaced)
+	}
+	hadFile := false
+	if sc, err := loadSidecar(seg); err == nil {
+		e.sidecars[seg.Index] = sc
+		stats.SidecarsLoaded++
+		e.totSidecarLoad.Add(1)
+		return sc
+	} else if !errors.Is(err, os.ErrNotExist) {
+		hadFile = true // present but stale/corrupt: rebuild, never trust
+	}
+	sc, _, err := buildSidecar(seg, e.sparseEvery)
+	if err != nil {
+		return nil
+	}
+	e.sidecars[seg.Index] = sc
+	stats.SidecarsBuilt++
+	e.totSidecarBuilt.Add(1)
+	if hadFile {
+		stats.SidecarsRebuilt++
+		e.totSidecarRebu.Add(1)
+	}
+	// Persist for the next process; failure (read-only dir) is fine —
+	// the in-memory copy serves this one.
+	if !active {
+		writeSidecar(seg, sc)
+	}
+	return sc
+}
+
+// BuildSidecars eagerly indexes every sealed segment (all but the
+// last) — the checkpoint-time hook, so steady-state queries never pay
+// the lazy first-scan build. Returns how many sidecars were built.
+func (e *Engine) BuildSidecars() (int, error) {
+	segs, err := wal.Segments(e.dir)
+	if err != nil {
+		return 0, err
+	}
+	var stats ScanStats
+	built := 0
+	for i, seg := range segs {
+		if i == len(segs)-1 {
+			break // active segment: still growing, index would go stale
+		}
+		before := stats.SidecarsBuilt
+		if e.sidecarFor(seg, false, &stats) == nil {
+			continue
+		}
+		if stats.SidecarsBuilt > before {
+			built++
+		}
+	}
+	return built, nil
+}
+
+func segSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return -1
+	}
+	return st.Size()
+}
+
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+func tagIn(tags []byte, t byte) bool {
+	for _, x := range tags {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func containsKey(keys []uint64, k uint64) bool {
+	for _, x := range keys {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+// recordMentionsEvent verifies an event-ID match exactly on the
+// decoded record (hashed membership keys can collide).
+func recordMentionsEvent(rec walrec.Record, eventID string) bool {
+	switch rec.Tag {
+	case walrec.TagRank:
+		return rec.Rank != nil && rec.Rank.EventID == eventID
+	case walrec.TagRewardBatch:
+		for _, e := range rec.RewardBatch {
+			if e.EventID == eventID {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,331 @@
+package audit
+
+import (
+	"fmt"
+
+	"qoadvisor/internal/walrec"
+)
+
+// The canned queries answer the three explainability questions the
+// roadmap names: the decision trace for an event ("why did job X get
+// flip Y" — what was ranked, what rewards came back, when it
+// trained), the as-of belief at an LSN (AsOf, in asof.go), and the
+// flip/quarantine lineage of a template's steering history.
+
+// TraceReward is one reward observed for the traced event.
+type TraceReward struct {
+	LSN   uint64
+	Value float64
+}
+
+// LineageReward is one reward that trained weights the traced
+// decision read: its event shares at least one action feature with
+// the traced event, and it was applied before the trace's rank.
+type LineageReward struct {
+	LSN     uint64
+	EventID string
+	Value   float64
+}
+
+// DecisionTrace reconstructs one decision's history from the journal.
+type DecisionTrace struct {
+	EventID string
+	// RankLSN/Rank are the logged decision (nil Rank: the event is not
+	// in the journal — never made, or compacted away).
+	RankLSN uint64
+	Rank    *walrec.Rank
+	// Rewards are the event's observed rewards in LSN order.
+	Rewards []TraceReward
+	// TrainedAtLSN is the first training boundary at or after the last
+	// reward — the moment the rewards became weight updates (0 when no
+	// train mark follows; periodic threshold training has no marker).
+	TrainedAtLSN uint64
+	// Lineage are rewards applied BEFORE this decision whose events
+	// share action features with it — the observations that trained
+	// the weights this decision was scored with. Bounded by the
+	// lineage cap, newest first.
+	Lineage []LineageReward
+	// LineageTruncated reports that the cap cut the lineage short.
+	LineageTruncated bool
+	// Scan aggregates the iterator counters across the trace's passes.
+	Scan ScanStats
+}
+
+// maxLineage bounds the lineage pass's memory and output.
+const maxLineage = 64
+
+// Trace answers "why did this event get its decision": the rank
+// record, its rewards, the training boundary that absorbed them, and
+// the reward lineage of the weights it was scored with.
+func (e *Engine) Trace(eventID string) (*DecisionTrace, error) {
+	tr := &DecisionTrace{EventID: eventID}
+
+	// Pass 1 — the event's own records (bloom-pruned by event key).
+	it, err := e.Run(Query{
+		Tags:    []byte{walrec.TagRank, walrec.TagRewardBatch},
+		EventID: eventID,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch r.Rec.Tag {
+		case walrec.TagRank:
+			if tr.Rank == nil { // event IDs are unique; keep the first
+				rank := *r.Rec.Rank
+				tr.Rank = &rank
+				tr.RankLSN = r.LSN
+			}
+		case walrec.TagRewardBatch:
+			for _, entry := range r.Rec.RewardBatch {
+				if entry.EventID == eventID {
+					tr.Rewards = append(tr.Rewards, TraceReward{LSN: r.LSN, Value: entry.Value})
+				}
+			}
+		}
+	}
+	addStats(&tr.Scan, it.Stats())
+	it.Close()
+	if tr.Rank == nil {
+		return tr, nil // unknown event: empty trace, not an error
+	}
+
+	// Pass 2 — the training boundary that absorbed the last reward.
+	if len(tr.Rewards) > 0 {
+		last := tr.Rewards[len(tr.Rewards)-1].LSN
+		it, err = e.Run(Query{Tags: []byte{walrec.TagTrainMark}, FromLSN: last + 1, Limit: 1})
+		if err != nil {
+			return nil, err
+		}
+		r, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if ok {
+			tr.TrainedAtLSN = r.LSN
+		}
+		addStats(&tr.Scan, it.Stats())
+		it.Close()
+	}
+
+	// Pass 3 — reward lineage: rank records BEFORE this decision that
+	// share an action feature, then those events' rewards (still before
+	// this decision — later ones trained weights this decision never
+	// saw). Memory stays bounded by keeping only the newest candidates.
+	if tr.RankLSN > 1 {
+		actSet := make(map[uint64]struct{}, len(tr.Rank.ActIDs))
+		for _, id := range tr.Rank.ActIDs {
+			actSet[id] = struct{}{}
+		}
+		related := make(map[string]struct{})
+		it, err = e.Run(Query{Tags: []byte{walrec.TagRank}, ToLSN: tr.RankLSN - 1})
+		if err != nil {
+			return nil, err
+		}
+		for {
+			r, ok, err := it.Next()
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			for _, id := range r.Rec.Rank.ActIDs {
+				if _, hit := actSet[id]; hit {
+					related[r.Rec.Rank.EventID] = struct{}{}
+					break
+				}
+			}
+		}
+		addStats(&tr.Scan, it.Stats())
+		it.Close()
+
+		if len(related) > 0 {
+			it, err = e.Run(Query{Tags: []byte{walrec.TagRewardBatch}, ToLSN: tr.RankLSN - 1})
+			if err != nil {
+				return nil, err
+			}
+			for {
+				r, ok, err := it.Next()
+				if err != nil {
+					it.Close()
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				for _, entry := range r.Rec.RewardBatch {
+					if _, hit := related[entry.EventID]; hit {
+						tr.Lineage = append(tr.Lineage, LineageReward{LSN: r.LSN, EventID: entry.EventID, Value: entry.Value})
+					}
+				}
+			}
+			addStats(&tr.Scan, it.Stats())
+			it.Close()
+			// Newest first, capped: the most recent observations dominate
+			// the weights anyway.
+			for i, j := 0, len(tr.Lineage)-1; i < j; i, j = i+1, j-1 {
+				tr.Lineage[i], tr.Lineage[j] = tr.Lineage[j], tr.Lineage[i]
+			}
+			if len(tr.Lineage) > maxLineage {
+				tr.Lineage = tr.Lineage[:maxLineage]
+				tr.LineageTruncated = true
+			}
+		}
+	}
+	return tr, nil
+}
+
+// TemplateEvent is one change in a template's steering history.
+type TemplateEvent struct {
+	LSN uint64
+	// Kind is "hint", "hint_removed", "quarantine", or
+	// "quarantine_cleared".
+	Kind string
+	// Flip/Day/Gen describe a hint change (Kind "hint").
+	Flip string
+	Day  int
+	Gen  uint64
+	// State is the raw drift state byte for quarantine transitions.
+	State byte
+	// Snapshot marks a checkpoint re-journal rather than a transition.
+	Snapshot bool
+}
+
+// TemplateHistory is a template's steering lineage: every hint change
+// and quarantine transition the journal records for it.
+type TemplateHistory struct {
+	TemplateHash uint64
+	Events       []TemplateEvent
+	// Rollovers/QuarantineRecords count the records inspected (each
+	// carries a whole table; only changes produce Events).
+	Rollovers         int64
+	QuarantineRecords int64
+	Scan              ScanStats
+}
+
+// Template answers "which flips steered this template, and when":
+// the hint/quarantine change history extracted from the wholesale
+// table records. Consecutive records that repeat the same state
+// (checkpoint re-journals) are collapsed to the first occurrence.
+func (e *Engine) Template(hash uint64) (*TemplateHistory, error) {
+	th := &TemplateHistory{TemplateHash: hash}
+	// Tag filter only — no template key. A removal is proven by a
+	// rollover that does NOT carry the hash, and the key filter (bloom
+	// included) would prune exactly those records. Tag-based segment
+	// skipping still prunes segments with no table records at all.
+	it, err := e.Run(Query{
+		Tags: []byte{walrec.TagHintRollover, walrec.TagQuarantine},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	var lastFlip string
+	var lastDay int
+	haveHint := false
+	var lastState byte
+	haveQuar := false
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch r.Rec.Tag {
+		case walrec.TagHintRollover:
+			th.Rollovers++
+			found := false
+			for _, h := range r.Rec.HintRollover.Hints {
+				if h.TemplateHash != hash {
+					continue
+				}
+				found = true
+				if !haveHint || h.Flip != lastFlip || h.Day != lastDay {
+					th.Events = append(th.Events, TemplateEvent{
+						LSN: r.LSN, Kind: "hint", Flip: h.Flip, Day: h.Day, Gen: r.Rec.HintRollover.Gen,
+					})
+					lastFlip, lastDay, haveHint = h.Flip, h.Day, true
+				}
+				break
+			}
+			if !found && haveHint {
+				th.Events = append(th.Events, TemplateEvent{LSN: r.LSN, Kind: "hint_removed", Gen: r.Rec.HintRollover.Gen})
+				haveHint = false
+			}
+		case walrec.TagQuarantine:
+			th.QuarantineRecords++
+			st, present := r.Rec.Quarantine.States[hash]
+			switch {
+			case present && (!haveQuar || st != lastState):
+				th.Events = append(th.Events, TemplateEvent{
+					LSN: r.LSN, Kind: "quarantine", State: st, Snapshot: r.Rec.Quarantine.Snapshot,
+				})
+				lastState, haveQuar = st, true
+			case !present && haveQuar:
+				th.Events = append(th.Events, TemplateEvent{LSN: r.LSN, Kind: "quarantine_cleared", Snapshot: r.Rec.Quarantine.Snapshot})
+				haveQuar = false
+			}
+		}
+	}
+	th.Scan = it.Stats()
+	return th, nil
+}
+
+// addStats accumulates one pass's counters into a multi-pass total.
+func addStats(dst *ScanStats, s ScanStats) {
+	dst.SegmentsTotal += s.SegmentsTotal
+	dst.SegmentsScanned += s.SegmentsScanned
+	dst.SegmentsSkipped += s.SegmentsSkipped
+	dst.SkippedByLSN += s.SkippedByLSN
+	dst.SkippedByTime += s.SkippedByTime
+	dst.SkippedByTag += s.SkippedByTag
+	dst.SkippedByKey += s.SkippedByKey
+	dst.RecordsScanned += s.RecordsScanned
+	dst.RecordsDecoded += s.RecordsDecoded
+	dst.RecordsMatched += s.RecordsMatched
+	dst.SidecarsBuilt += s.SidecarsBuilt
+	dst.SidecarsLoaded += s.SidecarsLoaded
+	dst.SidecarsRebuilt += s.SidecarsRebuilt
+	dst.Truncated = dst.Truncated || s.Truncated
+}
+
+// Summary renders a one-line human description of a decoded record —
+// the CLI listing and the API's summary column share it.
+func Summary(r Result) string {
+	switch r.Rec.Tag {
+	case walrec.TagRank:
+		if r.Rec.Rank != nil {
+			return fmt.Sprintf("rank %s prob=%.4f ctx=%d act=%d", r.Rec.Rank.EventID, r.Rec.Rank.Prob, len(r.Rec.Rank.CtxIDs), len(r.Rec.Rank.ActIDs))
+		}
+	case walrec.TagRewardBatch:
+		return fmt.Sprintf("reward_batch n=%d", len(r.Rec.RewardBatch))
+	case walrec.TagTrainMark:
+		return "train_mark"
+	case walrec.TagHintRollover:
+		if r.Rec.HintRollover != nil {
+			return fmt.Sprintf("hint_rollover gen=%d hints=%d", r.Rec.HintRollover.Gen, len(r.Rec.HintRollover.Hints))
+		}
+	case walrec.TagQuarantine:
+		if r.Rec.Quarantine != nil {
+			return fmt.Sprintf("quarantine templates=%d snapshot=%v manual=%v", len(r.Rec.Quarantine.States), r.Rec.Quarantine.Snapshot, r.Rec.Quarantine.Manual)
+		}
+	}
+	if name := walrec.Name(r.Rec.Tag); name != "" {
+		return name + " (undecoded)"
+	}
+	return fmt.Sprintf("unknown tag %d", r.Rec.Tag)
+}

@@ -1,9 +1,9 @@
 package bandit
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
+
+	"qoadvisor/internal/walrec"
 )
 
 // Journal is the durable log the service writes its replayable state
@@ -16,8 +16,10 @@ type Journal interface {
 	LastLSN() uint64
 }
 
-// Journal record types. The journal carries exactly the transitions
-// replay needs to rebuild the model bit-identically:
+// Journal record types, aliased from the shared registry
+// (qoadvisor/internal/walrec — the one authoritative tag assignment).
+// The journal carries exactly the transitions replay needs to rebuild
+// the model bit-identically:
 //
 //   - RecRank: one logged rank decision in resolved form (event ID,
 //     propensity, context feature IDs, chosen action's feature IDs) —
@@ -31,172 +33,45 @@ type Journal interface {
 //     replay reproduces it by counting applied rewards exactly as the
 //     single-worker ingestor does.
 //
-// Tag 4 (hint-table rollover) is reserved by qoadvisor/internal/serve,
-// which owns the hint types; its records are dispatched by the serve
-// layer's applier before the Replayer sees them.
+// Tags 4 (hint-table rollover) and 5 (quarantine) are owned by
+// qoadvisor/internal/serve, which holds the hint and drift types;
+// their records are dispatched by the serve layer's applier before the
+// Replayer sees them.
 const (
-	RecRank        byte = 1
-	RecRewardBatch byte = 2
-	RecTrainMark   byte = 3
+	RecRank        = walrec.TagRank
+	RecRewardBatch = walrec.TagRewardBatch
+	RecTrainMark   = walrec.TagTrainMark
 )
 
 // RewardEntry is one (event, reward) observation inside a journaled
 // reward batch.
-type RewardEntry struct {
-	EventID string
-	Value   float64
-}
+type RewardEntry = walrec.RewardEntry
 
 // RankRecord is the decoded form of a RecRank payload.
-type RankRecord struct {
-	EventID string
-	Prob    float64
-	CtxIDs  []uint64
-	ActIDs  []uint64
-}
-
-// appendUint64 and friends: records are little-endian, fixed 8-byte
-// words for hashes/floats (feature IDs span the full 64-bit space, so
-// varints would inflate them) and uvarints for lengths and counts.
-func appendUint64(b []byte, v uint64) []byte {
-	return binary.LittleEndian.AppendUint64(b, v)
-}
-
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
-func takeUvarint(b []byte) (uint64, []byte, error) {
-	v, n := binary.Uvarint(b)
-	if n <= 0 {
-		return 0, nil, fmt.Errorf("bandit: journal record truncated at varint")
-	}
-	return v, b[n:], nil
-}
-
-func takeString(b []byte) (string, []byte, error) {
-	n, b, err := takeUvarint(b)
-	if err != nil {
-		return "", nil, err
-	}
-	if uint64(len(b)) < n {
-		return "", nil, fmt.Errorf("bandit: journal record truncated at string")
-	}
-	return string(b[:n]), b[n:], nil
-}
-
-func takeUint64(b []byte) (uint64, []byte, error) {
-	if len(b) < 8 {
-		return 0, nil, fmt.Errorf("bandit: journal record truncated at word")
-	}
-	return binary.LittleEndian.Uint64(b), b[8:], nil
-}
-
-func takeIDs(b []byte) ([]uint64, []byte, error) {
-	n, b, err := takeUvarint(b)
-	if err != nil {
-		return nil, nil, err
-	}
-	if uint64(len(b)) < n*8 {
-		return nil, nil, fmt.Errorf("bandit: journal record truncated at ID list")
-	}
-	if n == 0 {
-		return nil, b, nil
-	}
-	ids := make([]uint64, n)
-	for i := range ids {
-		ids[i] = binary.LittleEndian.Uint64(b[i*8:])
-	}
-	return ids, b[n*8:], nil
-}
+type RankRecord = walrec.Rank
 
 // EncodeRankRecord frames one rank decision for the journal.
 func EncodeRankRecord(eventID string, prob float64, ctxIDs, actIDs []uint64) []byte {
-	b := make([]byte, 0, 1+len(eventID)+4+8+(len(ctxIDs)+len(actIDs))*8+8)
-	b = append(b, RecRank)
-	b = appendString(b, eventID)
-	b = appendUint64(b, math.Float64bits(prob))
-	b = binary.AppendUvarint(b, uint64(len(ctxIDs)))
-	for _, id := range ctxIDs {
-		b = appendUint64(b, id)
-	}
-	b = binary.AppendUvarint(b, uint64(len(actIDs)))
-	for _, id := range actIDs {
-		b = appendUint64(b, id)
-	}
-	return b
+	return walrec.EncodeRank(eventID, prob, ctxIDs, actIDs)
 }
 
 // DecodeRankRecord parses a RecRank payload (including the type tag).
 func DecodeRankRecord(p []byte) (RankRecord, error) {
-	var rec RankRecord
-	if len(p) == 0 || p[0] != RecRank {
-		return rec, fmt.Errorf("bandit: not a rank record")
-	}
-	b := p[1:]
-	var err error
-	if rec.EventID, b, err = takeString(b); err != nil {
-		return rec, err
-	}
-	var bits uint64
-	if bits, b, err = takeUint64(b); err != nil {
-		return rec, err
-	}
-	rec.Prob = math.Float64frombits(bits)
-	if rec.CtxIDs, b, err = takeIDs(b); err != nil {
-		return rec, err
-	}
-	if rec.ActIDs, _, err = takeIDs(b); err != nil {
-		return rec, err
-	}
-	return rec, nil
+	return walrec.DecodeRank(p)
 }
 
 // EncodeRewardBatch frames the accepted slice of one reward batch.
 func EncodeRewardBatch(entries []RewardEntry) []byte {
-	size := 2
-	for _, e := range entries {
-		size += len(e.EventID) + 4 + 8
-	}
-	b := make([]byte, 0, size)
-	b = append(b, RecRewardBatch)
-	b = binary.AppendUvarint(b, uint64(len(entries)))
-	for _, e := range entries {
-		b = appendString(b, e.EventID)
-		b = appendUint64(b, math.Float64bits(e.Value))
-	}
-	return b
+	return walrec.EncodeRewardBatch(entries)
 }
 
 // DecodeRewardBatch parses a RecRewardBatch payload.
 func DecodeRewardBatch(p []byte) ([]RewardEntry, error) {
-	if len(p) == 0 || p[0] != RecRewardBatch {
-		return nil, fmt.Errorf("bandit: not a reward-batch record")
-	}
-	b := p[1:]
-	n, b, err := takeUvarint(b)
-	if err != nil {
-		return nil, err
-	}
-	entries := make([]RewardEntry, 0, n)
-	for i := uint64(0); i < n; i++ {
-		var e RewardEntry
-		if e.EventID, b, err = takeString(b); err != nil {
-			return nil, err
-		}
-		var bits uint64
-		if bits, b, err = takeUint64(b); err != nil {
-			return nil, err
-		}
-		e.Value = math.Float64frombits(bits)
-		entries = append(entries, e)
-	}
-	return entries, nil
+	return walrec.DecodeRewardBatch(p)
 }
 
 // EncodeTrainMark frames an out-of-band training flush.
-func EncodeTrainMark() []byte { return []byte{RecTrainMark} }
+func EncodeTrainMark() []byte { return walrec.EncodeTrainMark() }
 
 // ReplayStats counts what a replay pass consumed and rebuilt.
 type ReplayStats struct {
@@ -291,13 +166,17 @@ func (r *Replayer) Apply(lsn uint64, payload []byte) error {
 	return nil
 }
 
-// UnknownRecordError reports a journal record whose tag no dispatcher
-// recognizes — the signature of an old binary replaying a journal
-// written by a newer one (a record type it predates). It is typed,
-// with the offending LSN and tag, so operators can diagnose the
-// version skew instead of guessing from a formatted string; callers
-// detect it with errors.As and must treat it as fatal for the replay
-// (skipping an unknown record would silently diverge the state).
+// UnknownRecordError reports a journal record whose tag this
+// dispatcher does not handle. When the tag is registered in
+// qoadvisor/internal/walrec it names the record type — the signature
+// of a record reaching the wrong dispatcher (serve-owned tags must be
+// consumed before the Replayer sees them). An unregistered tag is the
+// signature of an old binary replaying a journal written by a newer
+// one. It is typed, with the offending LSN and tag, so operators can
+// diagnose the skew instead of guessing from a formatted string;
+// callers detect it with errors.As and must treat it as fatal for the
+// replay (skipping an unknown record would silently diverge the
+// state).
 type UnknownRecordError struct {
 	// LSN is the journal position of the unrecognized record.
 	LSN uint64
@@ -307,6 +186,9 @@ type UnknownRecordError struct {
 
 // Error implements the error interface.
 func (e *UnknownRecordError) Error() string {
+	if name := walrec.Name(e.Tag); name != "" {
+		return fmt.Sprintf("bandit: unhandled journal record type %d (%s) at lsn %d", e.Tag, name, e.LSN)
+	}
 	return fmt.Sprintf("bandit: unknown journal record type %d at lsn %d (journal written by a newer binary?)", e.Tag, e.LSN)
 }
 

@@ -1,33 +1,28 @@
 package serve
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"qoadvisor/internal/drift"
+	"qoadvisor/internal/walrec"
 )
 
-// RecQuarantine is the journal record type for drift-safeguard state
-// (tag 5; tags 1-3 belong to qoadvisor/internal/bandit, tag 4 is the
-// hint rollover). Like hint rollovers, each record carries the
-// COMPLETE durable quarantine table — every template currently
-// quarantined or on probation — so replay is last-record-wins: a
-// transition record and the checkpoint-time re-journal use the same
-// encoding, and a follower applying any one record holds the full
-// safeguard state as of that LSN. Healthy and suspect templates are
-// absent by construction (healthy is the implicit default; suspicion
-// is noisy and deliberately never durable).
-const RecQuarantine byte = 5
-
-// Quarantine record flags.
-const (
-	// quarFlagSnapshot marks a checkpoint/bootstrap re-journal of the
-	// live table (no transition happened at this LSN).
-	quarFlagSnapshot byte = 1 << 0
-	// quarFlagManual marks an operator-initiated transition (the
-	// POST /v2/quarantine admin endpoint).
-	quarFlagManual byte = 1 << 1
-)
+// RecQuarantine is the journal record type for drift-safeguard state,
+// aliased from the shared registry (tag 5; tags 1-3 belong to
+// qoadvisor/internal/bandit, tag 4 is the hint rollover). Like hint
+// rollovers, each record carries the COMPLETE durable quarantine
+// table — every template currently quarantined or on probation — so
+// replay is last-record-wins: a transition record and the
+// checkpoint-time re-journal use the same encoding, and a follower
+// applying any one record holds the full safeguard state as of that
+// LSN. Healthy and suspect templates are absent by construction
+// (healthy is the implicit default; suspicion is noisy and
+// deliberately never durable).
+//
+// The wire codec lives in qoadvisor/internal/walrec (shared with the
+// audit engine); this wrapper enforces the drift-state durability
+// invariant the wire layer cannot know about.
+const RecQuarantine = walrec.TagQuarantine
 
 // EncodeQuarantine frames the durable quarantine table:
 //
@@ -35,53 +30,32 @@ const (
 //
 // Iteration order is unspecified; decode builds a map, so records with
 // the same content replay identically regardless of encoding order.
+// Only durable states belong in the journal — anything else is
+// dropped defensively before encoding.
 func EncodeQuarantine(states map[uint64]drift.State, snapshot, manual bool) []byte {
-	var flags byte
-	if snapshot {
-		flags |= quarFlagSnapshot
-	}
-	if manual {
-		flags |= quarFlagManual
-	}
-	b := make([]byte, 0, 2+binary.MaxVarintLen64+9*len(states))
-	b = append(b, RecQuarantine, flags)
-	b = binary.AppendUvarint(b, uint64(len(states)))
+	raw := make(map[uint64]byte, len(states))
 	for hash, st := range states {
 		if !st.Durable() {
-			continue // defensive: only durable states belong in the journal
+			continue
 		}
-		b = binary.LittleEndian.AppendUint64(b, hash)
-		b = append(b, byte(st))
+		raw[hash] = byte(st)
 	}
-	return b
+	return walrec.EncodeQuarantine(raw, snapshot, manual)
 }
 
 // DecodeQuarantine parses a RecQuarantine payload.
 func DecodeQuarantine(p []byte) (states map[uint64]drift.State, snapshot, manual bool, err error) {
-	if len(p) < 2 || p[0] != RecQuarantine {
-		return nil, false, false, fmt.Errorf("serve: not a quarantine record")
+	rec, err := walrec.DecodeQuarantine(p)
+	if err != nil {
+		return nil, false, false, err
 	}
-	flags := p[1]
-	b := p[2:]
-	var n uint64
-	if n, b, err = takeUvarint(b); err != nil {
-		return nil, false, false, fmt.Errorf("serve: quarantine record: %w", err)
-	}
-	if n > uint64(len(b))/9 {
-		return nil, false, false, fmt.Errorf("serve: quarantine record claims %d templates in %d bytes", n, len(b))
-	}
-	states = make(map[uint64]drift.State, n)
-	for i := uint64(0); i < n; i++ {
-		if len(b) < 9 {
-			return nil, false, false, fmt.Errorf("serve: quarantine record truncated")
-		}
-		hash := binary.LittleEndian.Uint64(b)
-		st := drift.State(b[8])
-		b = b[9:]
+	states = make(map[uint64]drift.State, len(rec.States))
+	for hash, raw := range rec.States {
+		st := drift.State(raw)
 		if !st.Durable() {
 			return nil, false, false, fmt.Errorf("serve: quarantine record carries non-durable state %d for template %016x", st, hash)
 		}
 		states[hash] = st
 	}
-	return states, flags&quarFlagSnapshot != 0, flags&quarFlagManual != 0, nil
+	return states, rec.Snapshot, rec.Manual, nil
 }

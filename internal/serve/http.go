@@ -79,6 +79,10 @@ func newHTTPLayer(s *Server) *httpLayer {
 		{api.RouteV2Quarantine, h.handleQuarantine},
 		{api.RouteV2WAL, h.handleWALStream},
 		{api.RouteV2WALSnapshot, h.handleWALSnapshot},
+		{api.RouteV2AuditRecords, h.handleAuditRecords},
+		{api.RouteV2AuditDecision, h.handleAuditDecision},
+		{api.RouteV2AuditTemplate, h.handleAuditTemplate},
+		{api.RouteV2AuditAsOf, h.handleAuditAsOf},
 		{api.RouteV2Version, h.handleVersion},
 		{api.RouteMetrics, h.handleMetrics},
 	} {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qoadvisor/internal/api"
+	"qoadvisor/internal/audit"
 	"qoadvisor/internal/bandit"
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/drift"
@@ -120,6 +121,14 @@ type Server struct {
 	start        time.Time
 	http         *httpLayer
 
+	// Journal audit: the lazily opened engine behind /v2/audit, its
+	// query-latency histogram, and the replay parameters AsOf needs to
+	// mirror this server's own recovery.
+	auditMu   sync.Mutex
+	auditEng  *audit.Engine
+	auditLat  obs.Histogram
+	auditOpts audit.AsOfOptions
+
 	// rolloverMu orders hint-table swaps against their journal records:
 	// two racing rollovers must append in generation order or replay
 	// would finish on the older table.
@@ -191,6 +200,14 @@ func New(cfg Config) *Server {
 		stages:       stages,
 		tracer:       cfg.Tracer,
 		version:      VersionInfo(),
+	}
+	// The audit engine reconstructs past states by replaying the journal
+	// with this server's own recovery parameters.
+	s.auditOpts = audit.AsOfOptions{
+		SnapshotPath: cfg.SnapshotPath,
+		TrainEvery:   cfg.TrainEvery,
+		MaxLogEvents: cfg.MaxLogEvents,
+		Seed:         cfg.Seed,
 	}
 	if cfg.WAL != nil {
 		// Attach after any snapshot load / journal replay the caller did:
@@ -463,6 +480,7 @@ func (s *Server) Stats() api.StatsResponse {
 		Ingest:       s.ingest.Stats(),
 		WAL:          walStats,
 		Replication:  s.replicationStats(),
+		Audit:        s.auditStats(),
 	}
 }
 
@@ -593,6 +611,10 @@ func (s *Server) Checkpoint(path string) (CheckpointInfo, error) {
 	if s.wal != nil {
 		info.LSN = s.bandit.WALWatermark()
 		info.SegmentsRemoved = s.wal.TruncateBefore(info.LSN)
+		// Prebuild audit index sidecars for the surviving sealed
+		// segments while they are cold — the first audit query after a
+		// checkpoint then plans against ready indexes.
+		s.buildAuditSidecars()
 	}
 	info.Duration = time.Since(start)
 	s.stages.checkpoint.Observe(info.Duration)

@@ -1,20 +1,20 @@
 package serve
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"qoadvisor/internal/rules"
 	"qoadvisor/internal/sis"
+	"qoadvisor/internal/walrec"
 )
 
-// RecHintRollover is the journal record type for hint-table rollovers
-// (tag 4; tags 1-3 belong to qoadvisor/internal/bandit). Journaling
-// rollovers closes the durability gap the model-only snapshot left —
-// a restart used to come back with a trained bandit and an EMPTY hint
-// cache — and is what lets followers replicate the hint table in
-// decision order, interleaved with the rank and reward records it
-// steers.
+// RecHintRollover is the journal record type for hint-table rollovers,
+// aliased from the shared registry (tag 4; tags 1-3 belong to
+// qoadvisor/internal/bandit). Journaling rollovers closes the
+// durability gap the model-only snapshot left — a restart used to come
+// back with a trained bandit and an EMPTY hint cache — and is what
+// lets followers replicate the hint table in decision order,
+// interleaved with the rank and reward records it steers.
 //
 // Each record carries the COMPLETE table (Replace semantics are
 // wholesale, matching the daily pipeline's output) plus the cache
@@ -24,98 +24,47 @@ import (
 // only if the generation matches too. Checkpoints and follower
 // bootstraps re-journal the live table above the snapshot watermark,
 // so compaction can never truncate the only copy.
-const RecHintRollover byte = 4
+//
+// The wire codec lives in qoadvisor/internal/walrec (shared with the
+// audit engine); this wrapper converts between the wire-level string
+// flip and the typed sis.Hint the serve layer uses.
+const RecHintRollover = walrec.TagHintRollover
 
 // EncodeHintRollover frames one hint-table rollover:
 //
 //	[tag][uvarint generation][uvarint count]
 //	per hint: [8-byte hash][string templateID][string flip][uvarint day]
 func EncodeHintRollover(gen uint64, hints []sis.Hint) []byte {
-	size := 1 + 2*binary.MaxVarintLen64
-	for _, h := range hints {
-		size += 8 + len(h.TemplateID) + 16
+	raw := make([]walrec.Hint, len(hints))
+	for i, h := range hints {
+		raw[i] = walrec.Hint{
+			TemplateHash: h.TemplateHash,
+			TemplateID:   h.TemplateID,
+			Flip:         h.Flip.String(),
+			Day:          h.Day,
+		}
 	}
-	b := make([]byte, 0, size)
-	b = append(b, RecHintRollover)
-	b = binary.AppendUvarint(b, gen)
-	b = binary.AppendUvarint(b, uint64(len(hints)))
-	for _, h := range hints {
-		b = binary.LittleEndian.AppendUint64(b, h.TemplateHash)
-		b = appendLenPrefixed(b, h.TemplateID)
-		b = appendLenPrefixed(b, h.Flip.String())
-		b = binary.AppendUvarint(b, uint64(h.Day))
-	}
-	return b
+	return walrec.EncodeHintRollover(gen, raw)
 }
 
 // DecodeHintRollover parses a RecHintRollover payload.
 func DecodeHintRollover(p []byte) (gen uint64, hints []sis.Hint, err error) {
-	if len(p) == 0 || p[0] != RecHintRollover {
-		return 0, nil, fmt.Errorf("serve: not a hint-rollover record")
-	}
-	b := p[1:]
-	if gen, b, err = takeUvarint(b); err != nil {
+	rec, err := walrec.DecodeHintRollover(p)
+	if err != nil {
 		return 0, nil, err
 	}
-	var n uint64
-	if n, b, err = takeUvarint(b); err != nil {
-		return 0, nil, err
-	}
-	// A hint encodes to at least 11 bytes (8-byte hash, two length
-	// prefixes, one day varint); a count claiming more than the payload
-	// could hold is corruption, not an allocation request.
-	const minHintEnc = 11
-	if n > uint64(len(b))/minHintEnc {
-		return 0, nil, fmt.Errorf("serve: hint record claims %d hints in %d bytes", n, len(b))
-	}
-	hints = make([]sis.Hint, 0, n)
-	for i := uint64(0); i < n; i++ {
-		var h sis.Hint
-		if len(b) < 8 {
-			return 0, nil, fmt.Errorf("serve: hint record truncated at hash")
-		}
-		h.TemplateHash = binary.LittleEndian.Uint64(b)
-		b = b[8:]
-		if h.TemplateID, b, err = takeLenPrefixed(b); err != nil {
-			return 0, nil, err
-		}
-		var flip string
-		if flip, b, err = takeLenPrefixed(b); err != nil {
-			return 0, nil, err
-		}
-		if h.Flip, err = rules.ParseFlip(flip); err != nil {
+	hints = make([]sis.Hint, 0, len(rec.Hints))
+	for _, h := range rec.Hints {
+		flip, err := rules.ParseFlip(h.Flip)
+		if err != nil {
 			return 0, nil, fmt.Errorf("serve: hint record: %w", err)
 		}
-		var day uint64
-		if day, b, err = takeUvarint(b); err != nil {
-			return 0, nil, err
-		}
-		h.Day = int(day)
-		hints = append(hints, h)
+		hints = append(hints, sis.Hint{
+			TemplateHash: h.TemplateHash,
+			TemplateID:   h.TemplateID,
+			Flip:         flip,
+			Day:          h.Day,
+		})
 	}
-	return gen, hints, nil
-}
-
-func appendLenPrefixed(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
-func takeUvarint(b []byte) (uint64, []byte, error) {
-	v, n := binary.Uvarint(b)
-	if n <= 0 {
-		return 0, nil, fmt.Errorf("serve: hint record truncated at varint")
-	}
-	return v, b[n:], nil
-}
-
-func takeLenPrefixed(b []byte) (string, []byte, error) {
-	n, b, err := takeUvarint(b)
-	if err != nil {
-		return "", nil, err
-	}
-	if uint64(len(b)) < n {
-		return "", nil, fmt.Errorf("serve: hint record truncated at string")
-	}
-	return string(b[:n]), b[n:], nil
+	return rec.Gen, hints, nil
 }

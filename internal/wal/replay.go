@@ -1,13 +1,9 @@
 package wal
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"os"
 )
 
 // ReplayInfo summarizes one replay pass.
@@ -249,42 +245,31 @@ func (c *Cursor) locate(segs []segment) error {
 // segment's current end (more may be appended later) and returns how
 // many records it delivered to fn.
 func (c *Cursor) readSegment(upTo uint64, fn func(lsn uint64, payload []byte) error) (int, error) {
-	f, err := os.Open(c.seg.path)
+	info := SegmentInfo{Path: c.seg.path, Index: c.seg.index, FirstLSN: c.seg.firstLSN}
+	sr, err := OpenSegmentAt(info, c.pos, c.nextLSN)
 	if err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
+		return 0, err
 	}
-	defer f.Close()
-	if _, err := f.Seek(c.pos, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
-	}
-	br := bufio.NewReaderSize(f, 1<<16)
+	defer sr.Close()
+	sr.attachScratch(c.scratch)
+	defer func() { c.scratch = sr.detachScratch() }()
 	delivered := 0
-	var hdr [recHeaderSize]byte
 	for c.nextLSN <= upTo {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if errors.Is(err, io.EOF) {
+		lsn, payload, rerr := sr.Next()
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
 				return delivered, nil // segment end (so far); caller advances or waits
 			}
-			return delivered, fmt.Errorf("wal: %s: torn record header at offset %d below the durable frontier: %w", c.seg.path, c.pos, err)
+			var cre *CorruptRecordError
+			if errors.As(rerr, &cre) {
+				// The caller only asks for records it knows are durable, so
+				// any damage here is real loss, not a crash artifact.
+				return delivered, fmt.Errorf("wal: record below the durable frontier damaged: %w", cre)
+			}
+			return delivered, rerr
 		}
-		length := binary.LittleEndian.Uint32(hdr[:4])
-		crc := binary.LittleEndian.Uint32(hdr[4:])
-		if length == 0 || length > MaxRecordSize {
-			return delivered, fmt.Errorf("wal: %s: corrupt record length %d at offset %d", c.seg.path, length, c.pos)
-		}
-		if cap(c.scratch) < int(length) {
-			c.scratch = make([]byte, length)
-		}
-		payload := c.scratch[:length]
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return delivered, fmt.Errorf("wal: %s: torn record payload at offset %d below the durable frontier: %w", c.seg.path, c.pos, err)
-		}
-		if got := crc32.Checksum(payload, crcTable); got != crc {
-			return delivered, fmt.Errorf("wal: %s: CRC mismatch at offset %d: stored %08x, computed %08x", c.seg.path, c.pos, crc, got)
-		}
-		lsn := c.nextLSN
-		c.nextLSN++
-		c.pos += int64(recHeaderSize) + int64(length)
+		c.nextLSN = lsn + 1
+		c.pos = sr.Offset()
 		delivered++
 		if err := fn(lsn, payload); err != nil {
 			return delivered, err
@@ -293,58 +278,33 @@ func (c *Cursor) readSegment(upTo uint64, fn func(lsn uint64, payload []byte) er
 	return delivered, nil
 }
 
-// scanSegment walks one segment file. It returns how many whole, valid
-// records the segment holds and the byte offset just past the last one.
-// tailErr describes a torn or corrupt tail (nil for a clean end); fn,
-// when non-nil, receives every record in order.
+// scanSegment walks one segment file via the shared SegmentReader. It
+// returns how many whole, valid records the segment holds and the byte
+// offset just past the last one. tailErr describes a torn or corrupt
+// tail (nil for a clean end); fn, when non-nil, receives every record
+// in order.
 func scanSegment(path string, firstLSN uint64, fn func(lsn uint64, payload []byte) error) (count int, validEnd int64, tailErr error, err error) {
-	f, err := os.Open(path)
+	sr, err := OpenSegment(SegmentInfo{Path: path, FirstLSN: firstLSN})
 	if err != nil {
-		return 0, 0, nil, fmt.Errorf("wal: %w", err)
+		return 0, 0, nil, err
 	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	var hdr [segHeaderSize]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, 0, nil, fmt.Errorf("wal: %s: short segment header: %w", path, err)
-	}
-	if string(hdr[:8]) != segMagic {
-		return 0, 0, nil, fmt.Errorf("wal: %s: bad segment magic %q", path, hdr[:8])
-	}
-	if got := binary.LittleEndian.Uint64(hdr[8:]); got != firstLSN {
-		return 0, 0, nil, fmt.Errorf("wal: %s: header first LSN %d, directory scan said %d", path, got, firstLSN)
-	}
-	validEnd = segHeaderSize
-	var rec [recHeaderSize]byte
-	var payload []byte
+	defer sr.Close()
 	for {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return count, validEnd, nil, nil // clean end
+		lsn, payload, rerr := sr.Next()
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				return count, sr.Offset(), nil, nil // clean end
 			}
-			return count, validEnd, fmt.Errorf("torn record header at offset %d: %w", validEnd, err), nil
+			var cre *CorruptRecordError
+			if errors.As(rerr, &cre) {
+				return count, sr.Offset(), cre, nil
+			}
+			return count, sr.Offset(), nil, rerr
 		}
-		length := binary.LittleEndian.Uint32(rec[:4])
-		crc := binary.LittleEndian.Uint32(rec[4:])
-		if length == 0 || length > MaxRecordSize {
-			return count, validEnd, fmt.Errorf("corrupt record length %d at offset %d", length, validEnd), nil
-		}
-		if cap(payload) < int(length) {
-			payload = make([]byte, length)
-		}
-		payload = payload[:length]
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return count, validEnd, fmt.Errorf("torn record payload at offset %d: %w", validEnd, err), nil
-		}
-		if got := crc32.Checksum(payload, crcTable); got != crc {
-			return count, validEnd, fmt.Errorf("CRC mismatch at offset %d: stored %08x, computed %08x", validEnd, crc, got), nil
-		}
-		lsn := firstLSN + uint64(count)
 		count++
-		validEnd += int64(recHeaderSize) + int64(length)
 		if fn != nil {
 			if err := fn(lsn, payload); err != nil {
-				return count, validEnd, nil, err
+				return count, sr.Offset(), nil, err
 			}
 		}
 	}

@@ -673,6 +673,10 @@ func (w *WAL) LastLSN() uint64 {
 	return w.nextLSN - 1
 }
 
+// Dir returns the journal directory — what an audit engine opens
+// read-only beside a live WAL.
+func (w *WAL) Dir() string { return w.opts.Dir }
+
 // TruncateBefore removes sealed segments every record of which has
 // LSN <= lsn — the compaction step after a snapshot covers them. The
 // active segment is never removed. Returns how many segments were
@@ -685,6 +689,9 @@ func (w *WAL) TruncateBefore(lsn uint64) int {
 		if err := os.Remove(w.segs[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
 			break
 		}
+		// The audit index sidecar is derived from the segment; remove it
+		// alongside so compaction never leaves orphans.
+		os.Remove(SidecarPath(w.segs[0].path))
 		w.segs = w.segs[1:]
 		removed++
 	}

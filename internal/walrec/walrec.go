@@ -1,0 +1,583 @@
+// Package walrec is the registry of journal record types: every tag
+// the write-ahead log carries, its registered name, and the wire codec
+// for its payload. It is the single decoder layer shared by journal
+// replay (qoadvisor/internal/bandit.Replayer), crash recovery and
+// follower tailing (qoadvisor/internal/serve.Applier via
+// internal/replicate), and the audit query engine
+// (qoadvisor/internal/audit) — one place where a tag byte becomes a
+// typed struct, so the three consumers can never drift apart on the
+// format.
+//
+// The package is deliberately wire-level: it depends only on the
+// standard library and decodes into raw forms (flips as strings,
+// quarantine states as bytes). Domain interpretation — parsing a flip
+// into rules.Flip, validating a drift.State — stays with the owning
+// packages, which wrap these codecs.
+//
+// Encodings are little-endian: fixed 8-byte words for hashes and float
+// bits (feature IDs span the full 64-bit space, so varints would
+// inflate them), uvarints for lengths and counts. Every payload starts
+// with its tag byte.
+package walrec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Journal record tags. LSN-ordered replay dispatches on the payload's
+// first byte; these constants are the one authoritative assignment
+// (the bandit and serve packages alias them for compatibility).
+const (
+	// TagRank is one logged rank decision in resolved form: event ID,
+	// propensity, context feature IDs, chosen action's feature IDs.
+	TagRank byte = 1
+	// TagRewardBatch is the accepted slice of one reward batch.
+	TagRewardBatch byte = 2
+	// TagTrainMark is an out-of-band training flush (drain, shutdown,
+	// checkpoint barrier).
+	TagTrainMark byte = 3
+	// TagHintRollover is a wholesale hint-table install (complete table
+	// plus the cache generation it minted).
+	TagHintRollover byte = 4
+	// TagQuarantine is the complete durable drift-safeguard table.
+	TagQuarantine byte = 5
+)
+
+// tagNames maps each registered tag to its stable name — the registry
+// the audit surface, metrics labels, and error messages share.
+var tagNames = map[byte]string{
+	TagRank:         "rank",
+	TagRewardBatch:  "reward_batch",
+	TagTrainMark:    "train_mark",
+	TagHintRollover: "hint_rollover",
+	TagQuarantine:   "quarantine",
+}
+
+// Name returns the tag's registered name, or "" when the tag is
+// unknown (a journal written by a newer binary).
+func Name(tag byte) string { return tagNames[tag] }
+
+// Known reports whether the tag is registered.
+func Known(tag byte) bool { _, ok := tagNames[tag]; return ok }
+
+// Tags lists every registered tag in ascending order.
+func Tags() []byte {
+	return []byte{TagRank, TagRewardBatch, TagTrainMark, TagHintRollover, TagQuarantine}
+}
+
+// ParseTag resolves a registered name back to its tag byte.
+func ParseTag(name string) (byte, error) {
+	for tag, n := range tagNames {
+		if n == name {
+			return tag, nil
+		}
+	}
+	return 0, fmt.Errorf("walrec: unknown record type %q", name)
+}
+
+// Rank is the decoded form of a TagRank payload.
+type Rank struct {
+	EventID string
+	Prob    float64
+	CtxIDs  []uint64
+	ActIDs  []uint64
+}
+
+// RewardEntry is one (event, reward) observation inside a journaled
+// reward batch.
+type RewardEntry struct {
+	EventID string
+	Value   float64
+}
+
+// Hint is the wire-level form of one hint inside a rollover record:
+// the flip travels as its string rendering (the owning package parses
+// it into a typed rules.Flip).
+type Hint struct {
+	TemplateHash uint64
+	TemplateID   string
+	Flip         string
+	Day          int
+}
+
+// HintRollover is the decoded form of a TagHintRollover payload.
+type HintRollover struct {
+	Gen   uint64
+	Hints []Hint
+}
+
+// Quarantine flag bits.
+const (
+	// QuarFlagSnapshot marks a checkpoint/bootstrap re-journal of the
+	// live table (no transition happened at this LSN).
+	QuarFlagSnapshot byte = 1 << 0
+	// QuarFlagManual marks an operator-initiated transition.
+	QuarFlagManual byte = 1 << 1
+)
+
+// Quarantine is the decoded form of a TagQuarantine payload. States
+// map template hashes to raw drift-state bytes; the serve layer
+// validates them against drift.State's durable set.
+type Quarantine struct {
+	States   map[uint64]byte
+	Snapshot bool
+	Manual   bool
+}
+
+// --- shared wire primitives ---
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("walrec: record truncated at varint")
+	}
+	return v, b[n:], nil
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(b)) < n {
+		return "", nil, fmt.Errorf("walrec: record truncated at string")
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// skipString advances past a length-prefixed string without
+// materializing it — the key-extraction fast path.
+func skipString(b []byte) ([]byte, error) {
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(b)) < n {
+		return nil, fmt.Errorf("walrec: record truncated at string")
+	}
+	return b[n:], nil
+}
+
+func takeUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("walrec: record truncated at word")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+func takeIDs(b []byte) ([]uint64, []byte, error) {
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(b)) < n*8 {
+		return nil, nil, fmt.Errorf("walrec: record truncated at ID list")
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return ids, b[n*8:], nil
+}
+
+// --- rank (tag 1) ---
+
+// EncodeRank frames one rank decision.
+func EncodeRank(eventID string, prob float64, ctxIDs, actIDs []uint64) []byte {
+	b := make([]byte, 0, 1+len(eventID)+4+8+(len(ctxIDs)+len(actIDs))*8+8)
+	b = append(b, TagRank)
+	b = appendString(b, eventID)
+	b = appendUint64(b, math.Float64bits(prob))
+	b = binary.AppendUvarint(b, uint64(len(ctxIDs)))
+	for _, id := range ctxIDs {
+		b = appendUint64(b, id)
+	}
+	b = binary.AppendUvarint(b, uint64(len(actIDs)))
+	for _, id := range actIDs {
+		b = appendUint64(b, id)
+	}
+	return b
+}
+
+// DecodeRank parses a TagRank payload (including the type tag).
+func DecodeRank(p []byte) (Rank, error) {
+	var rec Rank
+	if len(p) == 0 || p[0] != TagRank {
+		return rec, fmt.Errorf("walrec: not a rank record")
+	}
+	b := p[1:]
+	var err error
+	if rec.EventID, b, err = takeString(b); err != nil {
+		return rec, err
+	}
+	var bits uint64
+	if bits, b, err = takeUint64(b); err != nil {
+		return rec, err
+	}
+	rec.Prob = math.Float64frombits(bits)
+	if rec.CtxIDs, b, err = takeIDs(b); err != nil {
+		return rec, err
+	}
+	if rec.ActIDs, _, err = takeIDs(b); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// --- reward batch (tag 2) ---
+
+// EncodeRewardBatch frames the accepted slice of one reward batch.
+func EncodeRewardBatch(entries []RewardEntry) []byte {
+	size := 2
+	for _, e := range entries {
+		size += len(e.EventID) + 4 + 8
+	}
+	b := make([]byte, 0, size)
+	b = append(b, TagRewardBatch)
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = appendString(b, e.EventID)
+		b = appendUint64(b, math.Float64bits(e.Value))
+	}
+	return b
+}
+
+// DecodeRewardBatch parses a TagRewardBatch payload.
+func DecodeRewardBatch(p []byte) ([]RewardEntry, error) {
+	if len(p) == 0 || p[0] != TagRewardBatch {
+		return nil, fmt.Errorf("walrec: not a reward-batch record")
+	}
+	b := p[1:]
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	// An entry encodes to at least 9 bytes (length prefix + 8-byte
+	// float); a count claiming more is corruption, not an allocation
+	// request.
+	if n > uint64(len(b))/9 {
+		return nil, fmt.Errorf("walrec: reward batch claims %d entries in %d bytes", n, len(b))
+	}
+	entries := make([]RewardEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e RewardEntry
+		if e.EventID, b, err = takeString(b); err != nil {
+			return nil, err
+		}
+		var bits uint64
+		if bits, b, err = takeUint64(b); err != nil {
+			return nil, err
+		}
+		e.Value = math.Float64frombits(bits)
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// --- train mark (tag 3) ---
+
+// EncodeTrainMark frames an out-of-band training flush.
+func EncodeTrainMark() []byte { return []byte{TagTrainMark} }
+
+// --- hint rollover (tag 4) ---
+
+// EncodeHintRollover frames one hint-table rollover:
+//
+//	[tag][uvarint generation][uvarint count]
+//	per hint: [8-byte hash][string templateID][string flip][uvarint day]
+func EncodeHintRollover(gen uint64, hints []Hint) []byte {
+	size := 1 + 2*binary.MaxVarintLen64
+	for _, h := range hints {
+		size += 8 + len(h.TemplateID) + len(h.Flip) + 16
+	}
+	b := make([]byte, 0, size)
+	b = append(b, TagHintRollover)
+	b = binary.AppendUvarint(b, gen)
+	b = binary.AppendUvarint(b, uint64(len(hints)))
+	for _, h := range hints {
+		b = appendUint64(b, h.TemplateHash)
+		b = appendString(b, h.TemplateID)
+		b = appendString(b, h.Flip)
+		b = binary.AppendUvarint(b, uint64(h.Day))
+	}
+	return b
+}
+
+// DecodeHintRollover parses a TagHintRollover payload.
+func DecodeHintRollover(p []byte) (HintRollover, error) {
+	var rec HintRollover
+	if len(p) == 0 || p[0] != TagHintRollover {
+		return rec, fmt.Errorf("walrec: not a hint-rollover record")
+	}
+	b := p[1:]
+	var err error
+	if rec.Gen, b, err = takeUvarint(b); err != nil {
+		return rec, err
+	}
+	var n uint64
+	if n, b, err = takeUvarint(b); err != nil {
+		return rec, err
+	}
+	// A hint encodes to at least 11 bytes (8-byte hash, two length
+	// prefixes, one day varint); a count claiming more than the payload
+	// could hold is corruption, not an allocation request.
+	const minHintEnc = 11
+	if n > uint64(len(b))/minHintEnc {
+		return rec, fmt.Errorf("walrec: hint record claims %d hints in %d bytes", n, len(b))
+	}
+	rec.Hints = make([]Hint, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var h Hint
+		if len(b) < 8 {
+			return rec, fmt.Errorf("walrec: hint record truncated at hash")
+		}
+		h.TemplateHash = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		if h.TemplateID, b, err = takeString(b); err != nil {
+			return rec, err
+		}
+		if h.Flip, b, err = takeString(b); err != nil {
+			return rec, err
+		}
+		var day uint64
+		if day, b, err = takeUvarint(b); err != nil {
+			return rec, err
+		}
+		h.Day = int(day)
+		rec.Hints = append(rec.Hints, h)
+	}
+	return rec, nil
+}
+
+// --- quarantine (tag 5) ---
+
+// EncodeQuarantine frames the durable quarantine table:
+//
+//	[tag][flags][uvarint count] per template: [8-byte hash][state byte]
+//
+// Iteration order is unspecified; decode builds a map, so records with
+// the same content replay identically regardless of encoding order.
+func EncodeQuarantine(states map[uint64]byte, snapshot, manual bool) []byte {
+	var flags byte
+	if snapshot {
+		flags |= QuarFlagSnapshot
+	}
+	if manual {
+		flags |= QuarFlagManual
+	}
+	b := make([]byte, 0, 2+binary.MaxVarintLen64+9*len(states))
+	b = append(b, TagQuarantine, flags)
+	b = binary.AppendUvarint(b, uint64(len(states)))
+	for hash, st := range states {
+		b = appendUint64(b, hash)
+		b = append(b, st)
+	}
+	return b
+}
+
+// DecodeQuarantine parses a TagQuarantine payload.
+func DecodeQuarantine(p []byte) (Quarantine, error) {
+	var rec Quarantine
+	if len(p) < 2 || p[0] != TagQuarantine {
+		return rec, fmt.Errorf("walrec: not a quarantine record")
+	}
+	rec.Snapshot = p[1]&QuarFlagSnapshot != 0
+	rec.Manual = p[1]&QuarFlagManual != 0
+	b := p[2:]
+	n, b, err := takeUvarint(b)
+	if err != nil {
+		return rec, err
+	}
+	if n > uint64(len(b))/9 {
+		return rec, fmt.Errorf("walrec: quarantine record claims %d templates in %d bytes", n, len(b))
+	}
+	rec.States = make(map[uint64]byte, n)
+	for i := uint64(0); i < n; i++ {
+		if len(b) < 9 {
+			return rec, fmt.Errorf("walrec: quarantine record truncated")
+		}
+		rec.States[binary.LittleEndian.Uint64(b)] = b[8]
+		b = b[9:]
+	}
+	return rec, nil
+}
+
+// --- unified decode ---
+
+// Record is one journal record in decoded form: the tag plus exactly
+// one populated payload pointer (TagTrainMark populates none — the
+// mark carries no data).
+type Record struct {
+	Tag          byte
+	Rank         *Rank
+	RewardBatch  []RewardEntry
+	HintRollover *HintRollover
+	Quarantine   *Quarantine
+}
+
+// Decode parses any registered record payload into its typed form.
+// Unknown tags return an error carrying the tag byte; callers that
+// must fail loudly (replay) already do, and callers that may skip
+// (audit listing) can branch on Known.
+func Decode(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("walrec: empty record")
+	}
+	rec := Record{Tag: p[0]}
+	switch p[0] {
+	case TagRank:
+		r, err := DecodeRank(p)
+		if err != nil {
+			return rec, err
+		}
+		rec.Rank = &r
+	case TagRewardBatch:
+		entries, err := DecodeRewardBatch(p)
+		if err != nil {
+			return rec, err
+		}
+		rec.RewardBatch = entries
+	case TagTrainMark:
+		// no payload
+	case TagHintRollover:
+		r, err := DecodeHintRollover(p)
+		if err != nil {
+			return rec, err
+		}
+		rec.HintRollover = &r
+	case TagQuarantine:
+		r, err := DecodeQuarantine(p)
+		if err != nil {
+			return rec, err
+		}
+		rec.Quarantine = &r
+	default:
+		return rec, fmt.Errorf("walrec: unknown record tag %d", p[0])
+	}
+	return rec, nil
+}
+
+// HashEventID maps an event ID into the same 64-bit key space the
+// audit sidecars index template hashes in (FNV-1a; collisions are
+// harmless — membership filters are probabilistic anyway).
+func HashEventID(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// AppendKeys appends the record's 64-bit membership keys to dst and
+// returns it: template hashes as-is (hint rollovers, quarantines) and
+// hashed event IDs (ranks, reward batches). This is the sidecar
+// builder's and the query filter's fast path — it walks the payload
+// without materializing strings or structs.
+func AppendKeys(dst []uint64, p []byte) ([]uint64, error) {
+	if len(p) == 0 {
+		return dst, fmt.Errorf("walrec: empty record")
+	}
+	var err error
+	switch p[0] {
+	case TagRank:
+		b := p[1:]
+		var n uint64
+		if n, b, err = takeUvarint(b); err != nil {
+			return dst, err
+		}
+		if uint64(len(b)) < n {
+			return dst, fmt.Errorf("walrec: record truncated at string")
+		}
+		dst = append(dst, hashBytes(b[:n]))
+	case TagRewardBatch:
+		b := p[1:]
+		var n uint64
+		if n, b, err = takeUvarint(b); err != nil {
+			return dst, err
+		}
+		for i := uint64(0); i < n; i++ {
+			var l uint64
+			if l, b, err = takeUvarint(b); err != nil {
+				return dst, err
+			}
+			if uint64(len(b)) < l+8 {
+				return dst, fmt.Errorf("walrec: reward batch truncated")
+			}
+			dst = append(dst, hashBytes(b[:l]))
+			b = b[l+8:]
+		}
+	case TagTrainMark:
+		// no keys
+	case TagHintRollover:
+		b := p[1:]
+		if _, b, err = takeUvarint(b); err != nil { // gen
+			return dst, err
+		}
+		var n uint64
+		if n, b, err = takeUvarint(b); err != nil {
+			return dst, err
+		}
+		for i := uint64(0); i < n; i++ {
+			if len(b) < 8 {
+				return dst, fmt.Errorf("walrec: hint record truncated at hash")
+			}
+			dst = append(dst, binary.LittleEndian.Uint64(b))
+			b = b[8:]
+			if b, err = skipString(b); err != nil { // templateID
+				return dst, err
+			}
+			if b, err = skipString(b); err != nil { // flip
+				return dst, err
+			}
+			if _, b, err = takeUvarint(b); err != nil { // day
+				return dst, err
+			}
+		}
+	case TagQuarantine:
+		if len(p) < 2 {
+			return dst, fmt.Errorf("walrec: quarantine record truncated")
+		}
+		b := p[2:]
+		var n uint64
+		if n, b, err = takeUvarint(b); err != nil {
+			return dst, err
+		}
+		for i := uint64(0); i < n; i++ {
+			if len(b) < 9 {
+				return dst, fmt.Errorf("walrec: quarantine record truncated")
+			}
+			dst = append(dst, binary.LittleEndian.Uint64(b))
+			b = b[9:]
+		}
+	default:
+		return dst, fmt.Errorf("walrec: unknown record tag %d", p[0])
+	}
+	return dst, nil
+}
+
+// hashBytes is HashEventID without the string conversion.
+func hashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
