@@ -1,0 +1,297 @@
+// Command qoload is QO-Advisor's open-loop load harness. It drives the
+// rank+reward steering loop against a serving cluster through a
+// multi-phase traffic plan (constant, linear ramp, diurnal sinusoid,
+// flash crowd) with a heavy-tailed Zipf template mix, measures every
+// op's latency from its *scheduled* send time — so server stalls widen
+// the measured tail instead of silently thinning the arrival stream
+// (coordinated omission) — and writes a BENCH_load.json report with
+// p50/p90/p99/p999, goodput, and the typed-error breakdown per phase.
+//
+// After the run it scrapes /v2/stats from every endpoint and embeds the
+// fleet-merged view (internal/fleet), so the report shows both what the
+// harness observed and what the cluster accounted.
+//
+// Usage:
+//
+//	qoload -cluster http://h1:8080,http://h2:8081 \
+//	       [-phases "steady:30s@400,ramp:60s@100..2000,crowd:30s@200!1500"] \
+//	       [-batch 16] [-workers 64] [-templates 64] [-zipf 1.3] \
+//	       [-seed 1] [-timeout 30s] [-no-rewards] [-out BENCH_load.json]
+//
+//	qoload -selfhost [-stall 600ms] [...]   # in-process primary+follower
+//
+// -selfhost spins a sync-mode WAL primary plus one tailing follower on
+// loopback listeners and aims the run at that two-node cluster — the CI
+// load-smoke path, and the only mode where -stall works: it injects a
+// one-shot WAL fsync stall mid-run and appends an open-loop vs
+// closed-loop comparison arm to the report, demonstrating the
+// coordinated-omission gap on a live stall.
+//
+// -fleet-check exits nonzero unless the run ranked jobs (goodput > 0)
+// and the fleet-merged histogram count equals the sum of the per-node
+// counts — the merge invariant CI pins on every push.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/fleet"
+	"qoadvisor/internal/load"
+	"qoadvisor/internal/replicate"
+	"qoadvisor/internal/serve"
+	"qoadvisor/internal/wal"
+)
+
+func main() {
+	clusterFlag := flag.String("cluster", "", "comma-separated endpoint list to load (primary first is conventional, not required)")
+	selfhost := flag.Bool("selfhost", false, "spin an in-process sync-WAL primary + follower pair on loopback and load that")
+	stall := flag.Duration("stall", 0, "with -selfhost: inject a one-shot WAL fsync stall of this length and run the open-vs-closed comparison arm")
+	phasesFlag := flag.String("phases", "steady:10s@200,ramp:10s@50..500,crowd:10s@100!800",
+		"load plan: name:dur@rate phases; rate forms: 500 (const), 100..2000 (ramp), 200~800 (diurnal), 100!2000 (flash)")
+	batch := flag.Int("batch", 16, "jobs per scheduled op")
+	workers := flag.Int("workers", 64, "max concurrent in-flight ops")
+	templates := flag.Int("templates", 64, "synthetic template population size")
+	zipfS := flag.Float64("zipf", 1.3, "Zipf skew over the template population (> 1)")
+	seed := flag.Int64("seed", 1, "workload seed (template population + mix)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-op timeout")
+	noRewards := flag.Bool("no-rewards", false, "skip reward follow-ups (rank-only ops)")
+	out := flag.String("out", "BENCH_load.json", "report output path (empty = stdout only)")
+	fleetCheck := flag.Bool("fleet-check", false, "exit nonzero unless goodput > 0 and fleet count == Σ node counts")
+	flag.Parse()
+
+	phases, err := load.ParsePhases(*phasesFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	var endpoints []string
+	var primaryWAL *wal.WAL
+	switch {
+	case *selfhost:
+		var cleanup func()
+		endpoints, primaryWAL, cleanup, err = startSelfhost(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		defer cleanup()
+	case *clusterFlag != "":
+		endpoints = strings.Split(*clusterFlag, ",")
+		for i := range endpoints {
+			endpoints[i] = strings.TrimSpace(endpoints[i])
+		}
+	default:
+		fatal(fmt.Errorf("one of -cluster or -selfhost is required"))
+	}
+	if *stall > 0 && primaryWAL == nil {
+		fatal(fmt.Errorf("-stall requires -selfhost (it injects faults into the in-process primary's WAL)"))
+	}
+
+	target, err := client.NewCluster(endpoints, client.WithTimeout(*timeout))
+	if err != nil {
+		fatal(err)
+	}
+	cfg := load.Config{
+		Target:    target,
+		Templates: *templates,
+		ZipfS:     *zipfS,
+		Batch:     *batch,
+		Workers:   *workers,
+		Timeout:   *timeout,
+		NoRewards: *noRewards,
+		Seed:      *seed,
+	}
+	runner := load.NewRunner(cfg)
+
+	report := load.Report{
+		Target:    strings.Join(endpoints, ","),
+		Seed:      *seed,
+		Batch:     *batch,
+		Workers:   *workers,
+		Templates: *templates,
+		ZipfS:     *zipfS,
+	}
+	ctx := context.Background()
+	var totalRanked int64
+	for _, p := range phases {
+		fmt.Fprintf(os.Stderr, "phase %-10s %-8s %v @ %.0f", p.Name, p.Shape, p.Duration, p.Low)
+		if p.Shape != load.ShapeConstant {
+			fmt.Fprintf(os.Stderr, "→%.0f", p.High)
+		}
+		fmt.Fprintln(os.Stderr, " ops/s")
+		res := runner.RunPhase(ctx, p)
+		pr := load.Summarize(res)
+		report.Phases = append(report.Phases, pr)
+		totalRanked += res.RankedJobs
+		fmt.Fprintf(os.Stderr, "  %d/%d ops, %d jobs ranked, goodput %.0f jobs/s, p50 %.2fms p99 %.2fms p999 %.2fms, errors %v\n",
+			pr.CompletedOps, pr.OfferedOps, pr.RankedJobs, pr.GoodputJobsPerSec, pr.P50Ms, pr.P99Ms, pr.P999Ms, pr.Errors)
+	}
+
+	if *stall > 0 {
+		report.Stall = runStallArm(ctx, cfg, endpoints[0], primaryWAL, *stall)
+	}
+
+	snap := fleet.Scrape(ctx, endpoints, client.WithTimeout(*timeout))
+	snap.Render(os.Stderr)
+	report.Fleet = load.FleetReportFrom(snap)
+
+	if *out != "" {
+		buf, _ := json.MarshalIndent(report, "", "  ")
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\nreport: %s\n", *out)
+	} else {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+	}
+
+	if *fleetCheck {
+		switch {
+		case totalRanked == 0:
+			fatal(fmt.Errorf("fleet-check: zero jobs ranked"))
+		case report.Fleet.RankFleetCount == 0:
+			fatal(fmt.Errorf("fleet-check: fleet-merged rank histogram is empty"))
+		case report.Fleet.RankFleetCount != report.Fleet.RankNodeSum:
+			fatal(fmt.Errorf("fleet-check: fleet count %d != Σ node counts %d",
+				report.Fleet.RankFleetCount, report.Fleet.RankNodeSum))
+		}
+		fmt.Fprintf(os.Stderr, "fleet-check: ok (%d ranks merged across %d nodes)\n",
+			report.Fleet.RankFleetCount, snap.Reachable())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qoload:", err)
+	os.Exit(1)
+}
+
+// startSelfhost spins the in-process two-node cluster: a sync-mode
+// WAL primary and one tailing follower, each on its own loopback
+// listener. Returns the endpoints (primary first), the primary's WAL
+// for fault injection, and a cleanup closing everything in order.
+func startSelfhost(seed int64) (endpoints []string, j *wal.WAL, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "qoload-wal-*")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	j, err = wal.Open(wal.Options{Dir: dir, Mode: wal.ModeSync})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	primary := serve.New(serve.Config{Seed: seed, WAL: j})
+	pURL, pStop, err := listenAndServe(primary)
+	if err != nil {
+		primary.Close()
+		j.Close()
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+
+	follower, err := replicate.Start(replicate.Config{Primary: pURL, Seed: seed})
+	if err != nil {
+		pStop()
+		primary.Close()
+		j.Close()
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	fURL, fStop, err := listenAndServe(follower)
+	if err != nil {
+		follower.Close()
+		pStop()
+		primary.Close()
+		j.Close()
+		os.RemoveAll(dir)
+		return nil, nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := follower.WaitCaughtUp(ctx, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "qoload: follower slow to catch up: %v (continuing)\n", err)
+	}
+
+	fmt.Fprintf(os.Stderr, "selfhost: primary %s (sync WAL %s), follower %s\n", pURL, dir, fURL)
+	cleanup = func() {
+		fStop()
+		follower.Close()
+		pStop()
+		primary.Close()
+		j.Close()
+		os.RemoveAll(dir)
+	}
+	return []string{pURL, fURL}, j, cleanup, nil
+}
+
+// listenAndServe serves handler on a fresh loopback port, returning
+// its base URL and a stop closure.
+func listenAndServe(handler http.Handler) (string, func(), error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// runStallArm runs the injected-stall comparison: the same constant
+// workload measured open-loop and then closed-loop against the
+// primary, each with an identical one-shot fsync stall armed mid-run.
+// The two p99s side by side are the coordinated-omission story.
+func runStallArm(ctx context.Context, cfg load.Config, primaryURL string, j *wal.WAL, stall time.Duration) *load.StallReport {
+	fmt.Fprintf(os.Stderr, "stall arm: one-shot %v fsync stall, open-loop then closed-loop\n", stall)
+	armCfg := cfg
+	armCfg.Target = client.New(primaryURL, client.WithTimeout(cfg.Timeout))
+	armCfg.Batch = 2
+
+	open := load.NewRunner(armCfg)
+	armStall(j, 300*time.Millisecond, stall)
+	openRes := open.RunPhase(ctx, load.Phase{
+		Name: "stall-open", Shape: load.ShapeConstant, Duration: 4 * stall / 2, Low: 200,
+	})
+	j.SetFaults(nil)
+
+	closed := load.NewRunner(armCfg)
+	armStall(j, 300*time.Millisecond, stall)
+	closedRes := closed.RunClosedLoopN(ctx, 400, 1)
+	j.SetFaults(nil)
+
+	or, cr := load.Summarize(openRes), load.Summarize(closedRes)
+	fmt.Fprintf(os.Stderr, "  open-loop   p99 %8.2fms over %d ops (stall visible)\n", or.P99Ms, or.CompletedOps)
+	fmt.Fprintf(os.Stderr, "  closed-loop p99 %8.2fms over %d ops (coordinated omission hides it)\n", cr.P99Ms, cr.CompletedOps)
+	return &load.StallReport{
+		StallMs:    float64(stall) / float64(time.Millisecond),
+		OpenLoop:   or,
+		ClosedLoop: cr,
+	}
+}
+
+// armStall installs a one-shot fsync stall that fires once the arm is
+// `after` old.
+func armStall(j *wal.WAL, after, stall time.Duration) {
+	start := time.Now()
+	var fired atomic.Bool
+	j.SetFaults(&wal.Faults{SyncDelay: func() time.Duration {
+		if time.Since(start) >= after && fired.CompareAndSwap(false, true) {
+			return stall
+		}
+		return 0
+	}})
+}

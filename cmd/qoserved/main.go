@@ -70,6 +70,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -80,6 +81,7 @@ import (
 	"qoadvisor/internal/core"
 	"qoadvisor/internal/drift"
 	"qoadvisor/internal/exec"
+	"qoadvisor/internal/fleet"
 	"qoadvisor/internal/flighting"
 	"qoadvisor/internal/obs"
 	"qoadvisor/internal/replicate"
@@ -135,6 +137,7 @@ func main() {
 	auditLimit := flag.Int("audit-limit", 0, "with -audit records: stop after this many rows (0 = unlimited)")
 	auditOut := flag.String("audit-out", "", "with -audit asof: write the reconstructed snapshot to this path")
 	check := flag.String("check", "", "client mode: probe a running server's /v2/healthz and /v2/stats, print, exit")
+	cluster := flag.String("cluster", "", "fleet check mode: comma-separated endpoint list; scrape /v2/stats from every node and render per-node rows plus the fleet-merged route/stage percentiles")
 	pushHints := flag.String("push-hints", "", "client mode: upload the -hints file to a running server and exit")
 	follow := flag.String("follow", "", "follower mode: primary base URL to replicate from (serves reads locally, rejects writes)")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
@@ -164,7 +167,21 @@ func main() {
 		return
 	}
 
+	if *cluster != "" {
+		if err := runClusterCheck(*cluster); err != nil {
+			fatal("cluster check failed", "cluster", *cluster, "err", err)
+		}
+		return
+	}
 	if *check != "" {
+		// A comma-separated -check target is a fleet check spelled the
+		// old way; route it to the aggregator.
+		if strings.Contains(*check, ",") {
+			if err := runClusterCheck(*check); err != nil {
+				fatal("cluster check failed", "cluster", *check, "err", err)
+			}
+			return
+		}
 		if err := runCheck(*check); err != nil {
 			fatal("check failed", "target", *check, "err", err)
 		}
@@ -621,6 +638,33 @@ func serveUntilSignal(addr string, handler http.Handler, onUp func(ctx context.C
 		return err
 	}
 	<-shutdownDone
+	return nil
+}
+
+// runClusterCheck scrapes /v2/stats from every listed endpoint and
+// renders the fleet view: per-node rows (role, lag, quarantine state)
+// plus the fleet-merged per-route and per-stage percentiles, computed
+// by merging the raw histogram buckets each node ships — not by
+// averaging per-node percentiles, which would be wrong. Like -check it
+// is a gate: any unreachable node fails the exit code (its row still
+// prints with the scrape error).
+func runClusterCheck(list string) error {
+	var endpoints []string
+	for _, ep := range strings.Split(list, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			endpoints = append(endpoints, ep)
+		}
+	}
+	if len(endpoints) == 0 {
+		return fmt.Errorf("no endpoints in %q", list)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	snap := fleet.Scrape(ctx, endpoints, client.WithTimeout(5*time.Second))
+	snap.Render(os.Stdout)
+	if n := snap.Reachable(); n < len(endpoints) {
+		return fmt.Errorf("%d of %d nodes unreachable", len(endpoints)-n, len(endpoints))
+	}
 	return nil
 }
 

@@ -364,6 +364,18 @@ type ReplicationStats struct {
 	Resyncs        int64   `json:"resyncs,omitempty"`
 }
 
+// Hist carries a latency histogram's raw log₂ buckets on the wire
+// (bucket i holds durations of nanosecond bit-length i, matching
+// internal/obs). Percentile summaries cannot be merged across nodes —
+// a p99 of p99s is not a fleet p99 — so /v2/stats additionally ships
+// the buckets themselves, letting fleet tooling rebuild and merge the
+// underlying distributions exactly.
+type Hist struct {
+	Count    uint64   `json:"count"`
+	SumNanos uint64   `json:"sumNanos"`
+	Buckets  []uint64 `json:"buckets"`
+}
+
 // RouteStats aggregates the middleware's per-route counters. The
 // percentile fields are estimated from a log₂-bucketed latency
 // histogram (one bucket spans a doubling, so estimates are exact to
@@ -377,6 +389,9 @@ type RouteStats struct {
 	P90Micros   int64 `json:"p90Micros"`
 	P99Micros   int64 `json:"p99Micros"`
 	P999Micros  int64 `json:"p999Micros"`
+	// Hist is the route's raw latency histogram (v2 only, additive),
+	// the mergeable source the percentiles above were estimated from.
+	Hist *Hist `json:"hist,omitempty"`
 }
 
 // LatencySummary reports one instrumented stage's latency
@@ -392,6 +407,9 @@ type LatencySummary struct {
 	P90Micros  int64 `json:"p90Micros"`
 	P99Micros  int64 `json:"p99Micros"`
 	P999Micros int64 `json:"p999Micros"`
+	// Hist is the stage's raw latency histogram (additive), the
+	// mergeable source of the percentiles above.
+	Hist *Hist `json:"hist,omitempty"`
 }
 
 // VersionInfo identifies a running node's build: module version,
@@ -445,6 +463,41 @@ type StatsResponse struct {
 	// Audit reports the journal-audit engine's counters (v2 only,
 	// additive; present once an audit query has run on this node).
 	Audit *AuditStats `json:"audit,omitempty"`
+	// SLO reports the node's service-level objectives and their rolling
+	// error-budget burn rates (v2 only, additive).
+	SLO *SLOStats `json:"slo,omitempty"`
+}
+
+// SLOWindowStats is one objective's state over one rolling window.
+type SLOWindowStats struct {
+	// Window is the rolling window ("1m", "5m", "30m").
+	Window string `json:"window"`
+	// Ops is the operations observed inside the window.
+	Ops float64 `json:"ops"`
+	// Compliance is the achieved good fraction (1 with no traffic).
+	Compliance float64 `json:"compliance"`
+	// BurnRate is the error rate divided by the budgeted error rate:
+	// 1.0 spends the budget exactly, >1 burns it faster.
+	BurnRate float64 `json:"burnRate"`
+	// BudgetRemaining is the unspent fraction of the window's error
+	// budget (negative once overspent).
+	BudgetRemaining float64 `json:"budgetRemaining"`
+}
+
+// SLOObjectiveStats is one declared objective with its multi-window
+// burn-rate report.
+type SLOObjectiveStats struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Target float64 `json:"target"`
+	// ThresholdMicros is the latency bound of a latency objective.
+	ThresholdMicros int64            `json:"thresholdMicros,omitempty"`
+	Windows         []SLOWindowStats `json:"windows"`
+}
+
+// SLOStats is the slo block of /v2/stats.
+type SLOStats struct {
+	Objectives []SLOObjectiveStats `json:"objectives"`
 }
 
 // AuditStats is the audit block of /v2/stats: cumulative engine

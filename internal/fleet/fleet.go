@@ -1,0 +1,206 @@
+// Package fleet aggregates a serving cluster's observability into one
+// view: it scrapes /v2/stats from every node, rebuilds the raw latency
+// histograms each node ships (api.Hist → obs.HistSnapshot), and merges
+// them into fleet-wide per-route and per-stage distributions beside
+// per-node rows (role, replication lag, quarantine state).
+//
+// Merging the raw buckets is the whole point — a p99 of per-node p99s
+// is not the fleet p99, but log₂ histograms merge exactly (bucket-wise
+// addition), so the fleet percentiles here are as accurate as any
+// single node's. PR 6 made obs.HistSnapshot mergeable for precisely
+// this use; this package is the first cross-node consumer.
+//
+// Consumers: `qoserved -check -cluster host1,host2,...` renders the
+// table form, and cmd/qoload embeds a fleet snapshot in its end-of-run
+// BENCH_load.json report.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/obs"
+)
+
+// Node is one scraped cluster member.
+type Node struct {
+	Endpoint string
+	// Err is the scrape failure, if any; Stats is valid only when nil.
+	Err   error
+	Stats api.StatsResponse
+}
+
+// Role reports the node's cluster role ("primary", "follower",
+// "standalone", or "?" when the scrape failed).
+func (n Node) Role() string {
+	switch {
+	case n.Err != nil:
+		return "?"
+	case n.Stats.Replication != nil:
+		return n.Stats.Replication.Role
+	default:
+		return "standalone"
+	}
+}
+
+// Merged is one series' fleet-wide aggregate: the bucket-wise merge of
+// every node's histogram plus the summed wire counters.
+type Merged struct {
+	// Hist is the merged latency distribution; Hist.Count is the sum of
+	// the per-node histogram counts by construction.
+	Hist obs.HistSnapshot
+	// Count / Errors are the summed route counters (Count mirrors
+	// Hist.Count for nodes that ship buckets; Errors is routes-only).
+	Count  int64
+	Errors int64
+}
+
+// Snapshot is one aggregation pass over a cluster.
+type Snapshot struct {
+	Nodes []Node
+	// Routes / Stages hold the fleet-merged series keyed by route path
+	// and stage name.
+	Routes map[string]Merged
+	Stages map[string]Merged
+}
+
+// FromWire rebuilds a node's histogram from its wire form (nil-safe:
+// an empty snapshot for nodes predating the hist field).
+func FromWire(h *api.Hist) obs.HistSnapshot {
+	if h == nil {
+		return obs.HistSnapshot{}
+	}
+	return obs.SnapshotFromParts(h.SumNanos, h.Buckets)
+}
+
+// Scrape fetches /v2/stats from every endpoint concurrently and
+// aggregates the answers. Unreachable nodes appear in Nodes with Err
+// set and contribute nothing to the merged series; the context bounds
+// the whole pass.
+func Scrape(ctx context.Context, endpoints []string, opts ...client.Option) *Snapshot {
+	nodes := make([]Node, len(endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range endpoints {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			st, err := client.New(ep, opts...).Stats(ctx)
+			nodes[i] = Node{Endpoint: ep, Stats: st, Err: err}
+		}(i, ep)
+	}
+	wg.Wait()
+	return Aggregate(nodes)
+}
+
+// Aggregate merges already-scraped node stats into a fleet snapshot.
+// Merge order does not matter: bucket-wise addition is commutative and
+// associative, which TestAggregateCommutes pins.
+func Aggregate(nodes []Node) *Snapshot {
+	s := &Snapshot{
+		Nodes:  nodes,
+		Routes: make(map[string]Merged),
+		Stages: make(map[string]Merged),
+	}
+	for _, n := range nodes {
+		if n.Err != nil {
+			continue
+		}
+		for route, rs := range n.Stats.Routes {
+			m := s.Routes[route]
+			m.Hist.Merge(FromWire(rs.Hist))
+			m.Count += rs.Count
+			m.Errors += rs.Errors
+			s.Routes[route] = m
+		}
+		for stage, ls := range n.Stats.Stages {
+			m := s.Stages[stage]
+			m.Hist.Merge(FromWire(ls.Hist))
+			m.Count += ls.Count
+			s.Stages[stage] = m
+		}
+	}
+	return s
+}
+
+// Reachable counts nodes whose scrape succeeded.
+func (s *Snapshot) Reachable() int {
+	n := 0
+	for _, node := range s.Nodes {
+		if node.Err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// micros renders a duration as integer microseconds for the tables.
+func micros(d time.Duration) string { return fmt.Sprintf("%d", d.Microseconds()) }
+
+// Render writes the human-readable fleet report: per-node rows, then
+// the fleet-merged route and stage percentile tables (microseconds).
+func (s *Snapshot) Render(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENDPOINT\tROLE\tUPTIME\tRANKS\tLAG\tQUARANTINED\tERROR")
+	for _, n := range s.Nodes {
+		if n.Err != nil {
+			fmt.Fprintf(tw, "%s\t?\t-\t-\t-\t-\t%v\n", n.Endpoint, n.Err)
+			continue
+		}
+		lag := "-"
+		if r := n.Stats.Replication; r != nil && r.Role == api.RoleFollower {
+			lag = fmt.Sprintf("%d", r.LagRecords)
+		}
+		quar := "-"
+		if d := n.Stats.Drift; d != nil {
+			quar = fmt.Sprintf("%d", d.QuarantinedNow)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t\n",
+			n.Endpoint, n.Role(), (time.Duration(n.Stats.UptimeSec) * time.Second).String(),
+			n.Stats.RankRequests, lag, quar)
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nfleet routes (%d/%d nodes, latency µs):\n", s.Reachable(), len(s.Nodes))
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ROUTE\tCOUNT\tERRORS\tP50\tP90\tP99\tP999")
+	for _, route := range sortedKeys(s.Routes) {
+		m := s.Routes[route]
+		if m.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\n", route, m.Count, m.Errors,
+			micros(m.Hist.Quantile(0.50)), micros(m.Hist.Quantile(0.90)),
+			micros(m.Hist.Quantile(0.99)), micros(m.Hist.Quantile(0.999)))
+	}
+	tw.Flush()
+
+	fmt.Fprintln(w, "\nfleet stages (latency µs):")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "STAGE\tCOUNT\tP50\tP90\tP99\tP999")
+	for _, stage := range sortedKeys(s.Stages) {
+		m := s.Stages[stage]
+		if m.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\n", stage, m.Count,
+			micros(m.Hist.Quantile(0.50)), micros(m.Hist.Quantile(0.90)),
+			micros(m.Hist.Quantile(0.99)), micros(m.Hist.Quantile(0.999)))
+	}
+	tw.Flush()
+}
+
+func sortedKeys(m map[string]Merged) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/obs"
+	"qoadvisor/internal/serve"
+)
+
+// startNodes spins n standalone serving nodes and drives jobsPer rank
+// jobs into each, so every node holds distinct route histograms.
+func startNodes(t *testing.T, n, jobsPer int) ([]*httptest.Server, []string) {
+	t.Helper()
+	ctx := context.Background()
+	servers := make([]*httptest.Server, n)
+	endpoints := make([]string, n)
+	for i := range servers {
+		srv := serve.New(serve.Config{Seed: int64(i + 1)})
+		t.Cleanup(srv.Close)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		servers[i] = ts
+		endpoints[i] = ts.URL
+
+		jobs := make([]api.RankRequest, jobsPer)
+		for j := range jobs {
+			jobs[j] = api.RankRequest{TemplateHash: api.TemplateHash(j + 1), Span: []int{j % 8, 8 + j%8}}
+		}
+		if _, err := client.New(ts.URL).RankBatch(ctx, jobs); err != nil {
+			t.Fatalf("seeding node %d: %v", i, err)
+		}
+	}
+	return servers, endpoints
+}
+
+// TestScrapeMergesCounts pins the central fleet invariant: the merged
+// histogram's count equals the sum of the per-node counts, for routes
+// and stages alike.
+func TestScrapeMergesCounts(t *testing.T) {
+	_, endpoints := startNodes(t, 3, 5)
+	snap := Scrape(context.Background(), endpoints, client.WithTimeout(5*time.Second))
+	if got := snap.Reachable(); got != 3 {
+		t.Fatalf("expected 3 reachable nodes, got %d: %+v", got, snap.Nodes)
+	}
+
+	var nodeSum uint64
+	var wireSum int64
+	for _, n := range snap.Nodes {
+		rs := n.Stats.Routes[api.RouteV2Rank]
+		if rs.Hist == nil {
+			t.Fatalf("node %s ships no raw histogram for %s", n.Endpoint, api.RouteV2Rank)
+		}
+		nodeSum += FromWire(rs.Hist).Count
+		wireSum += rs.Count
+	}
+	m := snap.Routes[api.RouteV2Rank]
+	if m.Hist.Count != nodeSum {
+		t.Fatalf("fleet count %d != Σ node counts %d", m.Hist.Count, nodeSum)
+	}
+	if m.Count != wireSum || m.Count != 3 {
+		t.Fatalf("fleet route counter %d, want wire sum %d = 3 batch requests", m.Count, wireSum)
+	}
+
+	var stageSum uint64
+	for _, n := range snap.Nodes {
+		stageSum += FromWire(n.Stats.Stages["rank_bandit"].Hist).Count
+	}
+	if sm := snap.Stages["rank_bandit"]; sm.Hist.Count != stageSum || stageSum == 0 {
+		t.Fatalf("stage merge: fleet %d != Σ nodes %d (must be nonzero)", sm.Hist.Count, stageSum)
+	}
+}
+
+// TestAggregateCommutes pins merge commutativity: scraping the same
+// nodes in any order yields identical fleet distributions.
+func TestAggregateCommutes(t *testing.T) {
+	_, endpoints := startNodes(t, 3, 4)
+	snap := Scrape(context.Background(), endpoints)
+
+	fwd := Aggregate(snap.Nodes)
+	rev := make([]Node, len(snap.Nodes))
+	for i, n := range snap.Nodes {
+		rev[len(rev)-1-i] = n
+	}
+	bwd := Aggregate(rev)
+	for route, m := range fwd.Routes {
+		if bwd.Routes[route].Hist != m.Hist {
+			t.Fatalf("route %s merge not commutative", route)
+		}
+		if bwd.Routes[route].Count != m.Count || bwd.Routes[route].Errors != m.Errors {
+			t.Fatalf("route %s counters not commutative", route)
+		}
+	}
+	for stage, m := range fwd.Stages {
+		if bwd.Stages[stage].Hist != m.Hist {
+			t.Fatalf("stage %s merge not commutative", stage)
+		}
+	}
+}
+
+// TestMergedExpositionInfEqualsCount pins the +Inf == count invariant
+// on a fleet-merged histogram rendered through the Prometheus builder:
+// merging across nodes must not break exposition validity.
+func TestMergedExpositionInfEqualsCount(t *testing.T) {
+	_, endpoints := startNodes(t, 2, 6)
+	snap := Scrape(context.Background(), endpoints)
+	m := snap.Routes[api.RouteV2Rank]
+	if m.Hist.Count == 0 {
+		t.Fatal("merged histogram unexpectedly empty")
+	}
+
+	e := obs.NewExposition()
+	e.Histogram("fleet_route_duration_seconds", "merged", obs.L("route", api.RouteV2Rank), m.Hist)
+	var buf bytes.Buffer
+	e.WriteTo(&buf)
+	var infVal, countVal string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, `le="+Inf"`) {
+			infVal = line[strings.LastIndex(line, " ")+1:]
+		}
+		if strings.HasPrefix(line, "fleet_route_duration_seconds_count") {
+			countVal = line[strings.LastIndex(line, " ")+1:]
+		}
+	}
+	want := fmt.Sprintf("%d", m.Hist.Count)
+	if infVal != want || countVal != want {
+		t.Fatalf("+Inf bucket %q and _count %q must both equal merged count %q", infVal, countVal, want)
+	}
+}
+
+// TestScrapeUnreachableNode keeps a dead endpoint in the node rows
+// without poisoning the merge.
+func TestScrapeUnreachableNode(t *testing.T) {
+	_, endpoints := startNodes(t, 1, 3)
+	endpoints = append(endpoints, "http://127.0.0.1:1") // nothing listens
+	snap := Scrape(context.Background(), endpoints, client.WithTimeout(2*time.Second))
+	if snap.Reachable() != 1 {
+		t.Fatalf("expected 1 reachable node, got %d", snap.Reachable())
+	}
+	if snap.Nodes[1].Err == nil {
+		t.Fatal("dead endpoint must report its scrape error")
+	}
+	if snap.Routes[api.RouteV2Rank].Hist.Count == 0 {
+		t.Fatal("live node's series must still merge")
+	}
+
+	var buf bytes.Buffer
+	snap.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{endpoints[0], endpoints[1], "ROLE", "standalone", api.RouteV2Rank, "rank_bandit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package load
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RunClosedLoopN drives n ops back-to-back across `workers` concurrent
+// loops, measuring each op from its *actual* send time. This is the
+// coordinated-omission control arm: when the server stalls, a closed
+// loop simply stops sending, so the stall appears in at most one
+// sample per worker and the offered load silently drops. Its
+// percentiles therefore under-report exactly the incidents an
+// open-loop run is built to expose; co_test.go pins that gap.
+func (r *Runner) RunClosedLoopN(ctx context.Context, n, workers int) Result {
+	if workers <= 0 {
+		workers = 1
+	}
+	start := time.Now()
+	st := &opStats{errs: errTally{m: make(map[string]int64)}}
+	var remaining = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		remaining <- struct{}{}
+	}
+	close(remaining)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + 7919*int64(w+1)))
+			zipf := rand.NewZipf(rng, r.cfg.ZipfS, 1, uint64(len(r.templates)-1))
+			for range remaining {
+				if ctx.Err() != nil {
+					return
+				}
+				r.doOp(ctx, time.Now(), rng, zipf, st)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return Result{
+		Phase:          Phase{Name: "closed-loop", Shape: ShapeConstant, Duration: time.Since(start)},
+		Offered:        n,
+		Completed:      int(st.completed.Load()),
+		RankedJobs:     st.ranked.Load(),
+		RewardedEvents: st.rewarded.Load(),
+		Errors:         st.errs.m,
+		Hist:           st.hist.Snapshot(),
+		Elapsed:        time.Since(start),
+	}
+}

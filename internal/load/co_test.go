@@ -1,0 +1,98 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/serve"
+	"qoadvisor/internal/wal"
+)
+
+// startSyncServer spins a sync-mode WAL-backed server: every reward
+// batch's acknowledgment waits for the group fsync, so an injected
+// SyncDelay stalls the reward path exactly like a sick disk would.
+func startSyncServer(t *testing.T) (*wal.WAL, *httptest.Server) {
+	t.Helper()
+	j, err := wal.Open(wal.Options{Dir: t.TempDir(), Mode: wal.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Seed: 42, WAL: j})
+	t.Cleanup(func() { srv.Close(); j.Close() })
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return j, ts
+}
+
+// armStall installs a one-shot fsync stall that fires once the run is
+// `after` old, freezing every in-flight sync-mode commit for `stall`.
+func armStall(j *wal.WAL, after, stall time.Duration) {
+	start := time.Now()
+	var fired atomic.Bool
+	j.SetFaults(&wal.Faults{SyncDelay: func() time.Duration {
+		if time.Since(start) >= after && fired.CompareAndSwap(false, true) {
+			return stall
+		}
+		return 0
+	}})
+}
+
+// TestCoordinatedOmission pins the reason this harness is open-loop.
+// The same workload runs twice against a sync-mode WAL server with an
+// identical injected fsync stall:
+//
+//   - open-loop: arrivals keep coming on schedule during the stall, so
+//     every op queued behind the frozen group commit measures its full
+//     wait from its scheduled send time — the stall lands in p99;
+//   - closed-loop: the driver just stops sending while stalled, so the
+//     stall appears in at most one sample per worker and p99 stays at
+//     the fast-path figure.
+//
+// A closed-loop benchmark would therefore certify a latency SLO this
+// server does not meet. That is coordinated omission.
+func TestCoordinatedOmission(t *testing.T) {
+	const stall = 600 * time.Millisecond
+	ctx := context.Background()
+
+	// Open-loop arm: 200 ops/s for 1.2s, stall at t=300ms. The ~120 ops
+	// scheduled during the stall back up behind the frozen fsync.
+	jOpen, tsOpen := startSyncServer(t)
+	open := NewRunner(Config{Target: client.New(tsOpen.URL), Batch: 2, Workers: 256, Seed: 11})
+	armStall(jOpen, 300*time.Millisecond, stall)
+	openRes := open.RunPhase(ctx, Phase{
+		Name: "stall-open", Shape: ShapeConstant, Duration: 1200 * time.Millisecond, Low: 200,
+	})
+
+	// Closed-loop arm: same server config, same stall, one back-to-back
+	// worker issuing a fixed op count so exactly one sample absorbs the
+	// whole stall.
+	jClosed, tsClosed := startSyncServer(t)
+	closed := NewRunner(Config{Target: client.New(tsClosed.URL), Batch: 2, Workers: 1, Seed: 11})
+	armStall(jClosed, 300*time.Millisecond, stall)
+	closedRes := closed.RunClosedLoopN(ctx, 400, 1)
+
+	openP99 := openRes.Hist.Quantile(0.99)
+	closedP99 := closedRes.Hist.Quantile(0.99)
+	t.Logf("open-loop p99 %v (%d ops, errs %v); closed-loop p99 %v (%d ops, errs %v)",
+		openP99, openRes.Completed, openRes.Errors, closedP99, closedRes.Completed, closedRes.Errors)
+
+	if openRes.RankedJobs == 0 || closedRes.RankedJobs == 0 {
+		t.Fatal("both arms must rank jobs")
+	}
+	// The open-loop tail must carry a large fraction of the stall.
+	if openP99 < stall/3 {
+		t.Fatalf("open-loop p99 %v failed to capture the %v stall", openP99, stall)
+	}
+	// The closed-loop tail must miss it: 1 stalled sample in 400 sits
+	// beyond the 99th percentile.
+	if closedP99 > stall/3 {
+		t.Fatalf("closed-loop p99 %v unexpectedly captured the stall — control arm broken", closedP99)
+	}
+	if openP99 < 3*closedP99 {
+		t.Fatalf("open-loop p99 %v must dwarf closed-loop p99 %v", openP99, closedP99)
+	}
+}

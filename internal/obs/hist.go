@@ -134,6 +134,54 @@ func (s *HistSnapshot) Merge(other HistSnapshot) {
 	}
 }
 
+// SnapshotFromParts rebuilds a HistSnapshot from its raw wire parts
+// (sum in nanoseconds plus per-bucket counts) — the inverse of putting
+// a snapshot on the wire for fleet aggregation. Count is derived from
+// the buckets, matching Snapshot's invariant. Buckets beyond
+// NumHistBuckets collapse into the unbounded tail bucket; shorter
+// slices leave the remainder zero.
+func SnapshotFromParts(sumNanos uint64, buckets []uint64) HistSnapshot {
+	s := HistSnapshot{Sum: sumNanos}
+	for i, c := range buckets {
+		if i >= NumHistBuckets {
+			i = NumHistBuckets - 1
+		}
+		s.Buckets[i] += c
+	}
+	for _, c := range s.Buckets {
+		s.Count += c
+	}
+	return s
+}
+
+// CountBelow estimates how many observations were at or below d, by
+// linear interpolation inside the bucket containing d (the CDF
+// counterpart of Quantile). Samples in the unbounded tail bucket are
+// never counted — their true values are unknowable — so a threshold
+// past the last bounded bucket undercounts rather than lies.
+func (s HistSnapshot) CountBelow(d time.Duration) float64 {
+	if s.Count == 0 || d < 0 {
+		return 0
+	}
+	ns := uint64(d)
+	idx := bucketIndex(ns)
+	below := float64(0)
+	for i := 0; i < idx; i++ {
+		below += float64(s.Buckets[i])
+	}
+	if idx == NumHistBuckets-1 {
+		return below
+	}
+	if idx == 0 {
+		// Bucket 0 holds only zero-duration samples; all are <= d.
+		return below + float64(s.Buckets[0])
+	}
+	lower := float64(uint64(1) << (idx - 1))
+	upper := float64(uint64(1) << idx)
+	frac := (float64(ns) - lower) / (upper - lower)
+	return below + frac*float64(s.Buckets[idx])
+}
+
 // SumSeconds returns the total observed time in seconds.
 func (s HistSnapshot) SumSeconds() float64 { return float64(s.Sum) / float64(time.Second) }
 

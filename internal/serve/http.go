@@ -51,6 +51,7 @@ type httpLayer struct {
 type routeStats struct {
 	count       atomic.Int64
 	errors      atomic.Int64
+	status5xx   atomic.Int64
 	totalMicros atomic.Int64
 	maxMicros   atomic.Int64
 	lat         obs.Histogram
@@ -204,6 +205,11 @@ func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.Handler
 		if rec.status >= 400 {
 			m.errors.Add(1)
 		}
+		if rec.status >= 500 {
+			// Availability SLO input: 5xx is the server failing, 4xx is
+			// the client's problem.
+			m.status5xx.Add(1)
+		}
 		for {
 			max := m.maxMicros.Load()
 			if el <= max || m.maxMicros.CompareAndSwap(max, el) {
@@ -228,6 +234,7 @@ func (h *httpLayer) routeMetrics() map[string]api.RouteStats {
 			P90Micros:   lat.Quantile(0.90).Microseconds(),
 			P99Micros:   lat.Quantile(0.99).Microseconds(),
 			P999Micros:  lat.Quantile(0.999).Microseconds(),
+			Hist:        histToWire(lat),
 		}
 	}
 	return out
@@ -483,6 +490,7 @@ func (h *httpLayer) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	resp.Stages = h.srv.stageSummaries()
 	resp.Version = &h.srv.version
 	resp.Drift = h.srv.DriftStats(driftStatsTemplates)
+	resp.SLO = h.srv.sloStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -56,7 +56,9 @@ func (st *stageHists) each(fn func(name string, h *obs.Histogram)) {
 	fn("checkpoint", st.checkpoint)
 }
 
-// summarize renders a histogram snapshot as the JSON percentile form.
+// summarize renders a histogram snapshot as the JSON percentile form,
+// carrying the raw buckets alongside so fleet tooling can merge the
+// distributions the percentiles were estimated from.
 func summarize(s obs.HistSnapshot) api.LatencySummary {
 	return api.LatencySummary{
 		Count:      int64(s.Count),
@@ -65,7 +67,17 @@ func summarize(s obs.HistSnapshot) api.LatencySummary {
 		P90Micros:  s.Quantile(0.90).Microseconds(),
 		P99Micros:  s.Quantile(0.99).Microseconds(),
 		P999Micros: s.Quantile(0.999).Microseconds(),
+		Hist:       histToWire(s),
 	}
+}
+
+// histToWire puts a histogram snapshot's raw buckets on the wire
+// (api.Hist); internal/fleet rebuilds and merges them with
+// obs.SnapshotFromParts.
+func histToWire(s obs.HistSnapshot) *api.Hist {
+	b := make([]uint64, obs.NumHistBuckets)
+	copy(b, s.Buckets[:])
+	return &api.Hist{Count: s.Count, SumNanos: s.Sum, Buckets: b}
 }
 
 // stageSummaries builds StatsResponse.Stages: every built-in stage
@@ -126,6 +138,7 @@ func (s *Server) collectMetrics(e *obs.Exposition) {
 	e.Counter("qoserved_rank_noops_total", "Bandit ranks that chose the no-op action.", nil, float64(s.noops.Load()))
 	e.Gauge("qoserved_hint_cache_entries", "Hints in the serving cache.", nil, float64(s.cache.Size()))
 	e.Gauge("qoserved_hint_cache_generation", "Hint-table generation.", nil, float64(s.cache.Generation()))
+	e.Gauge("qoserved_hint_cache_shards", "Hint-cache shard count.", nil, float64(s.cache.Shards()))
 	e.Gauge("qoserved_bandit_log_events", "Rank events retained awaiting rewards.", nil, float64(s.bandit.LogSize()))
 
 	// Ingestion counters.
@@ -154,12 +167,19 @@ func (s *Server) collectMetrics(e *obs.Exposition) {
 		e.Counter("qoserved_checkpoints_total", "Checkpoints taken.", nil, float64(s.checkpoints.Load()))
 		e.Gauge("qoserved_checkpoint_last_lsn", "Journal watermark of the last checkpoint.", nil, float64(s.lastCkptLSN.Load()))
 		e.Gauge("qoserved_checkpoint_last_bytes", "Snapshot size of the last checkpoint.", nil, float64(s.lastCkptBytes.Load()))
+		e.Gauge("qoserved_checkpoint_last_duration_seconds", "End-to-end duration of the last checkpoint.", nil,
+			float64(s.lastCkptMicros.Load())/1e6)
 	}
 
 	// Drift-safeguard families. Enforcement gauges/counters are live on
 	// every node (the quarantine table replicates); detector families
 	// only where detection runs.
 	ds := s.guard.stats(0)
+	enabled := 0.0
+	if ds.Enabled {
+		enabled = 1
+	}
+	e.Gauge("qoserved_drift_enabled", "Whether drift detection runs on this node (enforcement is always on).", nil, enabled)
 	e.Counter("qoserved_quarantine_blocked_ranks_total", "Rank requests whose installed hint was refused because the template is quarantined.", nil, float64(ds.BlockedRanks))
 	e.Counter("qoserved_quarantine_transitions_total", "Committed quarantine state-machine transitions.", nil, float64(ds.Transitions))
 	e.Counter("qoserved_quarantine_entered_total", "Transitions into quarantine.", nil, float64(ds.Quarantines))
@@ -213,6 +233,7 @@ func (s *Server) collectMetrics(e *obs.Exposition) {
 	for _, fn := range collectors {
 		fn(e)
 	}
+	s.collectSLOMetrics(e)
 }
 
 // collectRouteMetrics adds the HTTP middleware's per-route families.
@@ -221,6 +242,7 @@ func (h *httpLayer) collectRouteMetrics(e *obs.Exposition) {
 		labels := obs.L("route", route)
 		e.Counter("qoserved_http_requests_total", "HTTP requests served, by route.", labels, float64(m.count.Load()))
 		e.Counter("qoserved_http_request_errors_total", "HTTP requests answered with status >= 400, by route.", labels, float64(m.errors.Load()))
+		e.Counter("qoserved_http_request_5xx_total", "HTTP requests answered with status >= 500, by route (the availability-SLO error input).", labels, float64(m.status5xx.Load()))
 		e.Histogram("qoserved_http_request_duration_seconds", "HTTP request latency, by route.", labels, m.lat.Snapshot())
 	}
 }

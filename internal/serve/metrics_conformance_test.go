@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"qoadvisor/internal/api"
+	"qoadvisor/internal/api/client"
+	"qoadvisor/internal/rules"
+	"qoadvisor/internal/wal"
+)
+
+// statsMetricRules maps every numeric (or boolean) leaf of the
+// /v2/stats JSON document to the qoserved_* family that carries the
+// same figure on /metrics. An empty family marks a leaf that is
+// deliberately NOT a metric series, with the justification alongside —
+// every skip must argue for itself. A leaf matching no rule fails the
+// conformance test, so adding a stats field without its metric (or a
+// conscious skip) is caught at test time, not during an incident.
+var statsMetricRules = []struct {
+	path   *regexp.Regexp
+	family string
+	why    string // justification when family is empty
+}{
+	{path: re(`^uptimeSec$`), family: "qoserved_uptime_seconds"},
+	{path: re(`^rankRequests$`), family: "qoserved_rank_requests_total"},
+	{path: re(`^hintHits$`), family: "qoserved_rank_hint_hits_total"},
+	{path: re(`^banditRanks$`), family: "qoserved_rank_bandit_total"},
+	{path: re(`^noops$`), family: "qoserved_rank_noops_total"},
+	{path: re(`^cacheSize$`), family: "qoserved_hint_cache_entries"},
+	{path: re(`^cacheGeneration$`), family: "qoserved_hint_cache_generation"},
+	{path: re(`^cacheShards$`), family: "qoserved_hint_cache_shards"},
+	{path: re(`^banditLogSize$`), family: "qoserved_bandit_log_events"},
+
+	{path: re(`^ingest\.enqueued$`), family: "qoserved_ingest_enqueued_total"},
+	{path: re(`^ingest\.dropped$`), family: "qoserved_ingest_dropped_total"},
+	{path: re(`^ingest\.applied$`), family: "qoserved_ingest_applied_total"},
+	{path: re(`^ingest\.unknownEvents$`), family: "qoserved_ingest_unknown_events_total"},
+	{path: re(`^ingest\.trainRuns$`), family: "qoserved_ingest_train_runs_total"},
+	{path: re(`^ingest\.trainedEvents$`), family: "qoserved_ingest_trained_events_total"},
+	{path: re(`^ingest\.journalErrors$`), family: "qoserved_ingest_journal_errors_total"},
+	{path: re(`^ingest\.queueDepth$`), family: "qoserved_ingest_queue_depth"},
+	{path: re(`^ingest\.queueCap$`), family: "qoserved_ingest_queue_capacity"},
+
+	{path: re(`^wal\.firstLsn$`), family: "qoserved_wal_first_lsn"},
+	{path: re(`^wal\.lastLsn$`), family: "qoserved_wal_last_lsn"},
+	{path: re(`^wal\.syncedLsn$`), family: "qoserved_wal_synced_lsn"},
+	{path: re(`^wal\.appends$`), family: "qoserved_wal_appends_total"},
+	{path: re(`^wal\.appendedBytes$`), family: "qoserved_wal_appended_bytes_total"},
+	{path: re(`^wal\.syncs$`), family: "qoserved_wal_syncs_total"},
+	{path: re(`^wal\.segments$`), family: "qoserved_wal_segments"},
+	{path: re(`^wal\.truncatedSegments$`), family: "qoserved_wal_truncated_segments_total"},
+	{path: re(`^wal\.checkpoints$`), family: "qoserved_checkpoints_total"},
+	{path: re(`^wal\.lastCheckpointLsn$`), family: "qoserved_checkpoint_last_lsn"},
+	{path: re(`^wal\.lastCheckpointBytes$`), family: "qoserved_checkpoint_last_bytes"},
+	{path: re(`^wal\.lastCheckpointMicros$`), family: "qoserved_checkpoint_last_duration_seconds"},
+
+	{path: re(`^replication\.followers$`), family: "qoserved_replication_followers"},
+	{path: re(`^replication\.streamsServed$`), family: "qoserved_replication_streams_served_total"},
+	{path: re(`^replication\.recordsShipped$`), family: "qoserved_replication_records_shipped_total"},
+	{path: re(`^replication\.bytesShipped$`), family: "qoserved_replication_bytes_shipped_total"},
+	{path: re(`^replication\.lagRecords$`), family: "",
+		why: "always-serialized follower counter; a primary reports 0 and exposes no lag series (qoserved_replication_lag_records is follower-only)"},
+	{path: re(`^replication\.(appliedLsn|frontierLsn|lastTailSec|recordsApplied|reconnects|resyncs)$`),
+		family: "", why: "follower-side counters with follower-only families; this conformance server is a primary so they are omitempty-absent anyway"},
+
+	{path: re(`^drift\.enabled$`), family: "qoserved_drift_enabled"},
+	{path: re(`^drift\.quarantinedNow$`), family: "qoserved_quarantine_templates"},
+	{path: re(`^drift\.probationNow$`), family: "qoserved_quarantine_probation_templates"},
+	{path: re(`^drift\.blockedRanks$`), family: "qoserved_quarantine_blocked_ranks_total"},
+	{path: re(`^drift\.transitions$`), family: "qoserved_quarantine_transitions_total"},
+	{path: re(`^drift\.quarantines$`), family: "qoserved_quarantine_entered_total"},
+	{path: re(`^drift\.probations$`), family: "qoserved_quarantine_probations_total"},
+	{path: re(`^drift\.restores$`), family: "qoserved_quarantine_restores_total"},
+	{path: re(`^drift\.manualTransitions$`), family: "qoserved_quarantine_manual_total"},
+	{path: re(`^drift\.journalErrors$`), family: "qoserved_quarantine_journal_errors_total"},
+	{path: re(`^drift\.tracked$`), family: "qoserved_drift_tracked_templates"},
+	{path: re(`^drift\.suspects$`), family: "qoserved_drift_suspect_templates"},
+	{path: re(`^drift\.observations$`), family: "qoserved_drift_observations_total"},
+	{path: re(`^drift\.sketchGated$`), family: "qoserved_drift_sketch_gated_total"},
+	{path: re(`^drift\.evictions$`), family: "qoserved_drift_evictions_total"},
+	{path: re(`^drift\.sketchBytes$`), family: "qoserved_drift_sketch_bytes"},
+	{path: re(`^drift\.templates\.`), family: "",
+		why: "per-template diagnostic rows (unbounded label cardinality); the aggregate gauges above are the series form"},
+
+	{path: re(`^audit\.queries$`), family: "qoserved_audit_queries_total"},
+	{path: re(`^audit\.segmentsScanned$`), family: "qoserved_audit_segments_scanned_total"},
+	{path: re(`^audit\.segmentsSkipped$`), family: "qoserved_audit_segments_skipped_total"},
+	{path: re(`^audit\.recordsScanned$`), family: "qoserved_audit_records_scanned_total"},
+	{path: re(`^audit\.sidecarsBuilt$`), family: "qoserved_audit_sidecars_built_total"},
+	{path: re(`^audit\.sidecarsLoaded$`), family: "qoserved_audit_sidecars_loaded_total"},
+	{path: re(`^audit\.sidecarsRebuilt$`), family: "qoserved_audit_sidecars_rebuilt_total"},
+
+	{path: re(`^routes\.[^.]+\.count$`), family: "qoserved_http_requests_total"},
+	{path: re(`^routes\.[^.]+\.errors$`), family: "qoserved_http_request_errors_total"},
+	{path: re(`^routes\.[^.]+\.(totalMicros|maxMicros|p50Micros|p90Micros|p99Micros|p999Micros|hist\..+)$`),
+		family: "qoserved_http_request_duration_seconds"},
+	{path: re(`^stages\.[^.]+\.`), family: "qoserved_stage_duration_seconds"},
+
+	{path: re(`^slo\.objectives\.\d+\.target$`), family: "qoserved_slo_target"},
+	{path: re(`^slo\.objectives\.\d+\.thresholdMicros$`), family: "qoserved_slo_latency_threshold_seconds"},
+	{path: re(`^slo\.objectives\.\d+\.windows\.\d+\.ops$`), family: "qoserved_slo_window_ops"},
+	{path: re(`^slo\.objectives\.\d+\.windows\.\d+\.compliance$`), family: "qoserved_slo_compliance_ratio"},
+	{path: re(`^slo\.objectives\.\d+\.windows\.\d+\.burnRate$`), family: "qoserved_slo_burn_rate"},
+	{path: re(`^slo\.objectives\.\d+\.windows\.\d+\.budgetRemaining$`), family: "qoserved_slo_error_budget_remaining"},
+
+	{path: re(`^version\.modified$`), family: "",
+		why: "build identity travels as labels on qoserved_build_info, not as a numeric series"},
+}
+
+func re(s string) *regexp.Regexp { return regexp.MustCompile(s) }
+
+// walkLeaves visits every numeric and boolean leaf of a decoded JSON
+// document with its dotted path. Strings are identity/label material,
+// never counters, and are not visited.
+func walkLeaves(prefix string, v any, visit func(path string)) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			walkLeaves(p, val, visit)
+		}
+	case []any:
+		for i, val := range x {
+			walkLeaves(fmt.Sprintf("%s.%d", prefix, i), val, visit)
+		}
+	case float64, bool:
+		visit(prefix)
+	}
+}
+
+// TestStatsMetricsConformance pins the contract between the two
+// observability surfaces: every counter and gauge /v2/stats reports —
+// including the conditional WAL, replication, drift, audit and SLO
+// blocks — must have a qoserved_* family on /metrics (or a justified
+// skip in statsMetricRules). The server is deliberately maximal: a
+// sync-WAL drift-detecting primary with rank, reward, audit and
+// checkpoint traffic, so all conditional stats blocks are present.
+func TestStatsMetricsConformance(t *testing.T) {
+	ctx := context.Background()
+	j, err := wal.Open(wal.Options{Dir: t.TempDir(), Mode: wal.ModeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{
+		Catalog: rules.NewCatalog(), Seed: 42, TrainEvery: 8,
+		WAL: j, Drift: driftTestConfig(),
+	})
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close(); j.Close() }()
+
+	// Touch every conditional surface: ranks, template-attributed
+	// rewards (drift), an audit query, a checkpoint.
+	cl := client.New(ts.URL)
+	jobs := make([]api.RankRequest, 24)
+	for i := range jobs {
+		jobs[i] = api.RankRequest{TemplateHash: api.TemplateHash(i%3 + 1), Span: []int{i % 8, 8 + i%8}}
+	}
+	batch, err := cl.RankBatch(ctx, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []api.RewardEvent
+	for i, res := range batch.Results {
+		if res.Error != nil || res.EventID == "" {
+			continue
+		}
+		reward := 0.5
+		hash := jobs[i].TemplateHash
+		events = append(events, api.RewardEvent{EventID: res.EventID, Reward: &reward, TemplateHash: &hash})
+	}
+	if _, err := cl.RewardBatch(ctx, events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.AuditRecords(ctx, client.AuditRecordsOptions{Limit: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Checkpoint(t.TempDir() + "/conformance.snap"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw JSON (not the typed struct): the walk must see exactly what a
+	// wire consumer sees, including fields the struct might drop.
+	statsBody := httpGet(t, ts.URL+api.RouteV2Stats)
+	var doc map[string]any
+	if err := json.Unmarshal(statsBody, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, required := range []string{"wal", "replication", "drift", "audit", "slo"} {
+		if _, ok := doc[required]; !ok {
+			t.Fatalf("conformance server must exercise the %q stats block; got keys %v", required, sortedDocKeys(doc))
+		}
+	}
+
+	families := metricFamilies(t, ts.URL)
+	var unmapped []string
+	needed := map[string]string{} // family -> example stats path
+	walkLeaves("", doc, func(path string) {
+		for _, rule := range statsMetricRules {
+			if rule.path.MatchString(path) {
+				if rule.family != "" {
+					needed[rule.family] = path
+				}
+				return
+			}
+		}
+		unmapped = append(unmapped, path)
+	})
+	if len(unmapped) > 0 {
+		sort.Strings(unmapped)
+		t.Fatalf("stats leaves with no metrics mapping (add the family or a justified skip):\n  %s",
+			strings.Join(unmapped, "\n  "))
+	}
+	for family, path := range needed {
+		if !families[family] {
+			t.Errorf("stats leaf %q maps to %s, which /metrics does not expose", path, family)
+		}
+	}
+}
+
+// metricFamilies scrapes /metrics and returns the set of family names.
+func metricFamilies(t *testing.T, base string) map[string]bool {
+	t.Helper()
+	body := httpGet(t, base+"/metrics")
+	fams := map[string]bool{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		name = strings.TrimSuffix(name, "_bucket")
+		name = strings.TrimSuffix(name, "_sum")
+		name = strings.TrimSuffix(name, "_count")
+		fams[name] = true
+	}
+	return fams
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+func sortedDocKeys(doc map[string]any) []string {
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -92,6 +92,11 @@ type Config struct {
 	// only controls the detector. Ignored on followers: detection runs
 	// where writes land, replicas enforce the replicated table.
 	Drift *drift.Config
+	// SLO parameterizes service-level-objective tracking (rank-latency
+	// and availability burn rates on /metrics and /v2/stats). Nil
+	// enables the defaults; use &SLOConfig{Disabled: true} to turn the
+	// subsystem off.
+	SLO *SLOConfig
 }
 
 // Server is the embeddable online steering service. It serves hint-cache
@@ -157,6 +162,9 @@ type Server struct {
 	extraMu     sync.RWMutex
 	extraStages map[string]*obs.Histogram
 	collectors  []func(*obs.Exposition)
+
+	// slo tracks the node's service-level objectives (nil = disabled).
+	slo *obs.SLOTracker
 }
 
 // New assembles a steering server.
@@ -218,6 +226,13 @@ func New(cfg Config) *Server {
 		cfg.WAL.SetSyncObserver(stages.walFsync.Observe)
 	}
 	s.http = newHTTPLayer(s)
+	// Objectives read the HTTP layer's route counters, so they declare
+	// after the routes exist.
+	var sloCfg SLOConfig
+	if cfg.SLO != nil {
+		sloCfg = *cfg.SLO
+	}
+	s.initSLO(sloCfg)
 	return s
 }
 
