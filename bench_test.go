@@ -1208,3 +1208,87 @@ func BenchmarkClusterRank(b *testing.B) {
 		})
 	}
 }
+
+// --- Incident flight recorder: tail-retention A/B + capture latency ---
+
+// benchFlightBatchRank is the shared body of the tail-retention A/B
+// pair: a mixed 16-job /v2/rank batch through the HTTP layer — the
+// instrumented path where the flight recorder begins and finishes
+// every request. All requests answer far under the rank slow
+// threshold, so nothing is retained and the On arm prices exactly the
+// unretained fast path (pooled span buffer in, spans recorded,
+// buffer back to the pool). Run with -benchmem: the retention-off and
+// retention-on allocs/op must match.
+func benchFlightBatchRank(b *testing.B, srv *serve.Server) {
+	b.Helper()
+	const batchSize = 16
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	jobs := make([]api.RankRequest, batchSize)
+	for i := range jobs {
+		jobs[i] = api.RankRequest{
+			TemplateHash: api.TemplateHash(uint64(i)<<32 | 0xbad),
+			Span:         []int{3, 17, 40 + i%64},
+			RowCount:     float64(1000 * i),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		resp, err := cl.RankBatch(ctx, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(resp.Results) != batchSize {
+			b.Fatalf("got %d results for %d jobs", len(resp.Results), batchSize)
+		}
+	}
+	b.ReportMetric(float64(b.N*batchSize)/b.Elapsed().Seconds(), "jobs/s")
+	if fr := srv.FlightRecorder(); fr != nil {
+		if st := fr.Stats(); st.Retained != 0 {
+			b.Fatalf("benchmark retained %d traces; the A/B only prices the unretained path", st.Retained)
+		}
+	}
+}
+
+// BenchmarkServeBatchRankFlightOff is the baseline arm: tail retention
+// disabled (TraceRetain -1), the pre-flight-recorder serving path.
+func BenchmarkServeBatchRankFlightOff(b *testing.B) {
+	srv := serve.New(serve.Config{Seed: 1, TraceRetain: -1})
+	defer srv.Close()
+	benchFlightBatchRank(b, srv)
+}
+
+// BenchmarkServeBatchRankFlightOn is the treatment arm: the default
+// configuration, flight recorder on, every request carrying a pooled
+// span buffer that is returned unretained.
+func BenchmarkServeBatchRankFlightOn(b *testing.B) {
+	srv := serve.New(serve.Config{Seed: 1})
+	defer srv.Close()
+	benchFlightBatchRank(b, srv)
+}
+
+// BenchmarkIncidentCapture measures one diagnostic-bundle capture end
+// to end — goroutine + heap profiles, stats/traces/histograms JSON,
+// meta — via the manual trigger (force bypasses the cooldown, so every
+// iteration captures). This is the pause an incident costs the node.
+func BenchmarkIncidentCapture(b *testing.B) {
+	srv := serve.New(serve.Config{Seed: 1, Incidents: &serve.IncidentConfig{Dir: b.TempDir()}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+	// A little traffic so the bundle has real content.
+	if _, err := cl.RankBatch(ctx, []api.RankRequest{{TemplateHash: 7, Span: []int{3, 17, 40}}}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := cl.TriggerIncident(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,7 +18,7 @@
 //	       [-batch 16] [-workers 64] [-templates 64] [-zipf 1.3] \
 //	       [-seed 1] [-timeout 30s] [-no-rewards] [-out BENCH_load.json]
 //
-//	qoload -selfhost [-stall 600ms] [...]   # in-process primary+follower
+//	qoload -selfhost [-stall 600ms] [-incident-dir DIR] [...]
 //
 // -selfhost spins a sync-mode WAL primary plus one tailing follower on
 // loopback listeners and aims the run at that two-node cluster — the CI
@@ -26,6 +26,13 @@
 // one-shot WAL fsync stall mid-run and appends an open-loop vs
 // closed-loop comparison arm to the report, demonstrating the
 // coordinated-omission gap on a live stall.
+//
+// -incident-dir (selfhost only) enables the primary's incident engine,
+// so a -stall run also exercises the burn→capture path: the stalled
+// fsync burns the reward-latency SLO, the engine captures a diagnostic
+// bundle into the directory, and the report gains an incidents block
+// (bundle count, last reason, retained-trace count, longest retained
+// trace) that CI's incident-smoke step asserts on.
 //
 // -fleet-check exits nonzero unless the run ranked jobs (goodput > 0)
 // and the fleet-merged histogram count equals the sum of the per-node
@@ -56,6 +63,7 @@ func main() {
 	clusterFlag := flag.String("cluster", "", "comma-separated endpoint list to load (primary first is conventional, not required)")
 	selfhost := flag.Bool("selfhost", false, "spin an in-process sync-WAL primary + follower pair on loopback and load that")
 	stall := flag.Duration("stall", 0, "with -selfhost: inject a one-shot WAL fsync stall of this length and run the open-vs-closed comparison arm")
+	incidentDir := flag.String("incident-dir", "", "with -selfhost: enable incident capture on the primary, writing diagnostic bundles to this directory")
 	phasesFlag := flag.String("phases", "steady:10s@200,ramp:10s@50..500,crowd:10s@100!800",
 		"load plan: name:dur@rate phases; rate forms: 500 (const), 100..2000 (ramp), 200~800 (diurnal), 100!2000 (flash)")
 	batch := flag.Int("batch", 16, "jobs per scheduled op")
@@ -79,7 +87,7 @@ func main() {
 	switch {
 	case *selfhost:
 		var cleanup func()
-		endpoints, primaryWAL, cleanup, err = startSelfhost(*seed)
+		endpoints, primaryWAL, cleanup, err = startSelfhost(*seed, *incidentDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -94,6 +102,9 @@ func main() {
 	}
 	if *stall > 0 && primaryWAL == nil {
 		fatal(fmt.Errorf("-stall requires -selfhost (it injects faults into the in-process primary's WAL)"))
+	}
+	if *incidentDir != "" && !*selfhost {
+		fatal(fmt.Errorf("-incident-dir requires -selfhost (it configures the in-process primary)"))
 	}
 
 	target, err := client.NewCluster(endpoints, client.WithTimeout(*timeout))
@@ -144,6 +155,13 @@ func main() {
 	snap.Render(os.Stderr)
 	report.Fleet = load.FleetReportFrom(snap)
 
+	if *incidentDir != "" {
+		report.Incidents = scrapeIncidents(ctx, endpoints[0], *timeout)
+		fmt.Fprintf(os.Stderr, "incidents: %d bundles (last %s %s), %d retained traces, max %.1fms\n",
+			report.Incidents.Bundles, report.Incidents.LastReason, report.Incidents.LastID,
+			report.Incidents.RetainedTraces, report.Incidents.MaxTraceMs)
+	}
+
 	if *out != "" {
 		buf, _ := json.MarshalIndent(report, "", "  ")
 		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
@@ -176,11 +194,43 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// scrapeIncidents condenses the primary's /v2/incidents and /v2/traces
+// answers into the report's incidents block. Best-effort: a failed
+// scrape leaves the corresponding fields zero instead of failing the
+// run — the CI smoke's assertions then fail with the report in hand.
+func scrapeIncidents(ctx context.Context, primaryURL string, timeout time.Duration) *load.IncidentReport {
+	cl := client.New(primaryURL, client.WithTimeout(timeout))
+	ir := &load.IncidentReport{}
+	if inc, err := cl.Incidents(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "qoload: incidents scrape failed: %v\n", err)
+	} else {
+		ir.Bundles = len(inc.Incidents)
+		if len(inc.Incidents) > 0 {
+			ir.LastID = inc.Incidents[0].ID
+			ir.LastReason = inc.Incidents[0].Reason
+		}
+	}
+	if tr, err := cl.Traces(ctx, client.TracesOptions{}); err != nil {
+		fmt.Fprintf(os.Stderr, "qoload: traces scrape failed: %v\n", err)
+	} else {
+		ir.RetainedTraces = len(tr.Traces)
+		for _, t := range tr.Traces {
+			if ms := float64(t.DurMicros) / 1e3; ms > ir.MaxTraceMs {
+				ir.MaxTraceMs = ms
+			}
+		}
+	}
+	return ir
+}
+
 // startSelfhost spins the in-process two-node cluster: a sync-mode
 // WAL primary and one tailing follower, each on its own loopback
 // listener. Returns the endpoints (primary first), the primary's WAL
 // for fault injection, and a cleanup closing everything in order.
-func startSelfhost(seed int64) (endpoints []string, j *wal.WAL, cleanup func(), err error) {
+// A non-empty incidentDir enables incident capture on the primary
+// with stock thresholds, so an injected stall exercises the real
+// burn→capture path end to end.
+func startSelfhost(seed int64, incidentDir string) (endpoints []string, j *wal.WAL, cleanup func(), err error) {
 	dir, err := os.MkdirTemp("", "qoload-wal-*")
 	if err != nil {
 		return nil, nil, nil, err
@@ -190,7 +240,11 @@ func startSelfhost(seed int64) (endpoints []string, j *wal.WAL, cleanup func(), 
 		os.RemoveAll(dir)
 		return nil, nil, nil, err
 	}
-	primary := serve.New(serve.Config{Seed: seed, WAL: j})
+	pCfg := serve.Config{Seed: seed, WAL: j}
+	if incidentDir != "" {
+		pCfg.Incidents = &serve.IncidentConfig{Dir: incidentDir}
+	}
+	primary := serve.New(pCfg)
 	pURL, pStop, err := listenAndServe(primary)
 	if err != nil {
 		primary.Close()

@@ -37,14 +37,22 @@
 //	         [-workers 0] [-train-every 256] [-rank-workers 0] [-uniform]
 //	         [-wal-dir dir] [-wal-sync async] [-wal-segment-mb 64]
 //	         [-snapshot-every 5m] [-log-level info] [-pprof :6060]
-//	         [-trace-out trace.json] [-trace-sample 100]
+//	         [-trace-out trace.json] [-trace-sample 100] [-trace-retain-ms 250]
+//	         [-incident-dir dir] [-incident-burn-threshold 2] [-incident-cooldown 5m]
 //	qoserved -follow http://primary:8080 [-addr :8081] [-train-every 256]
 //
 // Observability: every node serves Prometheus text-format metrics at
 // GET /metrics and its build identity at GET /v2/version (also:
 // qoserved -version). -pprof mounts net/http/pprof on a separate
 // listener; -trace-out samples 1 in -trace-sample requests and writes
-// their stage timelines as Chrome-trace JSON.
+// their stage timelines as Chrome-trace JSON. Independently of head
+// sampling, every node tail-retains traces of slow or errored requests
+// in a bounded in-memory ring served at GET /v2/traces
+// (-trace-retain-ms tunes the threshold). With -incident-dir set, the
+// incident engine watches the SLO burn rate, drift quarantines and
+// journal fail-stops, and captures a diagnostic bundle (profiles,
+// histograms, retained traces, full stats) when one fires; bundles are
+// listed at GET /v2/incidents.
 //
 // It doubles as the protocol's ops CLI via the typed client
 // (qoadvisor/internal/api/client) and the journal's offline tooling:
@@ -145,6 +153,10 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on a separate listener at this address (empty = disabled)")
 	traceOut := flag.String("trace-out", "", "write Chrome-trace JSON for sampled requests to this file (load in chrome://tracing or ui.perfetto.dev)")
 	traceSample := flag.Int("trace-sample", 100, "with -trace-out, trace 1 in N requests")
+	traceRetainMS := flag.Int("trace-retain-ms", 0, "retain traces of requests slower than this many ms in the in-memory ring served at /v2/traces (0 = default 250ms; negative disables tail retention)")
+	incidentDir := flag.String("incident-dir", "", "capture diagnostic bundles (profiles, histograms, slow traces, stats) into this directory when an incident trigger fires (empty = disabled)")
+	incidentBurn := flag.Float64("incident-burn-threshold", 0, "with -incident-dir: shortest-window SLO burn rate that triggers a capture (0 = default 2.0)")
+	incidentCooldown := flag.Duration("incident-cooldown", 0, "with -incident-dir: minimum spacing between captures (0 = default 5m)")
 	flag.Parse()
 
 	lv, err := obs.ParseLevel(*logLevel)
@@ -256,21 +268,24 @@ func main() {
 		// table; fail loudly on primary-only flags rather than silently
 		// ignoring an operator's hint file or bootstrap config.
 		primaryOnly := map[string]string{
-			"hints":                  "hint tables reach a cluster via -push-hints to the primary",
-			"model":                  "a follower's state is the primary's snapshot + journal",
-			"bootstrap-days":         "followers bootstrap from the primary, not the offline pipeline",
-			"templates":              "followers bootstrap from the primary, not the offline pipeline",
-			"uniform":                "the ranking policy is the primary's; followers serve it greedily",
-			"queue":                  "followers have no reward ingestion queue (writes are redirected)",
-			"workers":                "followers have no reward ingestion workers (writes are redirected)",
-			"wal-sync":               "followers do not journal (the primary's WAL is the journal)",
-			"wal-segment-mb":         "followers do not journal (the primary's WAL is the journal)",
-			"snapshot-every":         "followers do not checkpoint (the primary owns durability)",
-			"drift":                  "drift detection runs on the primary; followers replicate its quarantine table",
-			"drift-threshold":        "drift detection runs on the primary; followers replicate its quarantine table",
-			"drift-quarantine-after": "drift detection runs on the primary; followers replicate its quarantine table",
-			"drift-restore-after":    "drift detection runs on the primary; followers replicate its quarantine table",
-			"drift-max-templates":    "drift detection runs on the primary; followers replicate its quarantine table",
+			"hints":                   "hint tables reach a cluster via -push-hints to the primary",
+			"model":                   "a follower's state is the primary's snapshot + journal",
+			"bootstrap-days":          "followers bootstrap from the primary, not the offline pipeline",
+			"templates":               "followers bootstrap from the primary, not the offline pipeline",
+			"uniform":                 "the ranking policy is the primary's; followers serve it greedily",
+			"queue":                   "followers have no reward ingestion queue (writes are redirected)",
+			"workers":                 "followers have no reward ingestion workers (writes are redirected)",
+			"wal-sync":                "followers do not journal (the primary's WAL is the journal)",
+			"wal-segment-mb":          "followers do not journal (the primary's WAL is the journal)",
+			"snapshot-every":          "followers do not checkpoint (the primary owns durability)",
+			"drift":                   "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-threshold":         "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-quarantine-after":  "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-restore-after":     "drift detection runs on the primary; followers replicate its quarantine table",
+			"drift-max-templates":     "drift detection runs on the primary; followers replicate its quarantine table",
+			"incident-dir":            "incident capture is a primary concern; scrape the follower's /v2/traces and /metrics instead",
+			"incident-burn-threshold": "incident capture is a primary concern; scrape the follower's /v2/traces and /metrics instead",
+			"incident-cooldown":       "incident capture is a primary concern; scrape the follower's /v2/traces and /metrics instead",
 		}
 		var conflict string
 		flag.Visit(func(f *flag.Flag) {
@@ -281,7 +296,7 @@ func main() {
 		if conflict != "" {
 			fatal(conflict)
 		}
-		ferr := runFollower(*addr, *follow, *shards, *rankWorkers, *trainEvery, *maxLog, *seed, tracer)
+		ferr := runFollower(*addr, *follow, *shards, *rankWorkers, *trainEvery, *maxLog, *seed, tracer, traceRetain(*traceRetainMS))
 		closeTracer(tracer)
 		if ferr != nil {
 			fatal("follow failed", "primary", *follow, "err", ferr)
@@ -399,6 +414,14 @@ func main() {
 		driftCfg = &dc
 	}
 
+	var incidentCfg *serve.IncidentConfig
+	if *incidentDir != "" {
+		incidentCfg = &serve.IncidentConfig{
+			Dir:           *incidentDir,
+			BurnThreshold: *incidentBurn,
+			Cooldown:      *incidentCooldown,
+		}
+	}
 	srv := serve.New(serve.Config{
 		Catalog:      cat,
 		Bandit:       svc,
@@ -413,8 +436,13 @@ func main() {
 		SnapshotPath: *modelPath,
 		WAL:          journal,
 		Tracer:       tracer,
+		TraceRetain:  traceRetain(*traceRetainMS),
+		Incidents:    incidentCfg,
 		Drift:        driftCfg,
 	})
+	if incidentCfg != nil {
+		logg.Info("incident capture enabled", "dir", *incidentDir)
+	}
 	// Re-arm the safeguard from the journal BEFORE the initial
 	// checkpoint: like the hint table, the quarantine table must be
 	// restored without re-journaling, and the checkpoint's snapshot
@@ -520,6 +548,16 @@ func main() {
 	logg.Info("qoserved stopped")
 }
 
+// traceRetain maps the -trace-retain-ms flag onto the serve layer's
+// threshold semantics: 0 keeps the default, negative disables tail
+// retention.
+func traceRetain(ms int) time.Duration {
+	if ms < 0 {
+		return -1
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
 // closeTracer flushes and closes the trace output (nil-safe); without
 // the close the emitted JSON array is unterminated.
 func closeTracer(t *obs.Tracer) {
@@ -576,7 +614,7 @@ func runReplay(outPath, walDir, snapshotPath string, trainEvery, maxLog int, see
 // primary, tail its WAL, serve reads locally until SIGINT/SIGTERM.
 // The replicate.Follower re-bootstraps itself if the primary compacts
 // past its position, so there is nothing to babysit here.
-func runFollower(addr, primary string, shards, rankWorkers, trainEvery, maxLog int, seed int64, tracer *obs.Tracer) error {
+func runFollower(addr, primary string, shards, rankWorkers, trainEvery, maxLog int, seed int64, tracer *obs.Tracer, traceRetain time.Duration) error {
 	f, err := replicate.Start(replicate.Config{
 		Primary:      primary,
 		Seed:         seed,
@@ -586,6 +624,7 @@ func runFollower(addr, primary string, shards, rankWorkers, trainEvery, maxLog i
 		RankWorkers:  rankWorkers,
 		Logger:       logg,
 		Tracer:       tracer,
+		TraceRetain:  traceRetain,
 	})
 	if err != nil {
 		return err
@@ -716,6 +755,19 @@ func runCheck(base string) error {
 	if d := stats.Drift; d != nil && (d.Enabled || d.QuarantinedNow > 0 || d.ProbationNow > 0) {
 		fmt.Printf("safeguard:  detection=%v, %d quarantined, %d probation, %d blocked ranks, %d transitions (%d manual)\n",
 			d.Enabled, d.QuarantinedNow, d.ProbationNow, d.BlockedRanks, d.Transitions, d.Manual)
+	}
+	if in := stats.Incidents; in != nil {
+		line := fmt.Sprintf("incidents:  %d bundles, %d triggered (%d suppressed, %d capture errors)",
+			in.Count, in.Triggered, in.Suppressed, in.CaptureErrors)
+		if in.LastID != "" {
+			line += fmt.Sprintf(", last %s (%s) %.0fs ago", in.LastID, in.LastReason, in.LastAgeSec)
+		}
+		fmt.Println(line)
+	}
+	if tr := stats.Traces; tr != nil {
+		fmt.Printf("flightrec:  %d/%d traces retained (%d slow, %d error, %d sampled), %d evicted, threshold %dms\n",
+			tr.Retained, tr.Capacity, tr.RetainedSlow, tr.RetainedError, tr.RetainedSampled,
+			tr.Evicted, tr.ThresholdMicros/1000)
 	}
 
 	routes := make([]string, 0, len(stats.Routes))

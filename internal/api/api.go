@@ -72,6 +72,15 @@ const (
 	RouteV2AuditDecision = "/v2/audit/decision"
 	RouteV2AuditTemplate = "/v2/audit/template"
 	RouteV2AuditAsOf     = "/v2/audit/asof"
+
+	// Flight-recorder surface (any node). RouteV2Traces queries the
+	// tail-retained slow-trace ring as Chrome-trace JSON (filters:
+	// ?route=&min_ms=&limit=). RouteV2Incidents lists captured
+	// diagnostic bundles on GET and triggers a manual capture on POST;
+	// one bundle is fetched at /v2/incidents/{id}, and ?file=<name>
+	// streams a single bundle artifact (profiles, stats, traces).
+	RouteV2Traces    = "/v2/traces"
+	RouteV2Incidents = "/v2/incidents"
 )
 
 // RequestIDHeader carries the request ID on every instrumented route.
@@ -466,6 +475,131 @@ type StatsResponse struct {
 	// SLO reports the node's service-level objectives and their rolling
 	// error-budget burn rates (v2 only, additive).
 	SLO *SLOStats `json:"slo,omitempty"`
+	// Traces reports the flight recorder's tail-retention counters
+	// (v2 only, additive; present when retention is enabled).
+	Traces *TraceStats `json:"traces,omitempty"`
+	// Incidents reports the incident engine's trigger and capture
+	// counters (v2 only, additive; present when -incident-dir is set).
+	Incidents *IncidentStats `json:"incidents,omitempty"`
+}
+
+// TraceStats is the traces block of /v2/stats: the flight recorder's
+// retention ring and the trace export arm's write-error count.
+type TraceStats struct {
+	// Retained / Capacity describe the ring's current occupancy.
+	Retained int `json:"retained"`
+	Capacity int `json:"capacity"`
+	// RetainedTotal is the lifetime retention count; the per-reason
+	// counters below sum to it.
+	RetainedTotal   int64 `json:"retainedTotal"`
+	RetainedSlow    int64 `json:"retainedSlow"`
+	RetainedError   int64 `json:"retainedError"`
+	RetainedSampled int64 `json:"retainedSampled"`
+	// Evicted counts retained traces pushed out of the ring by newer
+	// ones.
+	Evicted int64 `json:"evicted"`
+	// ThresholdMicros is the default slow-retention cutoff.
+	ThresholdMicros int64 `json:"thresholdMicros"`
+	// WriteErrors counts failed writes on the -trace-out export stream.
+	WriteErrors int64 `json:"writeErrors"`
+}
+
+// TraceEvent is one span in Chrome trace-event format ("X" complete
+// events; ts/dur in microseconds relative to the recorder's epoch).
+// The field set matches what chrome://tracing and Perfetto load.
+type TraceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// TraceMeta summarizes one retained trace in a /v2/traces answer.
+type TraceMeta struct {
+	Seq       uint64  `json:"seq"`
+	Route     string  `json:"route"`
+	RequestID string  `json:"requestId,omitempty"`
+	Reason    string  `json:"reason"`
+	Status    int     `json:"status,omitempty"`
+	StartUnix float64 `json:"startUnixSec"`
+	DurMicros int64   `json:"durMicros"`
+	Events    int     `json:"events"`
+}
+
+// TracesResponse answers GET /v2/traces. TraceEvents uses the Chrome
+// trace-event object form — the whole response body loads directly in
+// chrome://tracing or Perfetto (extra keys are ignored there); each
+// retained trace renders as its own process (pid = retention seq).
+type TracesResponse struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+	Traces      []TraceMeta  `json:"traces"`
+	RequestID   string       `json:"requestId,omitempty"`
+}
+
+// IncidentStats is the incidents block of /v2/stats.
+type IncidentStats struct {
+	Enabled bool `json:"enabled"`
+	// Count is the number of bundles on disk (including ones found at
+	// startup from earlier runs).
+	Count int64 `json:"count"`
+	// Triggered / Captured / Suppressed: trigger firings, bundles
+	// actually written, and firings swallowed by the cooldown.
+	Triggered  int64 `json:"triggered"`
+	Captured   int64 `json:"captured"`
+	Suppressed int64 `json:"suppressed"`
+	// CaptureErrors counts bundle artifacts that failed to write.
+	CaptureErrors int64   `json:"captureErrors"`
+	BurnThreshold float64 `json:"burnThreshold"`
+	CooldownSec   float64 `json:"cooldownSec"`
+	// LastAgeSec is the age of the newest bundle (absent before the
+	// first capture).
+	LastAgeSec float64 `json:"lastAgeSec,omitempty"`
+	// LastCaptureMicros is the wall time the newest capture took.
+	LastCaptureMicros int64  `json:"lastCaptureMicros,omitempty"`
+	LastReason        string `json:"lastReason,omitempty"`
+	LastID            string `json:"lastId,omitempty"`
+}
+
+// IncidentFile is one artifact inside a captured bundle.
+type IncidentFile struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+}
+
+// IncidentMeta describes one captured diagnostic bundle (the content
+// of its meta.json, which doubles as the listing entry).
+type IncidentMeta struct {
+	ID string `json:"id"`
+	// Reason is the trigger: "burn", "quarantine", "wal", or "manual".
+	Reason string `json:"reason"`
+	// Detail carries trigger context (objective name and burn rate,
+	// template hash, journal error count...).
+	Detail   string  `json:"detail,omitempty"`
+	UnixNano int64   `json:"unixNano"`
+	Time     string  `json:"time"`
+	BurnRate float64 `json:"burnRate,omitempty"`
+	// CaptureMicros is the wall time the capture took.
+	CaptureMicros int64          `json:"captureMicros,omitempty"`
+	Files         []IncidentFile `json:"files,omitempty"`
+}
+
+// IncidentsResponse answers GET /v2/incidents (newest first).
+type IncidentsResponse struct {
+	Enabled   bool           `json:"enabled"`
+	Incidents []IncidentMeta `json:"incidents"`
+	RequestID string         `json:"requestId,omitempty"`
+}
+
+// IncidentResponse answers GET /v2/incidents/{id} and POST
+// /v2/incidents (manual capture): one bundle's metadata, re-read from
+// the bundle's meta.json so a listed-but-deleted bundle 404s.
+type IncidentResponse struct {
+	Incident  IncidentMeta `json:"incident"`
+	RequestID string       `json:"requestId,omitempty"`
 }
 
 // SLOWindowStats is one objective's state over one rolling window.
@@ -737,6 +871,9 @@ const (
 	// journal record (snapshot compaction removed it). The follower must
 	// re-bootstrap from /v2/wal/snapshot.
 	CodeWALGap = "wal_gap"
+	// CodeIncidentsDisabled: an incident-capture request on a node
+	// running without -incident-dir; there is nowhere to write bundles.
+	CodeIncidentsDisabled = "incidents_disabled"
 	// CodeDegraded: synthesized by the typed client when a health probe
 	// answers 503 with a HealthResponse body (a follower whose
 	// replication tail has gone stale). The server deliberately ships
@@ -801,7 +938,7 @@ func StatusForCode(code string) int {
 		return http.StatusNotFound
 	case CodeQueueFull, CodeDegraded:
 		return http.StatusServiceUnavailable
-	case CodeSnapshotUnconfigured, CodeWALDisabled:
+	case CodeSnapshotUnconfigured, CodeWALDisabled, CodeIncidentsDisabled:
 		return http.StatusConflict
 	case CodeNotPrimary:
 		return http.StatusMisdirectedRequest

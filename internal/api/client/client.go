@@ -436,6 +436,85 @@ func (c *Client) AuditAsOf(ctx context.Context, lsn uint64) (api.AuditAsOfRespon
 	return out, err
 }
 
+// TracesOptions filter a GET /v2/traces listing. Zero values mean "no
+// filter".
+type TracesOptions struct {
+	// Route restricts to traces of one route (exact match).
+	Route string
+	// MinDur drops traces shorter than this.
+	MinDur time.Duration
+	// Limit caps the traces returned, newest first (0 = all retained).
+	Limit int
+}
+
+// Traces fetches the retained slow-trace ring (GET /v2/traces) as a
+// Chrome-trace document plus per-trace metadata.
+func (c *Client) Traces(ctx context.Context, opts TracesOptions) (api.TracesResponse, error) {
+	q := url.Values{}
+	if opts.Route != "" {
+		q.Set("route", opts.Route)
+	}
+	if opts.MinDur > 0 {
+		q.Set("min_ms", strconv.FormatFloat(float64(opts.MinDur)/float64(time.Millisecond), 'f', -1, 64))
+	}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	path := api.RouteV2Traces
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	var out api.TracesResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &out)
+	return out, err
+}
+
+// Incidents lists the node's diagnostic capture bundles, newest first
+// (GET /v2/incidents). A node without -incident-dir answers an empty
+// list with Enabled false.
+func (c *Client) Incidents(ctx context.Context) (api.IncidentsResponse, error) {
+	var out api.IncidentsResponse
+	err := c.do(ctx, http.MethodGet, api.RouteV2Incidents, "", nil, &out)
+	return out, err
+}
+
+// Incident fetches one bundle's metadata (GET /v2/incidents/{id}).
+func (c *Client) Incident(ctx context.Context, id string) (api.IncidentResponse, error) {
+	var out api.IncidentResponse
+	err := c.do(ctx, http.MethodGet, api.RouteV2Incidents+"/"+url.PathEscape(id), "", nil, &out)
+	return out, err
+}
+
+// IncidentFile streams one bundle artifact
+// (GET /v2/incidents/{id}?file={name}). The caller must Close the
+// returned reader.
+func (c *Client) IncidentFile(ctx context.Context, id, name string) (io.ReadCloser, error) {
+	path := api.RouteV2Incidents + "/" + url.PathEscape(id) + "?file=" + url.QueryEscape(name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: incident file: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: incident file: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		apiErr := decodeError(resp)
+		resp.Body.Close()
+		return nil, apiErr
+	}
+	return resp.Body, nil
+}
+
+// TriggerIncident captures a diagnostic bundle now (POST /v2/incidents),
+// bypassing the capture cooldown. Nodes without -incident-dir answer
+// incidents_disabled.
+func (c *Client) TriggerIncident(ctx context.Context) (api.IncidentResponse, error) {
+	var out api.IncidentResponse
+	err := c.do(ctx, http.MethodPost, api.RouteV2Incidents, "", nil, &out)
+	return out, err
+}
+
 // SaveSnapshot asks the server to persist its model to the configured
 // snapshot path.
 func (c *Client) SaveSnapshot(ctx context.Context) (api.SnapshotSaveResponse, error) {

@@ -147,10 +147,10 @@ func micros(d time.Duration) string { return fmt.Sprintf("%d", d.Microseconds())
 // the fleet-merged route and stage percentile tables (microseconds).
 func (s *Snapshot) Render(w io.Writer) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ENDPOINT\tROLE\tUPTIME\tRANKS\tLAG\tQUARANTINED\tERROR")
+	fmt.Fprintln(tw, "ENDPOINT\tROLE\tUPTIME\tRANKS\tLAG\tQUARANTINED\tINCIDENTS\tERROR")
 	for _, n := range s.Nodes {
 		if n.Err != nil {
-			fmt.Fprintf(tw, "%s\t?\t-\t-\t-\t-\t%v\n", n.Endpoint, n.Err)
+			fmt.Fprintf(tw, "%s\t?\t-\t-\t-\t-\t-\t%v\n", n.Endpoint, n.Err)
 			continue
 		}
 		lag := "-"
@@ -161,9 +161,18 @@ func (s *Snapshot) Render(w io.Writer) {
 		if d := n.Stats.Drift; d != nil {
 			quar = fmt.Sprintf("%d", d.QuarantinedNow)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t\n",
+		// Incident column: bundle count plus the newest bundle's age, so
+		// a fleet sweep shows where (and how recently) something fired.
+		inc := "-"
+		if in := n.Stats.Incidents; in != nil {
+			inc = fmt.Sprintf("%d", in.Count)
+			if in.Count > 0 && in.LastAgeSec > 0 {
+				inc += fmt.Sprintf(" (%s ago)", (time.Duration(in.LastAgeSec) * time.Second).String())
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t\n",
 			n.Endpoint, n.Role(), (time.Duration(n.Stats.UptimeSec) * time.Second).String(),
-			n.Stats.RankRequests, lag, quar)
+			n.Stats.RankRequests, lag, quar, inc)
 	}
 	tw.Flush()
 

@@ -124,17 +124,34 @@ func FleetReportFrom(snap *fleet.Snapshot) *FleetReport {
 	return fr
 }
 
+// IncidentReport summarizes the primary's incident engine and trace
+// flight recorder at end of run, scraped from /v2/incidents and
+// /v2/traces. CI's incident-smoke step asserts on these fields (a
+// bundle captured, a retained trace covering the injected stall)
+// without re-parsing the endpoints itself.
+type IncidentReport struct {
+	// Bundles is the number of diagnostic bundles on disk.
+	Bundles    int    `json:"bundles"`
+	LastID     string `json:"lastId,omitempty"`
+	LastReason string `json:"lastReason,omitempty"`
+	// RetainedTraces is the flight-recorder ring occupancy;
+	// MaxTraceMs is the longest retained trace's duration.
+	RetainedTraces int     `json:"retainedTraces"`
+	MaxTraceMs     float64 `json:"maxTraceMs"`
+}
+
 // Report is the BENCH_load.json document.
 type Report struct {
-	Target    string        `json:"target"`
-	Seed      int64         `json:"seed"`
-	Batch     int           `json:"batch"`
-	Workers   int           `json:"workers"`
-	Templates int           `json:"templates"`
-	ZipfS     float64       `json:"zipfS"`
-	Phases    []PhaseReport `json:"phases"`
-	Stall     *StallReport  `json:"stall,omitempty"`
-	Fleet     *FleetReport  `json:"fleet,omitempty"`
+	Target    string          `json:"target"`
+	Seed      int64           `json:"seed"`
+	Batch     int             `json:"batch"`
+	Workers   int             `json:"workers"`
+	Templates int             `json:"templates"`
+	ZipfS     float64         `json:"zipfS"`
+	Phases    []PhaseReport   `json:"phases"`
+	Stall     *StallReport    `json:"stall,omitempty"`
+	Fleet     *FleetReport    `json:"fleet,omitempty"`
+	Incidents *IncidentReport `json:"incidents,omitempty"`
 }
 
 // Hist re-exports the snapshot type so cmd/qoload can reference

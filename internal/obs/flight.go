@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: tail-based trace retention. Head sampling (Tracer)
+// answers "what does a typical request look like" — but the p999
+// outliers that burn an error budget are almost never the 1-in-N that
+// got elected. The recorder inverts the decision: EVERY request
+// records stage spans into a pooled buffer, and only at Finish — when
+// the latency and status are known — does the trace earn retention.
+// Retained traces land in a bounded ring queryable over /v2/traces;
+// everything else returns to the pool, so the unretained fast path
+// adds ~0 allocations per request.
+
+// Retention thresholds and capacity defaults.
+const (
+	// DefaultRetainThreshold is the slow-trace cutoff for routes
+	// without a per-route override.
+	DefaultRetainThreshold = 250 * time.Millisecond
+	// DefaultFlightCapacity bounds the retained ring: ~256 traces of a
+	// few KB each keeps the recorder's memory ceiling in the low MB.
+	DefaultFlightCapacity = 256
+)
+
+// Retention reasons, in decision precedence order.
+const (
+	RetainError   = "error"   // request failed server-side (status >= 500)
+	RetainSlow    = "slow"    // duration crossed the route's threshold
+	RetainSampled = "sampled" // head-sample elected (the 1-in-N export arm)
+)
+
+// FlightConfig parameterizes a recorder.
+type FlightConfig struct {
+	// Capacity bounds the retained ring (0 = DefaultFlightCapacity).
+	Capacity int
+	// Threshold is the slow cutoff for routes without an override
+	// (0 = DefaultRetainThreshold).
+	Threshold time.Duration
+	// RouteThresholds overrides the slow cutoff per route name. A
+	// negative value disables slow retention for that route — the
+	// escape hatch for long-poll endpoints that are slow by design.
+	RouteThresholds map[string]time.Duration
+}
+
+// SpanEvent is one retained span in exported form.
+type SpanEvent struct {
+	Name     string
+	Cat      string
+	TID      int
+	Start    time.Time
+	Duration time.Duration
+}
+
+// RetainedTrace is one request kept by the recorder. Immutable after
+// insertion; Query returns copies sharing the (never mutated) Events
+// slice.
+type RetainedTrace struct {
+	Seq       uint64 // monotonic retention sequence, 1-based
+	Route     string
+	RequestID string
+	Reason    string // RetainError | RetainSlow | RetainSampled
+	Status    int    // HTTP status (0 when unknown)
+	Start     time.Time
+	Duration  time.Duration
+	Events    []SpanEvent
+}
+
+// FlightStats is a recorder counter snapshot.
+type FlightStats struct {
+	Retained        int // traces currently in the ring
+	Capacity        int
+	RetainedSlow    int64
+	RetainedError   int64
+	RetainedSampled int64
+	Evicted         int64 // retained traces pushed out by newer ones
+	Threshold       time.Duration
+}
+
+// FlightRecorder is the bounded, lock-protected retention ring plus
+// the span-buffer pool feeding it. Safe for concurrent use; the ring
+// mutex is touched only on retention, never on the fast path.
+type FlightRecorder struct {
+	cfg   FlightConfig
+	epoch time.Time
+	pool  sync.Pool
+
+	retainedSlow    atomic.Int64
+	retainedError   atomic.Int64
+	retainedSampled atomic.Int64
+	evicted         atomic.Int64
+
+	mu   sync.Mutex
+	ring []RetainedTrace
+	head int // oldest slot once the ring is full
+	seq  uint64
+}
+
+// NewFlightRecorder builds a recorder; zero-value config fields take
+// the package defaults.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultFlightCapacity
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultRetainThreshold
+	}
+	r := &FlightRecorder{cfg: cfg, epoch: time.Now()}
+	r.pool.New = func() any { return &Trace{} }
+	return r
+}
+
+// Epoch is the recorder's timestamp reference (Chrome-trace ts values
+// are rendered relative to it).
+func (r *FlightRecorder) Epoch() time.Time { return r.epoch }
+
+// Begin issues the span buffer for one request. Unlike Tracer.Sample
+// it never returns nil: every request records, retention is decided at
+// FinishRequest. The optional tracer contributes the head-sample
+// election (and receives the export copy of elected traces). Nil-safe:
+// a nil recorder degrades to plain head sampling.
+func (r *FlightRecorder) Begin(t *Tracer) *Trace {
+	if r == nil {
+		return t.Sample()
+	}
+	tr := r.pool.Get().(*Trace)
+	tr.tracer = t
+	tr.rec = r
+	tr.head = t.headSample()
+	return tr
+}
+
+// thresholdFor resolves the slow cutoff for a route; negative means
+// "never slow".
+func (r *FlightRecorder) thresholdFor(route string) time.Duration {
+	if d, ok := r.cfg.RouteThresholds[route]; ok {
+		return d
+	}
+	return r.cfg.Threshold
+}
+
+// finish applies the retention decision and recycles the trace.
+// Called by Trace.FinishRequest with the request event already
+// appended, so a retained copy carries the full span set.
+func (r *FlightRecorder) finish(tr *Trace, route string, start time.Time, dur time.Duration, status int) {
+	reason := ""
+	if status >= 500 {
+		reason = RetainError
+		r.retainedError.Add(1)
+	} else if thr := r.thresholdFor(route); thr >= 0 && dur >= thr {
+		reason = RetainSlow
+		r.retainedSlow.Add(1)
+	} else if tr.head {
+		reason = RetainSampled
+		r.retainedSampled.Add(1)
+	}
+	if reason != "" {
+		r.retain(tr, route, reason, status, start, dur)
+	}
+	tr.reset()
+	r.pool.Put(tr)
+}
+
+// retain copies the trace's spans into the ring, evicting the oldest
+// entry when full.
+func (r *FlightRecorder) retain(tr *Trace, route, reason string, status int, start time.Time, dur time.Duration) {
+	tr.mu.Lock()
+	events := make([]SpanEvent, len(tr.events))
+	for i, ev := range tr.events {
+		events[i] = SpanEvent{Name: ev.name, Cat: ev.cat, TID: ev.tid, Start: ev.start, Duration: ev.dur}
+	}
+	rid := tr.requestID
+	tr.mu.Unlock()
+
+	rt := RetainedTrace{
+		Route:     route,
+		RequestID: rid,
+		Reason:    reason,
+		Status:    status,
+		Start:     start,
+		Duration:  dur,
+		Events:    events,
+	}
+	r.mu.Lock()
+	r.seq++
+	rt.Seq = r.seq
+	if len(r.ring) < r.cfg.Capacity {
+		r.ring = append(r.ring, rt)
+	} else {
+		r.ring[r.head] = rt
+		r.head = (r.head + 1) % len(r.ring)
+		r.evicted.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// Query returns retained traces newest-first, filtered by route (""
+// matches all) and minimum duration, capped at limit (<=0 = all).
+// Nil-safe.
+func (r *FlightRecorder) Query(route string, minDur time.Duration, limit int) []RetainedTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.ring)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	out := make([]RetainedTrace, 0, limit)
+	for i := 0; i < n && len(out) < limit; i++ {
+		// Newest-first: the slot before head holds the latest entry.
+		rt := r.ring[((r.head-1-i)%n+n)%n]
+		if route != "" && rt.Route != route {
+			continue
+		}
+		if rt.Duration < minDur {
+			continue
+		}
+		out = append(out, rt)
+	}
+	return out
+}
+
+// Stats snapshots the recorder's counters (nil-safe).
+func (r *FlightRecorder) Stats() FlightStats {
+	if r == nil {
+		return FlightStats{}
+	}
+	r.mu.Lock()
+	retained := len(r.ring)
+	r.mu.Unlock()
+	return FlightStats{
+		Retained:        retained,
+		Capacity:        r.cfg.Capacity,
+		RetainedSlow:    r.retainedSlow.Load(),
+		RetainedError:   r.retainedError.Load(),
+		RetainedSampled: r.retainedSampled.Load(),
+		Evicted:         r.evicted.Load(),
+		Threshold:       r.cfg.Threshold,
+	}
+}

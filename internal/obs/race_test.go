@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates on paths that are allocation-free in a
+// normal build, so exact-alloc assertions skip under -race.
+const raceEnabled = true

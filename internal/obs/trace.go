@@ -18,6 +18,11 @@ import (
 //
 // The untraced path costs one atomic add and a nil check — nothing
 // else — so sampling can stay on in production.
+//
+// Head sampling composes with the FlightRecorder's tail retention (see
+// flight.go): when a recorder is attached every request records spans
+// into a pooled buffer, the head-sample election decides only whether
+// the finished trace is ALSO exported to the tracer's output stream.
 
 // Tracer writes sampled request traces to one output stream.
 type Tracer struct {
@@ -29,6 +34,14 @@ type Tracer struct {
 	start  time.Time // ts reference so timestamps are small and relative
 	wrote  bool
 	closed bool
+
+	// Write failures are latched, not dropped: the first error is kept
+	// (werr, under mu) and surfaced from Close, the count feeds the
+	// qoserved_trace_write_errors_total counter. A trace output on a
+	// full disk should fail the shutdown path loudly, not silently
+	// truncate the document.
+	werr  error
+	werrs atomic.Int64
 }
 
 // NewTracer builds a tracer sampling one request in every sampleEvery
@@ -46,26 +59,44 @@ func NewTracer(w io.Writer, sampleEvery int) *Tracer {
 	return t
 }
 
+// headSample consumes one head-sampling election: true for one request
+// in every sampleEvery. Nil-safe (a nil tracer never elects).
+func (t *Tracer) headSample() bool {
+	if t == nil {
+		return false
+	}
+	return t.n.Add(1)%t.every == 0
+}
+
 // Sample returns a fresh Trace for one request in every sampleEvery,
 // nil otherwise. All Trace methods are nil-safe, so callers thread the
 // result through unconditionally.
 func (t *Tracer) Sample() *Trace {
+	if !t.headSample() {
+		return nil
+	}
+	return &Trace{tracer: t, head: true}
+}
+
+// WriteErrors reports how many event writes have failed so far
+// (nil-safe).
+func (t *Tracer) WriteErrors() int64 {
 	if t == nil {
-		return nil
+		return 0
 	}
-	if t.n.Add(1)%t.every != 0 {
-		return nil
-	}
-	return &Trace{tracer: t}
+	return t.werrs.Load()
 }
 
 // Close terminates the JSON document and closes the underlying writer
-// (when it is closeable). Traces finished after Close are dropped.
+// (when it is closeable). Traces finished after Close are dropped. Any
+// write error latched during the tracer's lifetime is surfaced here:
+// the first event-write failure takes precedence over the terminator's
+// own result, so a partially written document never closes clean.
 func (t *Tracer) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
-		return nil
+		return t.werr
 	}
 	t.closed = true
 	var err error
@@ -74,6 +105,13 @@ func (t *Tracer) Close() error {
 	} else {
 		_, err = io.WriteString(t.w, "[]\n")
 	}
+	if err != nil {
+		t.werrs.Add(1)
+		if t.werr == nil {
+			t.werr = err
+		}
+	}
+	err = t.werr
 	if t.c != nil {
 		if cerr := t.c.Close(); err == nil {
 			err = cerr
@@ -105,7 +143,12 @@ func (t *Tracer) emit(events []traceEvent) {
 		fmt.Fprintf(&b, `{"name":%q,"cat":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"requestId":%q}}`,
 			ev.name, ev.cat, ts, dur, ev.tid, ev.requestID)
 	}
-	io.WriteString(t.w, b.String())
+	if _, err := io.WriteString(t.w, b.String()); err != nil {
+		t.werrs.Add(1)
+		if t.werr == nil {
+			t.werr = err
+		}
+	}
 }
 
 type traceEvent struct {
@@ -122,6 +165,8 @@ type traceEvent struct {
 // *Trace).
 type Trace struct {
 	tracer *Tracer
+	rec    *FlightRecorder // non-nil: tail-retention decision at Finish
+	head   bool            // head-sample elected: export via tracer
 
 	mu        sync.Mutex
 	requestID string
@@ -150,18 +195,48 @@ func (tr *Trace) Stage(tid int, name string, start time.Time, dur time.Duration)
 	tr.mu.Unlock()
 }
 
-// Finish records the request-level span and flushes the trace to the
-// tracer's output. The trace must not be used afterwards.
+// Finish records the request-level span and flushes the trace. It is
+// FinishRequest without an HTTP status: a plain-Finish trace can be
+// retained as slow or head-sampled but never as errored.
 func (tr *Trace) Finish(name string, start time.Time, dur time.Duration) {
+	tr.FinishRequest(name, start, dur, 0)
+}
+
+// FinishRequest records the request-level span, exports the trace to
+// the tracer's output when head-sampled, and hands it to the flight
+// recorder (when one is attached) for the tail-retention decision:
+// keep iff slow, errored (status >= 500), or head-sampled. The trace
+// must not be used afterwards — recorder-issued traces return to the
+// buffer pool.
+func (tr *Trace) FinishRequest(name string, start time.Time, dur time.Duration, status int) {
 	if tr == nil {
 		return
 	}
 	tr.mu.Lock()
-	events := append(tr.events, traceEvent{name: name, cat: "request", tid: 0, start: start, dur: dur})
-	for i := range events {
-		events[i].requestID = tr.requestID
+	tr.events = append(tr.events, traceEvent{name: name, cat: "request", tid: 0, start: start, dur: dur})
+	for i := range tr.events {
+		tr.events[i].requestID = tr.requestID
 	}
-	tr.events = nil
+	events := tr.events
+	rec := tr.rec
+	if rec == nil {
+		tr.events = nil
+	}
 	tr.mu.Unlock()
-	tr.tracer.emit(events)
+	if tr.head && tr.tracer != nil {
+		tr.tracer.emit(events)
+	}
+	if rec != nil {
+		rec.finish(tr, name, start, dur, status)
+	}
+}
+
+// reset clears a pooled trace for reuse.
+func (tr *Trace) reset() {
+	tr.mu.Lock()
+	tr.events = tr.events[:0]
+	tr.requestID = ""
+	tr.head = false
+	tr.tracer = nil
+	tr.mu.Unlock()
 }

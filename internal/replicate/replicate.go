@@ -83,6 +83,15 @@ type Config struct {
 	// Tracer samples the replica's read requests for stage tracing,
 	// threaded into each bootstrapped serving core (nil = disabled).
 	Tracer *obs.Tracer
+	// Flight is the tail-sampled trace ring. Like applyHist, the
+	// follower owns it so retained traces survive the core swaps
+	// re-syncs perform; each bootstrap threads it into the fresh core.
+	// Nil builds one from TraceRetain.
+	Flight *obs.FlightRecorder
+	// TraceRetain is the slow-trace retention threshold used to build
+	// the recorder when Flight is nil (0 = default 250ms; negative
+	// disables tail retention).
+	TraceRetain time.Duration
 }
 
 // state is one bootstrap generation: the serving core built from one
@@ -144,6 +153,9 @@ func Start(cfg Config) (*Follower, error) {
 		// still time out so a dead primary is noticed.
 		hc = &http.Client{Transport: &http.Transport{ResponseHeaderTimeout: 30 * time.Second}}
 	}
+	if cfg.Flight == nil && cfg.TraceRetain >= 0 {
+		cfg.Flight = serve.NewFlightRecorder(cfg.TraceRetain)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	f := &Follower{
 		cfg:       cfg,
@@ -187,6 +199,8 @@ func (f *Follower) bootstrap() error {
 		Follower:     true,
 		LeaderURL:    f.cfg.Primary,
 		Tracer:       f.cfg.Tracer,
+		Flight:       f.cfg.Flight,
+		TraceRetain:  f.cfg.TraceRetain,
 	})
 	srv.SetReplProbe(f.Stats)
 	srv.RegisterStage("replication_apply", f.applyHist)

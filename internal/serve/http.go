@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -84,12 +86,17 @@ func newHTTPLayer(s *Server) *httpLayer {
 		{api.RouteV2AuditDecision, h.handleAuditDecision},
 		{api.RouteV2AuditTemplate, h.handleAuditTemplate},
 		{api.RouteV2AuditAsOf, h.handleAuditAsOf},
+		{api.RouteV2Traces, h.handleTraces},
+		{api.RouteV2Incidents, h.handleIncidents},
 		{api.RouteV2Version, h.handleVersion},
 		{api.RouteMetrics, h.handleMetrics},
 	} {
 		h.stats[route.path] = &routeStats{}
 		h.mux.HandleFunc(route.path, h.instrument(route.path, route.handler))
 	}
+	// /v2/incidents/{id} shares the list route's handler and metrics
+	// label; the handler dispatches on the path suffix.
+	h.mux.HandleFunc(api.RouteV2Incidents+"/", h.instrument(api.RouteV2Incidents, h.handleIncidents))
 	// Unmatched paths must still speak the protocol: an envelope with a
 	// request ID, not the mux's plain-text 404 (which a typed client
 	// would misread as a server fault).
@@ -110,13 +117,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.http.mux.
 
 // --- middleware: request IDs + per-route metrics ---
 
-type ctxKeyRequestID struct{}
+type ctxKeyRequest struct{}
+
+// requestInfo is the per-request context payload: correlation ID plus
+// the request's span buffer. One struct under one key keeps the
+// middleware at a single context node whether or not the request is
+// traced — tracing must not add allocations to the fast path.
+type requestInfo struct {
+	id string
+	tr *obs.Trace // nil when untraced
+}
 
 // requestID returns the request's correlation ID, assigned or
 // propagated by the instrument middleware.
 func requestID(r *http.Request) string {
-	id, _ := r.Context().Value(ctxKeyRequestID{}).(string)
-	return id
+	if ri, ok := r.Context().Value(ctxKeyRequest{}).(*requestInfo); ok {
+		return ri.id
+	}
+	return ""
 }
 
 func (h *httpLayer) newRequestID() string {
@@ -162,16 +180,14 @@ func (sr *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
 	return io.Copy(sr.ResponseWriter, src)
 }
 
-// ctxKeyTrace carries the request's sampled obs.Trace (absent on
-// unsampled requests).
-type ctxKeyTrace struct{}
-
 // traceFrom returns the request's sampled trace, or nil. All obs.Trace
 // methods are nil-safe, so callers thread the result through without
 // checking.
 func traceFrom(r *http.Request) *obs.Trace {
-	tr, _ := r.Context().Value(ctxKeyTrace{}).(*obs.Trace)
-	return tr
+	if ri, ok := r.Context().Value(ctxKeyRequest{}).(*requestInfo); ok {
+		return ri.tr
+	}
+	return nil
 }
 
 // instrument wraps a route handler with request-ID injection (header in,
@@ -188,12 +204,9 @@ func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.Handler
 		}
 		w.Header().Set(api.RequestIDHeader, rid)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		ctx := context.WithValue(r.Context(), ctxKeyRequestID{}, rid)
-		tr := h.srv.tracer.Sample() // nil tracer or unsampled: nil
-		if tr != nil {
-			tr.SetRequestID(rid)
-			ctx = context.WithValue(ctx, ctxKeyTrace{}, tr)
-		}
+		tr := h.srv.sampleTrace() // nil tracer+recorder or unsampled: nil
+		tr.SetRequestID(rid)      // nil-safe
+		ctx := context.WithValue(r.Context(), ctxKeyRequest{}, &requestInfo{id: rid, tr: tr})
 		start := time.Now()
 		next(rec, r.WithContext(ctx))
 		dur := time.Since(start)
@@ -216,7 +229,7 @@ func (h *httpLayer) instrument(route string, next http.HandlerFunc) http.Handler
 				break
 			}
 		}
-		tr.Finish(route, start, dur)
+		tr.FinishRequest(route, start, dur, rec.status)
 	}
 }
 
@@ -484,14 +497,116 @@ func (h *httpLayer) handleStatsV2(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	resp := h.srv.Stats()
+	resp := h.fullStats()
 	resp.RequestID = requestID(r)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fullStats assembles the complete stats document — the /v2/stats body
+// minus the request ID. Incident captures snapshot the same document
+// into the bundle's stats.json.
+func (h *httpLayer) fullStats() api.StatsResponse {
+	resp := h.srv.Stats()
 	resp.Routes = h.routeMetrics()
 	resp.Stages = h.srv.stageSummaries()
 	resp.Version = &h.srv.version
 	resp.Drift = h.srv.DriftStats(driftStatsTemplates)
 	resp.SLO = h.srv.sloStats()
+	return resp
+}
+
+// handleTraces serves the retained slow-trace ring as a Chrome-trace
+// document: GET /v2/traces?route=&min_ms=&limit=. The body's
+// traceEvents key loads directly in chrome://tracing / Perfetto.
+func (h *httpLayer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	q := r.URL.Query()
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, rid, api.Errorf(api.CodeInvalidRequest, "min_ms must be a non-negative number, got %q", v))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, rid, api.Errorf(api.CodeInvalidRequest, "limit must be a non-negative integer, got %q", v))
+			return
+		}
+		limit = n
+	}
+	resp := h.srv.tracesResponse(q.Get("route"), minDur, limit)
+	resp.RequestID = rid
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleIncidents is the flight recorder's capture surface:
+// GET /v2/incidents lists bundles, GET /v2/incidents/{id} fetches one
+// bundle's metadata, GET /v2/incidents/{id}?file={name} streams an
+// artifact, and POST /v2/incidents captures a manual bundle (bypassing
+// the cooldown — the operator is asking for evidence now).
+func (h *httpLayer) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(r)
+	eng := h.srv.incidents
+	id := strings.Trim(strings.TrimPrefix(r.URL.Path, api.RouteV2Incidents), "/")
+	switch r.Method {
+	case http.MethodGet:
+		if eng == nil {
+			if id != "" {
+				writeError(w, rid, api.Errorf(api.CodeIncidentsDisabled, "incident capture is disabled (no -incident-dir)"))
+				return
+			}
+			writeJSON(w, http.StatusOK, api.IncidentsResponse{Incidents: []api.IncidentMeta{}, RequestID: rid})
+			return
+		}
+		if id == "" {
+			writeJSON(w, http.StatusOK, api.IncidentsResponse{
+				Enabled: true, Incidents: eng.list(), RequestID: rid,
+			})
+			return
+		}
+		if name := r.URL.Query().Get("file"); name != "" {
+			f, err := eng.file(id, name)
+			if err != nil {
+				writeError(w, rid, toAPIError(err))
+				return
+			}
+			defer f.Close()
+			w.Header().Set("Content-Type", "application/octet-stream")
+			io.Copy(w, f)
+			return
+		}
+		meta, err := eng.get(id)
+		if err != nil {
+			writeError(w, rid, toAPIError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.IncidentResponse{Incident: meta, RequestID: rid})
+	case http.MethodPost:
+		if eng == nil {
+			writeError(w, rid, api.Errorf(api.CodeIncidentsDisabled, "incident capture is disabled (no -incident-dir)"))
+			return
+		}
+		if id != "" {
+			writeError(w, rid, api.Errorf(api.CodeInvalidRequest, "POST %s to capture; bundle paths are read-only", api.RouteV2Incidents))
+			return
+		}
+		meta, err := eng.fire(time.Now(), incidentManual, "operator capture via POST "+api.RouteV2Incidents, 0, true)
+		if err != nil {
+			writeError(w, rid, toAPIError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.IncidentResponse{Incident: meta, RequestID: rid})
+	default:
+		writeError(w, rid, api.Errorf(api.CodeMethodNotAllowed, "GET or POST required"))
+	}
 }
 
 // driftStatsTemplates caps the per-template drift listing in /v2/stats

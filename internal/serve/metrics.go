@@ -234,6 +234,34 @@ func (s *Server) collectMetrics(e *obs.Exposition) {
 		fn(e)
 	}
 	s.collectSLOMetrics(e)
+	s.collectTraceMetrics(e)
+	s.incidents.collectMetrics(e)
+}
+
+// collectTraceMetrics contributes the flight recorder's
+// qoserved_trace_* families (and the export arm's write-error counter,
+// which exists whenever a tracer does, recorder or not).
+func (s *Server) collectTraceMetrics(e *obs.Exposition) {
+	if s.flight == nil {
+		if s.tracer != nil {
+			e.Counter("qoserved_trace_write_errors_total",
+				"Failed writes on the -trace-out export stream.", nil, float64(s.tracer.WriteErrors()))
+		}
+		return
+	}
+	fs := s.flight.Stats()
+	const retainedHelp = "Traces retained by the flight recorder, by retention reason."
+	e.Counter("qoserved_trace_retained_total", retainedHelp, obs.L("reason", obs.RetainSlow), float64(fs.RetainedSlow))
+	e.Counter("qoserved_trace_retained_total", retainedHelp, obs.L("reason", obs.RetainError), float64(fs.RetainedError))
+	e.Counter("qoserved_trace_retained_total", retainedHelp, obs.L("reason", obs.RetainSampled), float64(fs.RetainedSampled))
+	e.Counter("qoserved_trace_evicted_total",
+		"Retained traces pushed out of the ring by newer ones.", nil, float64(fs.Evicted))
+	e.Gauge("qoserved_trace_ring_size", "Traces currently retained.", nil, float64(fs.Retained))
+	e.Gauge("qoserved_trace_ring_capacity", "Retained-ring capacity.", nil, float64(fs.Capacity))
+	e.Gauge("qoserved_trace_retain_threshold_seconds",
+		"Default slow-retention latency cutoff.", nil, fs.Threshold.Seconds())
+	e.Counter("qoserved_trace_write_errors_total",
+		"Failed writes on the -trace-out export stream.", nil, float64(s.tracer.WriteErrors()))
 }
 
 // collectRouteMetrics adds the HTTP middleware's per-route families.

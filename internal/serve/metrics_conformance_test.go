@@ -112,6 +112,25 @@ var statsMetricRules = []struct {
 	{path: re(`^slo\.objectives\.\d+\.windows\.\d+\.burnRate$`), family: "qoserved_slo_burn_rate"},
 	{path: re(`^slo\.objectives\.\d+\.windows\.\d+\.budgetRemaining$`), family: "qoserved_slo_error_budget_remaining"},
 
+	{path: re(`^traces\.retained$`), family: "qoserved_trace_ring_size"},
+	{path: re(`^traces\.capacity$`), family: "qoserved_trace_ring_capacity"},
+	{path: re(`^traces\.(retainedTotal|retainedSlow|retainedError|retainedSampled)$`),
+		family: "qoserved_trace_retained_total"},
+	{path: re(`^traces\.evicted$`), family: "qoserved_trace_evicted_total"},
+	{path: re(`^traces\.thresholdMicros$`), family: "qoserved_trace_retain_threshold_seconds"},
+	{path: re(`^traces\.writeErrors$`), family: "qoserved_trace_write_errors_total"},
+
+	{path: re(`^incidents\.enabled$`), family: "qoserved_incident_enabled"},
+	{path: re(`^incidents\.count$`), family: "qoserved_incident_bundles"},
+	{path: re(`^incidents\.triggered$`), family: "qoserved_incident_triggered_total"},
+	{path: re(`^incidents\.captured$`), family: "qoserved_incident_captured_total"},
+	{path: re(`^incidents\.suppressed$`), family: "qoserved_incident_suppressed_total"},
+	{path: re(`^incidents\.captureErrors$`), family: "qoserved_incident_capture_errors_total"},
+	{path: re(`^incidents\.burnThreshold$`), family: "qoserved_incident_burn_threshold"},
+	{path: re(`^incidents\.cooldownSec$`), family: "qoserved_incident_cooldown_seconds"},
+	{path: re(`^incidents\.lastAgeSec$`), family: "qoserved_incident_last_age_seconds"},
+	{path: re(`^incidents\.lastCaptureMicros$`), family: "qoserved_incident_last_capture_duration_seconds"},
+
 	{path: re(`^version\.modified$`), family: "",
 		why: "build identity travels as labels on qoserved_build_info, not as a numeric series"},
 }
@@ -156,6 +175,7 @@ func TestStatsMetricsConformance(t *testing.T) {
 	srv := New(Config{
 		Catalog: rules.NewCatalog(), Seed: 42, TrainEvery: 8,
 		WAL: j, Drift: driftTestConfig(),
+		Incidents: &IncidentConfig{Dir: t.TempDir()},
 	})
 	ts := httptest.NewServer(srv)
 	defer func() { ts.Close(); srv.Close(); j.Close() }()
@@ -189,6 +209,11 @@ func TestStatsMetricsConformance(t *testing.T) {
 	if _, err := srv.Checkpoint(t.TempDir() + "/conformance.snap"); err != nil {
 		t.Fatal(err)
 	}
+	// A manual capture populates the incidents block's last-bundle leaves
+	// (lastAgeSec, lastCaptureMicros) so their mappings are exercised.
+	if _, err := cl.TriggerIncident(ctx); err != nil {
+		t.Fatal(err)
+	}
 
 	// Raw JSON (not the typed struct): the walk must see exactly what a
 	// wire consumer sees, including fields the struct might drop.
@@ -197,7 +222,7 @@ func TestStatsMetricsConformance(t *testing.T) {
 	if err := json.Unmarshal(statsBody, &doc); err != nil {
 		t.Fatal(err)
 	}
-	for _, required := range []string{"wal", "replication", "drift", "audit", "slo"} {
+	for _, required := range []string{"wal", "replication", "drift", "audit", "slo", "traces", "incidents"} {
 		if _, ok := doc[required]; !ok {
 			t.Fatalf("conformance server must exercise the %q stats block; got keys %v", required, sortedDocKeys(doc))
 		}

@@ -42,6 +42,15 @@ type safeguard struct {
 	restores     atomic.Int64
 	manualMoves  atomic.Int64
 	journalErrs  atomic.Int64
+
+	// notify observes committed transitions (the incident engine's
+	// quarantine trigger). Called with g.mu held, so it must not block.
+	notify atomic.Pointer[func(drift.Transition)]
+}
+
+// setNotify installs the committed-transition observer.
+func (g *safeguard) setNotify(fn func(drift.Transition)) {
+	g.notify.Store(&fn)
 }
 
 func newSafeguard(det *drift.Detector, w *wal.WAL) *safeguard {
@@ -133,6 +142,9 @@ func (g *safeguard) commitLocked(tr drift.Transition) error {
 	}
 	if tr.Manual {
 		g.manualMoves.Add(1)
+	}
+	if fn := g.notify.Load(); fn != nil {
+		(*fn)(tr)
 	}
 	return nil
 }

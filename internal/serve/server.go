@@ -97,6 +97,20 @@ type Config struct {
 	// enables the defaults; use &SLOConfig{Disabled: true} to turn the
 	// subsystem off.
 	SLO *SLOConfig
+	// Flight, when non-nil, is an externally owned flight recorder —
+	// the replication tailer threads one recorder through every
+	// re-bootstrapped core so retained traces survive resync swaps.
+	// When nil the server builds its own from TraceRetain.
+	Flight *obs.FlightRecorder
+	// TraceRetain is the tail-retention slow threshold for routes
+	// without a per-route override (0 = obs.DefaultRetainThreshold;
+	// negative disables the flight recorder entirely). Ignored when
+	// Flight is set.
+	TraceRetain time.Duration
+	// Incidents, when non-nil with a Dir, enables the incident engine:
+	// SLO-burn, quarantine, and WAL-failure triggers capture diagnostic
+	// bundles into Dir.
+	Incidents *IncidentConfig
 }
 
 // Server is the embeddable online steering service. It serves hint-cache
@@ -165,6 +179,11 @@ type Server struct {
 
 	// slo tracks the node's service-level objectives (nil = disabled).
 	slo *obs.SLOTracker
+
+	// flight is the tail-retention trace ring (nil = disabled);
+	// incidents is the diagnostic-capture engine (nil = disabled).
+	flight    *obs.FlightRecorder
+	incidents *incidentEngine
 }
 
 // New assembles a steering server.
@@ -233,7 +252,57 @@ func New(cfg Config) *Server {
 		sloCfg = *cfg.SLO
 	}
 	s.initSLO(sloCfg)
+	switch {
+	case cfg.Flight != nil:
+		s.flight = cfg.Flight
+	case cfg.TraceRetain >= 0:
+		s.flight = NewFlightRecorder(cfg.TraceRetain)
+	}
+	if cfg.Incidents != nil && cfg.Incidents.Dir != "" {
+		s.incidents = newIncidentEngine(s, *cfg.Incidents)
+		s.incidents.start()
+	}
 	return s
+}
+
+// NewFlightRecorder builds a flight recorder with the server's
+// per-route slow thresholds: rank routes retain at the SLO rank-latency
+// bound (the requests whose tail burns the budget), the WAL long-poll
+// routes never retain as slow (they are slow by design), everything
+// else at retain (0 = obs.DefaultRetainThreshold). Exported so the
+// replication tailer can own one recorder across core swaps.
+func NewFlightRecorder(retain time.Duration) *obs.FlightRecorder {
+	slo := SLOConfig{}.withDefaults()
+	return obs.NewFlightRecorder(obs.FlightConfig{
+		Threshold: retain,
+		RouteThresholds: map[string]time.Duration{
+			api.RouteV2Rank:        slo.RankThreshold,
+			api.RouteV1Rank:        slo.RankThreshold,
+			api.RouteV2WAL:         -1,
+			api.RouteV2WALSnapshot: -1,
+		},
+	})
+}
+
+// sampleTrace issues the span buffer for one request: a pooled
+// always-recording trace when the flight recorder is on (retention
+// decided at Finish), otherwise plain 1-in-N head sampling.
+func (s *Server) sampleTrace() *obs.Trace {
+	if s.flight != nil {
+		return s.flight.Begin(s.tracer)
+	}
+	return s.tracer.Sample()
+}
+
+// FlightRecorder exposes the retained-trace ring (nil when retention
+// is disabled).
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flight }
+
+// journalErrors is the WAL fail-stop signal the incident engine
+// watches: reward/rank journal failures (ingest) plus quarantine
+// transition journal failures (safeguard).
+func (s *Server) journalErrors() int64 {
+	return s.ingest.Stats().JournalErrors + s.guard.journalErrs.Load()
 }
 
 // Cache returns the hint cache (for embedding and diagnostics).
@@ -346,8 +415,13 @@ func (s *Server) SetReplProbe(fn func() api.ReplicationStats) {
 	s.replProbe.Store(&fn)
 }
 
-// Close drains and stops the reward ingestor.
-func (s *Server) Close() { s.ingest.Close() }
+// Close drains and stops the reward ingestor and the incident engine.
+func (s *Server) Close() {
+	if s.incidents != nil {
+		s.incidents.stop()
+	}
+	s.ingest.Close()
+}
 
 // Rank answers one steering query: a cached validated hint when the
 // template has one, otherwise an epsilon-greedy bandit decision over the
@@ -496,6 +570,28 @@ func (s *Server) Stats() api.StatsResponse {
 		WAL:          walStats,
 		Replication:  s.replicationStats(),
 		Audit:        s.auditStats(),
+		Traces:       s.traceStats(),
+		Incidents:    s.incidents.stats(),
+	}
+}
+
+// traceStats assembles the /v2/stats traces block (nil when the flight
+// recorder is disabled).
+func (s *Server) traceStats() *api.TraceStats {
+	if s.flight == nil {
+		return nil
+	}
+	fs := s.flight.Stats()
+	return &api.TraceStats{
+		Retained:        fs.Retained,
+		Capacity:        fs.Capacity,
+		RetainedTotal:   fs.RetainedSlow + fs.RetainedError + fs.RetainedSampled,
+		RetainedSlow:    fs.RetainedSlow,
+		RetainedError:   fs.RetainedError,
+		RetainedSampled: fs.RetainedSampled,
+		Evicted:         fs.Evicted,
+		ThresholdMicros: fs.Threshold.Microseconds(),
+		WriteErrors:     s.tracer.WriteErrors(),
 	}
 }
 

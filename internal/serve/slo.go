@@ -30,6 +30,14 @@ type SLOConfig struct {
 	// RankTarget is the required good fraction of rank requests
 	// (0 = 0.99).
 	RankTarget float64
+	// RewardThreshold is the latency bound of the reward-latency
+	// objective. Reward acknowledgment includes the journal fsync in
+	// sync mode, so the bound is wider than the rank one and a sick
+	// disk (fsync stalls) burns this objective first (0 = 100ms).
+	RewardThreshold time.Duration
+	// RewardTarget is the required good fraction of reward requests
+	// (0 = 0.99).
+	RewardTarget float64
 	// AvailabilityTarget is the required non-5xx fraction across every
 	// route (0 = 0.999).
 	AvailabilityTarget float64
@@ -44,6 +52,12 @@ func (c SLOConfig) withDefaults() SLOConfig {
 	if c.RankTarget <= 0 || c.RankTarget >= 1 {
 		c.RankTarget = 0.99
 	}
+	if c.RewardThreshold <= 0 {
+		c.RewardThreshold = 100 * time.Millisecond
+	}
+	if c.RewardTarget <= 0 || c.RewardTarget >= 1 {
+		c.RewardTarget = 0.99
+	}
 	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
 		c.AvailabilityTarget = 0.999
 	}
@@ -55,8 +69,9 @@ func (c SLOConfig) withDefaults() SLOConfig {
 
 // Objective names of the built-in SLOs.
 const (
-	sloRankLatency  = "rank_latency"
-	sloAvailability = "availability"
+	sloRankLatency   = "rank_latency"
+	sloRewardLatency = "reward_latency"
+	sloAvailability  = "availability"
 )
 
 // initSLO declares the built-in objectives over the HTTP layer's
@@ -82,6 +97,28 @@ func (s *Server) initSLO(cfg SLOConfig) {
 			for _, m := range rankRoutes {
 				snap := m.lat.Snapshot()
 				good += snap.CountBelow(cfg.RankThreshold)
+				total += float64(snap.Count)
+			}
+			return good, total
+		},
+	})
+
+	// Reward latency: good = reward batches acknowledged at or under
+	// the threshold. The acknowledgment path includes the journal
+	// append and (in sync mode) the commit fsync, so this objective is
+	// the one a sick disk burns — the incident engine's burn trigger
+	// fires on it when fsyncs stall.
+	rewardRoutes := []*routeStats{s.http.stats[api.RouteV2Reward], s.http.stats[api.RouteV1Reward]}
+	t.Add(obs.Objective{
+		Name:      sloRewardLatency,
+		Kind:      obs.SLOLatency,
+		Target:    cfg.RewardTarget,
+		Threshold: cfg.RewardThreshold,
+		Source: func() (float64, float64) {
+			good, total := 0.0, 0.0
+			for _, m := range rewardRoutes {
+				snap := m.lat.Snapshot()
+				good += snap.CountBelow(cfg.RewardThreshold)
 				total += float64(snap.Count)
 			}
 			return good, total
